@@ -1,0 +1,17 @@
+"""Ablation (beyond the paper): FAST's two strategies in isolation.
+
+The paper evaluates the Dist cache and the incremental H only jointly;
+this benchmark runs `fast-dist-only` and `fast-h-only` to attribute the
+measured 1.2-1.4x speedup to its two sources.
+"""
+
+from repro.bench.figures import ablation_strategies
+
+
+def test_ablation_strategies(benchmark):
+    report = benchmark.pedantic(ablation_strategies, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    for key, value in report.key_numbers.items():
+        benchmark.extra_info[str(key)] = str(value)
+    assert report.rows, "experiment produced no rows"

@@ -1,0 +1,18 @@
+"""Fig. 1: speedup of the FAST strategies w.r.t. GPU-PROCLUS.
+
+Run with ``pytest benchmarks/bench_fig1_strategy_speedup.py --benchmark-only``; set
+``REPRO_BENCH_SCALE=paper`` for the paper's full sweep sizes.  The
+rendered table places the measured (modeled) numbers next to the
+paper's reported values; ``EXPERIMENTS.md`` records the comparison.
+"""
+
+from repro.bench.figures import fig1_strategy_speedup
+
+
+def test_fig1_strategy_speedup(benchmark):
+    report = benchmark.pedantic(fig1_strategy_speedup, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    for key, value in report.key_numbers.items():
+        benchmark.extra_info[str(key)] = str(value)
+    assert report.rows, "experiment produced no rows"

@@ -1,0 +1,18 @@
+"""Figs. 2a-2b: running time and speedup as the dataset size grows.
+
+Run with ``pytest benchmarks/bench_fig2ab_scale_n.py --benchmark-only``; set
+``REPRO_BENCH_SCALE=paper`` for the paper's full sweep sizes.  The
+rendered table places the measured (modeled) numbers next to the
+paper's reported values; ``EXPERIMENTS.md`` records the comparison.
+"""
+
+from repro.bench.figures import fig2ab_scale_n
+
+
+def test_fig2ab_scale_n(benchmark):
+    report = benchmark.pedantic(fig2ab_scale_n, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    for key, value in report.key_numbers.items():
+        benchmark.extra_info[str(key)] = str(value)
+    assert report.rows, "experiment produced no rows"

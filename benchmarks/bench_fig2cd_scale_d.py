@@ -1,0 +1,18 @@
+"""Figs. 2c-2d: running time and speedup as dimensionality grows.
+
+Run with ``pytest benchmarks/bench_fig2cd_scale_d.py --benchmark-only``; set
+``REPRO_BENCH_SCALE=paper`` for the paper's full sweep sizes.  The
+rendered table places the measured (modeled) numbers next to the
+paper's reported values; ``EXPERIMENTS.md`` records the comparison.
+"""
+
+from repro.bench.figures import fig2cd_scale_d
+
+
+def test_fig2cd_scale_d(benchmark):
+    report = benchmark.pedantic(fig2cd_scale_d, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    for key, value in report.key_numbers.items():
+        benchmark.extra_info[str(key)] = str(value)
+    assert report.rows, "experiment produced no rows"

@@ -1,0 +1,18 @@
+"""Fig. 2f: effect of the generated clusters' standard deviation.
+
+Run with ``pytest benchmarks/bench_fig2f_stddev.py --benchmark-only``; set
+``REPRO_BENCH_SCALE=paper`` for the paper's full sweep sizes.  The
+rendered table places the measured (modeled) numbers next to the
+paper's reported values; ``EXPERIMENTS.md`` records the comparison.
+"""
+
+from repro.bench.figures import fig2f_stddev
+
+
+def test_fig2f_stddev(benchmark):
+    report = benchmark.pedantic(fig2f_stddev, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    for key, value in report.key_numbers.items():
+        benchmark.extra_info[str(key)] = str(value)
+    assert report.rows, "experiment produced no rows"

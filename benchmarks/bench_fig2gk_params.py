@@ -1,0 +1,18 @@
+"""Figs. 2g-2k: effect of each algorithm parameter (k, l, A, B, minDev).
+
+Run with ``pytest benchmarks/bench_fig2gk_params.py --benchmark-only``; set
+``REPRO_BENCH_SCALE=paper`` for the paper's full sweep sizes.  The
+rendered table places the measured (modeled) numbers next to the
+paper's reported values; ``EXPERIMENTS.md`` records the comparison.
+"""
+
+from repro.bench.figures import fig2gk_params
+
+
+def test_fig2gk_params(benchmark):
+    report = benchmark.pedantic(fig2gk_params, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    for key, value in report.key_numbers.items():
+        benchmark.extra_info[str(key)] = str(value)
+    assert report.rows, "experiment produced no rows"

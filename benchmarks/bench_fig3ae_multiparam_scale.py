@@ -1,0 +1,18 @@
+"""Figs. 3a-3e: multi-parameter study average time per combination vs n.
+
+Run with ``pytest benchmarks/bench_fig3ae_multiparam_scale.py --benchmark-only``; set
+``REPRO_BENCH_SCALE=paper`` for the paper's full sweep sizes.  The
+rendered table places the measured (modeled) numbers next to the
+paper's reported values; ``EXPERIMENTS.md`` records the comparison.
+"""
+
+from repro.bench.figures import fig3ae_multiparam_scale
+
+
+def test_fig3ae_multiparam_scale(benchmark):
+    report = benchmark.pedantic(fig3ae_multiparam_scale, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    for key, value in report.key_numbers.items():
+        benchmark.extra_info[str(key)] = str(value)
+    assert report.rows, "experiment produced no rows"

@@ -1,0 +1,18 @@
+"""Fig. 3f: peak device memory usage of the GPU variants vs n.
+
+Run with ``pytest benchmarks/bench_fig3f_space.py --benchmark-only``; set
+``REPRO_BENCH_SCALE=paper`` for the paper's full sweep sizes.  The
+rendered table places the measured (modeled) numbers next to the
+paper's reported values; ``EXPERIMENTS.md`` records the comparison.
+"""
+
+from repro.bench.figures import fig3f_space
+
+
+def test_fig3f_space(benchmark):
+    report = benchmark.pedantic(fig3f_space, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    for key, value in report.key_numbers.items():
+        benchmark.extra_info[str(key)] = str(value)
+    assert report.rows, "experiment produced no rows"

@@ -1,0 +1,18 @@
+"""Fig. 3g: multi-parameter studies on the real-world datasets.
+
+Run with ``pytest benchmarks/bench_fig3g_realworld.py --benchmark-only``; set
+``REPRO_BENCH_SCALE=paper`` for the paper's full sweep sizes.  The
+rendered table places the measured (modeled) numbers next to the
+paper's reported values; ``EXPERIMENTS.md`` records the comparison.
+"""
+
+from repro.bench.figures import fig3g_realworld
+
+
+def test_fig3g_realworld(benchmark):
+    report = benchmark.pedantic(fig3g_realworld, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    for key, value in report.key_numbers.items():
+        benchmark.extra_info[str(key)] = str(value)
+    assert report.rows, "experiment produced no rows"

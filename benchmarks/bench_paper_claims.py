@@ -1,0 +1,20 @@
+"""Run the complete machine-checkable paper-claim registry.
+
+Every quantitative claim of the paper (Sections 5.1-5.4, Figs. 1-3) is
+measured and checked against an acceptance band; the benchmark fails if
+any claim stops reproducing.
+"""
+
+from repro.bench.claims import check_all, format_results
+
+
+def test_all_paper_claims(benchmark):
+    results = benchmark.pedantic(check_all, rounds=1, iterations=1)
+    print()
+    print(format_results(results))
+    for r in results:
+        benchmark.extra_info[r.claim.claim_id] = (
+            ("PASS " if r.passed else "FAIL ") + r.measured
+        )
+    failed = [r.claim.claim_id for r in results if not r.passed]
+    assert not failed, f"claims no longer reproduced: {failed}"

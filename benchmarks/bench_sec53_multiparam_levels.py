@@ -1,0 +1,18 @@
+"""Section 5.3: speedup contribution of the multi-param reuse levels.
+
+Run with ``pytest benchmarks/bench_sec53_multiparam_levels.py --benchmark-only``; set
+``REPRO_BENCH_SCALE=paper`` for the paper's full sweep sizes.  The
+rendered table places the measured (modeled) numbers next to the
+paper's reported values; ``EXPERIMENTS.md`` records the comparison.
+"""
+
+from repro.bench.figures import sec53_multiparam_levels
+
+
+def test_sec53_multiparam_levels(benchmark):
+    report = benchmark.pedantic(sec53_multiparam_levels, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    for key, value in report.key_numbers.items():
+        benchmark.extra_info[str(key)] = str(value)
+    assert report.rows, "experiment produced no rows"

@@ -1,0 +1,18 @@
+"""Section 5.4: kernel occupancy and memory-throughput table.
+
+Run with ``pytest benchmarks/bench_sec54_utilization.py --benchmark-only``; set
+``REPRO_BENCH_SCALE=paper`` for the paper's full sweep sizes.  The
+rendered table places the measured (modeled) numbers next to the
+paper's reported values; ``EXPERIMENTS.md`` records the comparison.
+"""
+
+from repro.bench.figures import sec54_utilization
+
+
+def test_sec54_utilization(benchmark):
+    report = benchmark.pedantic(sec54_utilization, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    for key, value in report.key_numbers.items():
+        benchmark.extra_info[str(key)] = str(value)
+    assert report.rows, "experiment produced no rows"

@@ -1,0 +1,74 @@
+"""Convergence tracing: watching the randomized search work.
+
+PROCLUS is a hill-climbing search over medoid sets (inherited from
+CLARANS): every iteration swaps out the "bad" medoids of the best
+clustering for random candidates and keeps the swap when the cost
+improves.  Engines can record a per-iteration trace; this example
+renders it as an ASCII convergence chart and shows how the warm-started
+multi-param runs converge faster — the mechanism behind the paper's
+"multi-param 3" speedup.
+
+Run:  python examples/convergence_trace.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fast import FastProclusEngine
+from repro.data import generate_subspace_data, minmax_normalize
+from repro.params import ProclusParams
+
+
+def ascii_chart(values: list[float], width: int = 56, height: int = 10) -> str:
+    """Render a value series as a crude ASCII line chart."""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    # Downsample / stretch to the chart width.
+    xs = np.linspace(0, len(values) - 1, num=min(width, len(values)))
+    series = [values[int(round(x))] for x in xs]
+    rows = []
+    for level in range(height, -1, -1):
+        threshold = lo + span * level / height
+        line = "".join("*" if v >= threshold else " " for v in series)
+        rows.append(f"{threshold:9.5f} |{line}")
+    rows.append(" " * 10 + "+" + "-" * len(series))
+    rows.append(" " * 11 + f"iterations 0..{len(values) - 1}")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    dataset = generate_subspace_data(n=8_000, d=12, n_clusters=6,
+                                     subspace_dims=5, std=3.0, seed=4)
+    data = minmax_normalize(dataset.data)
+    params = ProclusParams(k=6, l=5, a=40, b=6, patience=8)
+
+    engine = FastProclusEngine(params=params, seed=0, collect_trace=True)
+    result = engine.fit(data)
+    trace = engine.trace_
+
+    print("best-cost-so-far during the iterative phase:\n")
+    print(ascii_chart(trace.best_costs))
+    print()
+    print(trace.summary())
+    print(f"improving iterations: {trace.improvements}")
+    print(f"medoid churn per iteration: {trace.medoid_churn()}")
+
+    # Warm start from the best medoids: the "multi-param 3" mechanism.
+    warm = FastProclusEngine(
+        params=params, seed=1, collect_trace=True,
+        initial_medoids=engine.best_positions_,
+    )
+    warm_result = warm.fit(data)
+    print()
+    print(f"cold start: first-iteration cost {trace.costs[0]:.6f}, "
+          f"best {result.cost:.6f}")
+    print(f"warm start: first-iteration cost {warm.trace_.costs[0]:.6f}, "
+          f"best {warm_result.cost:.6f}")
+    print("(the warm start opens at the cold run's final quality — the "
+          "mechanism that lets multi-param 3 spend fewer iterations per "
+          "setting on average)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Customer segmentation: the paper's motivating scenario.
+
+The introduction motivates projected clustering with "finding groups of
+customers that exhibit similar traits ... for a group of customers, a
+trait like height might not be important for the grouping".  This
+example builds a synthetic customer table in which each segment is
+defined by a *subset* of traits (e.g. heavy online shoppers are alike
+in basket size, visit frequency and return rate — but not in age or
+region), and shows that PROCLUS both finds the segments and reports
+*which traits define each one* — the information full-dimensional
+k-means cannot give.
+
+Run:  python examples/customer_segmentation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import proclus
+from repro.data import minmax_normalize
+from repro.eval.metrics import purity
+
+TRAITS = [
+    "age",
+    "income",
+    "basket_size",
+    "visits_per_month",
+    "return_rate",
+    "discount_usage",
+    "night_shopping",
+    "mobile_share",
+    "support_tickets",
+    "loyalty_years",
+]
+
+#: Each segment: (name, {trait: (mean, std)}) — only the segment's
+#: defining traits are concentrated; everything else is idiosyncratic.
+SEGMENTS = [
+    (
+        "bargain hunters",
+        {"discount_usage": (0.9, 0.05), "basket_size": (0.2, 0.05),
+         "visits_per_month": (0.8, 0.07)},
+    ),
+    (
+        "premium loyalists",
+        {"income": (0.85, 0.05), "loyalty_years": (0.9, 0.05),
+         "return_rate": (0.1, 0.04), "support_tickets": (0.1, 0.05)},
+    ),
+    (
+        "night-owl mobile shoppers",
+        {"night_shopping": (0.9, 0.05), "mobile_share": (0.95, 0.03),
+         "age": (0.25, 0.06)},
+    ),
+    (
+        "bulk family buyers",
+        {"basket_size": (0.9, 0.04), "visits_per_month": (0.2, 0.05),
+         "return_rate": (0.3, 0.06)},
+    ),
+]
+
+
+def build_customers(per_segment: int = 3_000, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Synthesize the customer table and ground-truth segment labels."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    labels = []
+    for segment_id, (_, traits) in enumerate(SEGMENTS):
+        block = rng.uniform(0.0, 1.0, size=(per_segment, len(TRAITS)))
+        for trait, (mean, std) in traits.items():
+            j = TRAITS.index(trait)
+            block[:, j] = rng.normal(mean, std, size=per_segment)
+        rows.append(block)
+        labels.extend([segment_id] * per_segment)
+    data = np.clip(np.vstack(rows), 0.0, 1.0).astype(np.float32)
+    order = rng.permutation(len(data))
+    return data[order], np.asarray(labels)[order]
+
+
+def main() -> None:
+    data, truth = build_customers()
+    data = minmax_normalize(data)
+
+    # One run per candidate seed; keep the lowest-cost clustering, as a
+    # practitioner would with a randomized search.
+    results = [
+        proclus(data, k=len(SEGMENTS), l=3, backend="gpu-fast", seed=s)
+        for s in range(5)
+    ]
+    best = min(results, key=lambda r: r.cost)
+
+    print(f"clustered {data.shape[0]:,} customers with {len(TRAITS)} traits")
+    print(f"purity vs ground truth: {purity(truth, best.labels):.3f}")
+    print()
+    sizes = best.cluster_sizes()
+    for i in range(best.k):
+        members = best.cluster_members(i)
+        # Name the found cluster by its dominant true segment.
+        seg_ids = truth[members]
+        dominant = SEGMENTS[int(np.bincount(seg_ids).argmax())][0]
+        traits = ", ".join(TRAITS[j] for j in best.dimensions[i])
+        print(f"cluster {i} ({int(sizes[i]):>5} customers) ~ {dominant}")
+        print(f"    defining traits: {traits}")
+    print()
+    print(f"outliers (customers matching no segment): {best.n_outliers}")
+    print(f"modeled time: {best.stats.modeled_seconds * 1e3:.2f} ms "
+          f"on {best.stats.hardware}")
+
+
+if __name__ == "__main__":
+    main()

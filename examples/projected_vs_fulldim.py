@@ -1,0 +1,60 @@
+"""Why projected clustering? PROCLUS vs full-dimensional baselines.
+
+The paper's introduction: "clustering within the full-dimensional space
+becomes meaningless for higher-dimensional data as distances become
+increasingly similar.  This implies that clusters might only exist
+within subspace projections."  This example plants clusters in small
+random subspaces of an increasingly high-dimensional space and compares
+PROCLUS with the full-dimensional methods it descends from — CLARANS
+(k-medoids) and k-means.  As irrelevant dimensions accumulate, the
+full-dimensional methods collapse toward chance while PROCLUS keeps
+recovering the planted structure.
+
+Run:  python examples/projected_vs_fulldim.py
+"""
+
+from __future__ import annotations
+
+from repro import proclus
+from repro.baselines import clarans, kmeans
+from repro.data import generate_subspace_data, minmax_normalize
+from repro.eval.metrics import adjusted_rand_index
+from repro.params import ProclusParams
+
+N = 4_000
+CLUSTERS = 5
+SUBSPACE = 4  # planted clusters always live in 4 dimensions...
+
+
+def main() -> None:
+    print(f"{CLUSTERS} clusters planted in {SUBSPACE}-d subspaces; "
+          f"ARI vs total dimensionality d\n")
+    print(f"{'d':>4} {'noise dims':>10} {'k-means':>9} {'CLARANS':>9} {'PROCLUS':>9}")
+    for d in (6, 10, 20, 40, 80):
+        ds = generate_subspace_data(
+            n=N, d=d, n_clusters=CLUSTERS, subspace_dims=SUBSPACE,
+            std=2.0, seed=d,
+        )
+        data = minmax_normalize(ds.data)
+
+        km = kmeans(data, k=CLUSTERS, seed=0)
+        cl = clarans(data, k=CLUSTERS, num_local=2, max_neighbor=300, seed=0)
+        params = ProclusParams(k=CLUSTERS, l=SUBSPACE, a=40, b=6)
+        pr = min(
+            (proclus(data, backend="gpu-fast", params=params, seed=s)
+             for s in range(3)),
+            key=lambda r: r.cost,
+        )
+
+        print(f"{d:>4} {d - SUBSPACE:>10} "
+              f"{adjusted_rand_index(ds.labels, km.labels):>9.3f} "
+              f"{adjusted_rand_index(ds.labels, cl.labels):>9.3f} "
+              f"{adjusted_rand_index(ds.labels, pr.labels):>9.3f}")
+
+    print("\nPROCLUS additionally reports *which* dimensions define each "
+          "cluster;\nfull-dimensional methods cannot, even when they "
+          "stumble on the right partition.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Robustness study: PROCLUS across data regimes.
+
+The paper evaluates running time across data distributions (Figs. 2e-2f)
+and asserts the result quality is a property of the algorithm, not the
+implementation.  This example probes *quality* across progressively
+harder generator regimes:
+
+* the paper's default (axis-parallel Gaussian subspace clusters);
+* overlapping subspaces (clusters share anchor dimensions);
+* heavy size imbalance (tiny clusters below the minDev threshold);
+* correlated clusters (stretched along a manifold — the known
+  axis-parallel blind spot, included honestly).
+
+Run:  python examples/robustness_study.py
+"""
+
+from __future__ import annotations
+
+from repro import proclus
+from repro.data import (
+    generate_correlated_subspace_data,
+    generate_imbalanced_subspace_data,
+    generate_overlapping_subspace_data,
+    generate_subspace_data,
+    minmax_normalize,
+)
+from repro.eval.metrics import adjusted_rand_index, subspace_recovery
+from repro.params import ProclusParams
+
+N = 5_000
+D = 12
+K = 5
+SUB = 4
+
+REGIMES = [
+    ("paper default", lambda: generate_subspace_data(
+        n=N, d=D, n_clusters=K, subspace_dims=SUB, std=2.5, seed=1)),
+    ("overlapping subspaces", lambda: generate_overlapping_subspace_data(
+        n=N, d=D, n_clusters=K, subspace_dims=SUB, shared_dims=2,
+        std=2.5, seed=2)),
+    ("imbalanced sizes", lambda: generate_imbalanced_subspace_data(
+        n=N, d=D, n_clusters=K, subspace_dims=SUB, std=2.5,
+        imbalance=1.5, seed=3)),
+    ("correlated clusters", lambda: generate_correlated_subspace_data(
+        n=N, d=D, n_clusters=K, subspace_dims=SUB, std=2.0,
+        extent=35.0, seed=4)),
+]
+
+
+def main() -> None:
+    params = ProclusParams(k=K, l=SUB, a=40, b=6)
+    print(f"{K} clusters, n={N}, d={D}; best of 5 seeds per regime\n")
+    print(f"{'regime':24} {'ARI':>7} {'subspace recovery':>18}")
+    for name, make in REGIMES:
+        dataset = make()
+        data = minmax_normalize(dataset.data)
+        best = min(
+            (proclus(data, backend="gpu-fast", params=params, seed=s)
+             for s in range(5)),
+            key=lambda r: r.cost,
+        )
+        ari = adjusted_rand_index(dataset.labels, best.labels)
+        rec = subspace_recovery(
+            dataset.subspaces, dataset.labels, best.dimensions, best.labels
+        )
+        print(f"{name:24} {ari:>7.3f} {rec:>18.3f}")
+    print("\n(the correlated regime is PROCLUS's documented limitation — "
+          "its axis-parallel subspace model cannot express manifolds; "
+          "ORCLUS-style generalized projected clustering addresses it)")
+
+
+if __name__ == "__main__":
+    main()

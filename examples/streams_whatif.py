@@ -1,0 +1,70 @@
+"""What-if: CUDA streams for the small kernels (Section 5.4's aside).
+
+The paper observes that some kernels (the k x k medoid-distance kernel,
+the per-iteration bookkeeping) use a few percent of the GPU, and notes
+that "if the preceding and the succeeding kernels were not depending on
+each other, streams could be used to run two kernels concurrently".
+The paper leaves it at that; this example quantifies it.
+
+One genuinely independent pair exists at every iteration boundary: the
+bookkeeping kernel of iteration t (best-cost update, bad-medoid
+detection) and the distance kernel of iteration t+1 (which only reads
+the data and the medoid list fixed before the launch).  We take the
+kernel stream of a real GPU-FAST run, overlap exactly those pairs under
+the stream model, and report the saving.
+
+Run:  python examples/streams_whatif.py
+"""
+
+from __future__ import annotations
+
+from repro.data import generate_subspace_data, minmax_normalize
+from repro.gpu.streams import overlap_analysis
+from repro.gpu_impl.gpu_fast import GpuFastProclusEngine
+from repro.params import ProclusParams
+
+
+def main() -> None:
+    dataset = generate_subspace_data(n=30_000, d=15, seed=3)
+    data = minmax_normalize(dataset.data)
+    engine = GpuFastProclusEngine(params=ProclusParams(), seed=0)
+    result = engine.fit(data)
+    launches = engine.model.counter.kernel_launches
+    print(f"run: {result.iterations} iterations, {len(launches)} kernel launches, "
+          f"{result.stats.modeled_seconds * 1e3:.3f} ms modeled\n")
+
+    # Build dependency groups: each bookkeeping kernel overlaps with the
+    # immediately following distance kernel; everything else is serial.
+    groups: list[list] = []
+    i = 0
+    overlapped_pairs = 0
+    while i < len(launches):
+        current = launches[i]
+        nxt = launches[i + 1] if i + 1 < len(launches) else None
+        if (
+            nxt is not None
+            and current.name == "update_iteration"
+            and nxt.name == "compute_l.distances"
+        ):
+            groups.append([current, nxt])
+            overlapped_pairs += 1
+            i += 2
+        else:
+            groups.append([current])
+            i += 1
+
+    plan = overlap_analysis(engine.model.spec, groups)
+    print(f"independent pairs found:   {overlapped_pairs} "
+          f"(one per iteration boundary)")
+    print(f"serial kernel time:        {plan.serial_seconds * 1e3:9.3f} ms")
+    print(f"with streams:              {plan.overlapped_seconds * 1e3:9.3f} ms")
+    print(f"saved:                     {plan.saved_seconds * 1e6:9.1f} us "
+          f"({(plan.speedup - 1) * 100:.1f}%)")
+    print("\nconclusion: consistent with the paper's assessment — the "
+          "overlappable kernels are launch-overhead sized, so streams "
+          "recover only a few percent; the heavy kernels are dependent "
+          "and already saturate the device.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""GPU-FAST-PROCLUS: fast (simulated-)GPU-parallelized projected clustering.
+
+A full reproduction of "GPU-FAST-PROCLUS: A Fast GPU-parallelized
+Approach to Projected Clustering" (EDBT 2022): the PROCLUS baseline,
+the FAST / FAST* algorithmic strategies, GPU parallelizations of all
+three on a simulated CUDA device with a calibrated performance model,
+multi-core CPU variants, and the multi-parameter reuse strategies.
+
+Entry points:
+
+* :func:`repro.proclus` — run one clustering with any backend;
+* :func:`repro.run_parameter_study` — run a (k, l) grid with the
+  multi-parameter reuse strategies;
+* :mod:`repro.data` — synthetic generator and real-world stand-ins;
+* :mod:`repro.bench` — the harness regenerating the paper's figures.
+"""
+
+from .core.api import BACKENDS, proclus, run_parameter_study
+from .core.multiparam import MultiParamResult, ReuseLevel
+from .core.predict import assign_new_points
+from .core.serialization import load_result, save_result
+from .core.trace import RunTrace
+from .estimator import PROCLUS
+from .params import ParameterGrid, ProclusParams
+from .result import OUTLIER_LABEL, ProclusResult, RunStats
+from .rng import RandomSource
+from .exceptions import (
+    ConvergenceError,
+    DataValidationError,
+    DeviceError,
+    DeviceOutOfMemoryError,
+    EmulationError,
+    KernelLaunchError,
+    ParameterError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "proclus",
+    "run_parameter_study",
+    "BACKENDS",
+    "ProclusParams",
+    "ParameterGrid",
+    "ProclusResult",
+    "RunStats",
+    "MultiParamResult",
+    "ReuseLevel",
+    "assign_new_points",
+    "save_result",
+    "load_result",
+    "RunTrace",
+    "PROCLUS",
+    "RandomSource",
+    "OUTLIER_LABEL",
+    "ReproError",
+    "ParameterError",
+    "DataValidationError",
+    "DeviceError",
+    "DeviceOutOfMemoryError",
+    "KernelLaunchError",
+    "EmulationError",
+    "ConvergenceError",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Full-dimensional clustering baselines.
+
+PROCLUS is an adaptation of the k-medoids algorithm CLARANS (Ng & Han)
+to projected clustering, and the related-work section contrasts it with
+distance-based methods like k-means.  These from-scratch implementations
+let the examples demonstrate *why* projected clustering is needed: on
+data whose clusters live in subspaces, full-dimensional methods are
+blinded by the noise dimensions (Beyer et al.'s "When is nearest
+neighbor meaningful?" effect) while PROCLUS recovers the structure.
+"""
+
+from .clarans import ClaransResult, clarans
+from .kmeans import KMeansResult, kmeans
+
+__all__ = ["clarans", "ClaransResult", "kmeans", "KMeansResult"]

@@ -1,0 +1,107 @@
+"""Lloyd's k-means (full-dimensional Euclidean) with k-means++ seeding.
+
+Referenced in the paper's related work as the canonical distance-based
+method; used by the comparison example as the second full-dimensional
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.base import validate_data
+from ..exceptions import ParameterError
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass(slots=True)
+class KMeansResult:
+    """A full-dimensional k-means clustering."""
+
+    labels: np.ndarray  #: (n,) cluster assignment
+    centroids: np.ndarray  #: (k, d) cluster centers
+    inertia: float  #: sum of squared Euclidean distances to centers
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+
+def _plus_plus_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: probability proportional to squared distance."""
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = data[first]
+    closest_sq = np.sum((data - centroids[0]) ** 2, axis=1, dtype=np.float64)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            choice = int(rng.integers(n))  # all points coincide
+        else:
+            choice = int(rng.choice(n, p=closest_sq / total))
+        centroids[i] = data[choice]
+        dist_sq = np.sum((data - centroids[i]) ** 2, axis=1, dtype=np.float64)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centroids
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    max_iterations: int = 100,
+    tol: float = 1e-6,
+    seed: int | None = 0,
+) -> KMeansResult:
+    """Run Lloyd's algorithm with k-means++ seeding.
+
+    Converges when no assignment changes or the inertia improvement
+    drops below ``tol`` (relative), or after ``max_iterations``.
+    """
+    data = validate_data(data)
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ParameterError(f"k must be in [1, n], got k={k} for n={n}")
+    if max_iterations < 1:
+        raise ParameterError(f"max_iterations must be >= 1, got {max_iterations}")
+
+    rng = np.random.default_rng(seed)
+    centroids = _plus_plus_init(data, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+    previous_inertia = np.inf
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        dist_sq = np.empty((n, k), dtype=np.float64)
+        for i in range(k):
+            dist_sq[:, i] = np.sum(
+                (data - centroids[i]) ** 2, axis=1, dtype=np.float64
+            )
+        new_labels = np.argmin(dist_sq, axis=1).astype(np.int64)
+        inertia = float(dist_sq[np.arange(n), new_labels].sum())
+        for i in range(k):
+            members = data[new_labels == i]
+            if members.shape[0]:
+                centroids[i] = members.mean(axis=0, dtype=np.float64)
+            else:
+                # Re-seed an empty cluster at the worst-served point.
+                worst = int(np.argmax(dist_sq[np.arange(n), new_labels]))
+                centroids[i] = data[worst]
+        converged = np.array_equal(new_labels, labels) or (
+            previous_inertia - inertia <= tol * max(previous_inertia, 1e-30)
+        )
+        labels = new_labels
+        previous_inertia = inertia
+        if converged:
+            break
+    return KMeansResult(
+        labels=labels,
+        centroids=centroids,
+        inertia=previous_inertia,
+        iterations=iterations,
+    )

@@ -1,0 +1,17 @@
+"""Benchmark harness regenerating the paper's figures and tables.
+
+Each function in :mod:`repro.bench.figures` reproduces one experiment of
+the paper's Section 5 and returns an :class:`ExperimentReport` whose
+rendered table places the measured (modeled) numbers next to the
+paper's reported values.  The ``benchmarks/`` directory wraps each
+function in a pytest-benchmark target.
+
+Scale control: by default the sweeps run scaled-down sizes so the whole
+suite finishes in minutes on a laptop; set ``REPRO_BENCH_SCALE=paper``
+to sweep the paper's full dataset sizes (hours, needs tens of GB RAM).
+"""
+
+from .reporting import ExperimentReport
+from .workloads import bench_scale, default_n, repeats
+
+__all__ = ["ExperimentReport", "bench_scale", "default_n", "repeats"]

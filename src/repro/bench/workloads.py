@@ -1,0 +1,91 @@
+"""Benchmark workload scales.
+
+``REPRO_BENCH_SCALE`` selects between the quick default sweeps
+(``small``, minutes on a laptop, shapes preserved) and the paper's full
+sweeps (``paper``): synthetic sizes to 2^20 for single-setting
+experiments and 2^23 for the multi-parameter study, plus the large sky
+extracts.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "bench_scale",
+    "repeats",
+    "n_sweep",
+    "multiparam_n_sweep",
+    "d_sweep",
+    "data_cluster_sweep",
+    "stddev_sweep",
+    "realworld_names",
+    "default_n",
+]
+
+#: Default dataset size for non-scaling experiments.  The paper uses
+#: 64,000; the small scale uses 16,384 to keep the suite quick.
+_SMALL_DEFAULT_N = 16_384
+_PAPER_DEFAULT_N = 64_000
+
+
+def bench_scale() -> str:
+    """Current scale: ``"small"`` (default) or ``"paper"``."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if scale not in ("small", "paper"):
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be 'small' or 'paper', got {scale!r}"
+        )
+    return scale
+
+
+def _paper() -> bool:
+    return bench_scale() == "paper"
+
+
+def default_n() -> int:
+    return _PAPER_DEFAULT_N if _paper() else _SMALL_DEFAULT_N
+
+
+def repeats() -> int:
+    """Runs per configuration (paper: averages of 10 runs)."""
+    return 10 if _paper() else 2
+
+
+def n_sweep() -> list[int]:
+    """Dataset sizes for Figs. 2a-2b (paper: 2^9 ... 2^20)."""
+    if _paper():
+        return [2**e for e in range(9, 21)]
+    return [2**e for e in (9, 11, 13, 15)]
+
+
+def multiparam_n_sweep() -> list[int]:
+    """Dataset sizes for Figs. 3a-3e (paper: up to 2^23 ~ 8.4M)."""
+    if _paper():
+        return [2**e for e in range(9, 24)]
+    return [2**e for e in (11, 13, 15)]
+
+
+def d_sweep() -> list[int]:
+    """Dimensionalities for Figs. 2c-2d."""
+    if _paper():
+        return [5, 10, 15, 20, 25, 30]
+    return [5, 10, 15, 20]
+
+
+def data_cluster_sweep() -> list[int]:
+    """Number of generated clusters for Fig. 2e."""
+    return [2, 5, 10, 20, 40] if _paper() else [2, 5, 10, 20]
+
+
+def stddev_sweep() -> list[float]:
+    """Cluster standard deviations for Fig. 2f."""
+    return [1.0, 2.5, 5.0, 10.0, 20.0] if _paper() else [1.0, 5.0, 15.0]
+
+
+def realworld_names() -> list[str]:
+    """Datasets for Fig. 3g (the big sky extracts only at paper scale)."""
+    if _paper():
+        return ["glass", "vowel", "pendigits", "sky-1x1", "sky-2x2", "sky-5x5"]
+    return ["glass", "vowel", "pendigits", "sky-1x1"]
+

@@ -1,0 +1,312 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro cluster   # run one clustering (synthetic or named data)
+    python -m repro study     # run a (k, l) parameter study
+    python -m repro bench     # regenerate paper experiments ('all' for every one)
+    python -m repro profile   # nvprof-style kernel profile of a GPU run
+    python -m repro validate  # cross-variant clustering equivalence check
+    python -m repro claims    # check every quantitative claim of the paper
+    python -m repro info      # list backends, datasets, hardware models
+
+Examples::
+
+    python -m repro cluster --n 20000 --k 10 --l 5 --backend gpu-fast
+    python -m repro cluster --dataset pendigits --k 8 --l 5 --counters
+    python -m repro study --n 30000 --level 3
+    python -m repro bench fig2ab --plot --csv out/fig2ab.csv
+    python -m repro bench all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+import numpy as np
+
+from . import BACKENDS, ParameterGrid, ProclusParams, proclus, run_parameter_study
+from .bench import figures
+from .data import (
+    dataset_names,
+    generate_subspace_data,
+    load_dataset,
+    minmax_normalize,
+)
+from .eval.metrics import adjusted_rand_index, subspace_recovery
+from .bench.claims import check_all, format_results
+from .eval.validation import validate_equivalence
+from .gpu.profiler import format_kernel_profile, profile_kernels
+from .hardware.specs import GTX_1660_TI, INTEL_I7_9750H, INTEL_I9_10940X, RTX_3090
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment name -> report function (for ``repro bench``).
+EXPERIMENTS: dict[str, Callable[[], "figures.ExperimentReport"]] = {
+    "fig1": figures.fig1_strategy_speedup,
+    "fig2ab": figures.fig2ab_scale_n,
+    "fig2cd": figures.fig2cd_scale_d,
+    "fig2e": figures.fig2e_data_clusters,
+    "fig2f": figures.fig2f_stddev,
+    "fig2gk": figures.fig2gk_params,
+    "fig3ae": figures.fig3ae_multiparam_scale,
+    "fig3f": figures.fig3f_space,
+    "fig3g": figures.fig3g_realworld,
+    "sec53": figures.sec53_multiparam_levels,
+    "sec54": figures.sec54_utilization,
+    "ablation": figures.ablation_strategies,
+}
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("data")
+    group.add_argument("--dataset", choices=dataset_names(),
+                       help="use a real-world stand-in instead of synthetic data")
+    group.add_argument("--n", type=int, default=20_000,
+                       help="synthetic dataset size (default 20000)")
+    group.add_argument("--d", type=int, default=15,
+                       help="synthetic dimensionality (default 15)")
+    group.add_argument("--clusters", type=int, default=10,
+                       help="planted clusters (default 10)")
+    group.add_argument("--subspace-dims", type=int, default=5,
+                       help="planted subspace size (default 5)")
+    group.add_argument("--std", type=float, default=5.0,
+                       help="planted cluster std (default 5.0)")
+    group.add_argument("--data-seed", type=int, default=0,
+                       help="seed for data generation (default 0)")
+
+
+def _add_param_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("algorithm parameters")
+    group.add_argument("--k", type=int, default=10)
+    group.add_argument("--l", type=int, default=5)
+    group.add_argument("--a", type=int, default=100, help="sample constant A")
+    group.add_argument("--b", type=int, default=10, help="medoid constant B")
+    group.add_argument("--min-deviation", type=float, default=0.7)
+    group.add_argument("--patience", type=int, default=5, help="itrPat")
+    group.add_argument("--seed", type=int, default=0, help="algorithm seed")
+
+
+def _load_data(args: argparse.Namespace):
+    if args.dataset:
+        dataset = load_dataset(args.dataset, seed=args.data_seed)
+    else:
+        dataset = generate_subspace_data(
+            n=args.n, d=args.d, n_clusters=args.clusters,
+            subspace_dims=args.subspace_dims, std=args.std,
+            seed=args.data_seed,
+        )
+    return minmax_normalize(dataset.data), dataset
+
+
+def _params_from(args: argparse.Namespace, k: int | None = None,
+                 l: int | None = None) -> ProclusParams:
+    return ProclusParams(
+        k=k if k is not None else args.k,
+        l=l if l is not None else args.l,
+        a=args.a, b=args.b,
+        min_deviation=args.min_deviation,
+        patience=args.patience,
+    )
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    data, dataset = _load_data(args)
+    result = proclus(
+        data, backend=args.backend, params=_params_from(args), seed=args.seed
+    )
+    print(result.summary())
+    print()
+    print(f"modeled time: {result.stats.modeled_seconds * 1e3:.3f} ms "
+          f"on {result.stats.hardware}")
+    if args.counters:
+        from .result import counters_as_table
+
+        print("\nwork counters:")
+        print(counters_as_table(result.stats.counters))
+    if dataset.labels is not None and (dataset.labels >= 0).any():
+        print(f"ARI vs ground truth: "
+              f"{adjusted_rand_index(dataset.labels, result.labels):.3f}")
+        if dataset.subspaces:
+            print(f"subspace recovery:   "
+                  f"{subspace_recovery(dataset.subspaces, dataset.labels, result.dimensions, result.labels):.3f}")
+    if args.save_labels:
+        np.save(args.save_labels, result.labels)
+        print(f"labels written to {args.save_labels}")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    data, _ = _load_data(args)
+    grid = ParameterGrid(
+        ks=tuple(args.ks), ls=tuple(args.ls), base=_params_from(args, k=max(args.ks))
+    )
+    study = run_parameter_study(
+        data, grid=grid, backend=args.backend, level=args.level, seed=args.seed
+    )
+    print(f"{args.backend} multi-param level {args.level}: "
+          f"{study.num_settings} settings")
+    print(f"{'k':>4} {'l':>4} {'cost':>12} {'iterations':>11}")
+    for (k, l), result in sorted(study.results.items()):
+        print(f"{k:>4} {l:>4} {result.cost:>12.6f} {result.iterations:>11}")
+    best_k, best_l = study.best_setting()
+    print(f"\nbest: k={best_k}, l={best_l}")
+    print(f"avg modeled time per setting: "
+          f"{study.average_seconds_per_setting * 1e3:.3f} ms")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.experiment == "all":
+        from .bench.runner import run_all_experiments
+
+        runs = run_all_experiments(out_dir=args.out, progress=print)
+        for run in runs:
+            print()
+            print(run.report.render())
+        if args.out:
+            print(f"\nartifacts written to {args.out}")
+        return 0
+    report = EXPERIMENTS[args.experiment]()
+    print(report.render())
+    if args.plot:
+        print()
+        print(report.render_plot())
+    if args.csv:
+        path = report.to_csv(args.csv)
+        print(f"\nrows written to {path}")
+    if args.json:
+        path = report.to_json(args.json)
+        print(f"report written to {path}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    data, _ = _load_data(args)
+    if not args.backend.startswith("gpu"):
+        print("profile requires a GPU backend", file=sys.stderr)
+        return 2
+    engine = BACKENDS[args.backend](params=_params_from(args), seed=args.seed)
+    result = engine.fit(data)
+    print(format_kernel_profile(profile_kernels(engine.model)))
+    print(f"\nmodeled total: {result.stats.modeled_seconds * 1e3:.3f} ms "
+          f"on {result.stats.hardware}")
+    return 0
+
+
+def _cmd_claims(args: argparse.Namespace) -> int:
+    results = check_all()
+    print(format_results(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    report = validate_equivalence(
+        n=args.n, d=args.d, seeds=tuple(range(args.runs))
+    )
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print("backends:")
+    for name in sorted(BACKENDS):
+        print(f"  {name:22s} -> {BACKENDS[name].__name__}")
+    print("\nreal-world stand-in datasets:")
+    from .data.realworld import REAL_WORLD_SIZES
+
+    for name in dataset_names():
+        n, d = REAL_WORLD_SIZES[name]
+        print(f"  {name:12s} {n:>9,} x {d}")
+    print("\nmodeled hardware:")
+    for spec in (INTEL_I7_9750H, INTEL_I9_10940X):
+        print(f"  {spec.name:26s} {spec.cores} cores @ {spec.clock_hz/1e9:.1f} GHz")
+    for spec in (GTX_1660_TI, RTX_3090):
+        print(f"  {spec.name:26s} {spec.core_count} cores, "
+              f"{spec.memory_bytes // 1024**3} GiB, "
+              f"{spec.mem_bandwidth_bytes_per_s / 1e9:.0f} GB/s")
+    print("\nexperiments (repro bench <id>):")
+    print("  " + ", ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU-FAST-PROCLUS reproduction (EDBT 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cluster = sub.add_parser("cluster", help="run one PROCLUS clustering")
+    _add_data_arguments(cluster)
+    _add_param_arguments(cluster)
+    cluster.add_argument("--backend", choices=sorted(BACKENDS), default="gpu-fast")
+    cluster.add_argument("--save-labels", metavar="PATH",
+                         help="write the label array as .npy")
+    cluster.add_argument("--counters", action="store_true",
+                         help="print the raw work counters")
+    cluster.set_defaults(func=_cmd_cluster)
+
+    study = sub.add_parser("study", help="run a (k, l) parameter study")
+    _add_data_arguments(study)
+    _add_param_arguments(study)
+    study.add_argument("--ks", type=int, nargs="+", default=[12, 10, 8])
+    study.add_argument("--ls", type=int, nargs="+", default=[7, 5, 3])
+    study.add_argument("--level", type=int, choices=[0, 1, 2, 3], default=3,
+                       help="multi-param reuse level (default 3)")
+    study.add_argument("--backend", choices=sorted(BACKENDS), default="gpu-fast")
+    study.set_defaults(func=_cmd_study)
+
+    bench = sub.add_parser("bench", help="regenerate a paper experiment")
+    bench.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    bench.add_argument("--csv", metavar="PATH", help="also write rows as CSV")
+    bench.add_argument("--json", metavar="PATH", help="also write report as JSON")
+    bench.add_argument("--plot", action="store_true",
+                       help="render the series as an ASCII log-log chart")
+    bench.add_argument("--out", metavar="DIR",
+                       help="(with 'all') write CSV/JSON/SUMMARY.md here")
+    bench.set_defaults(func=_cmd_bench)
+
+    profile = sub.add_parser(
+        "profile", help="nvprof-style kernel profile of one GPU run"
+    )
+    _add_data_arguments(profile)
+    _add_param_arguments(profile)
+    profile.add_argument(
+        "--backend",
+        choices=sorted(b for b in BACKENDS if b.startswith("gpu")),
+        default="gpu-fast",
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    claims = sub.add_parser(
+        "claims", help="check every quantitative claim of the paper"
+    )
+    claims.set_defaults(func=_cmd_claims)
+
+    validate = sub.add_parser(
+        "validate", help="check cross-variant clustering equivalence"
+    )
+    validate.add_argument("--n", type=int, default=2000)
+    validate.add_argument("--d", type=int, default=10)
+    validate.add_argument("--runs", type=int, default=3,
+                          help="seeds to check (default 3)")
+    validate.set_defaults(func=_cmd_validate)
+
+    info = sub.add_parser("info", help="list backends, datasets, hardware")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

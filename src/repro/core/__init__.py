@@ -1,0 +1,26 @@
+"""Core PROCLUS algorithms: baseline, FAST, FAST*, and the public API."""
+
+from .api import proclus, run_parameter_study, BACKENDS
+from .proclus import ProclusEngine
+from .fast import FastProclusEngine
+from .fast_star import FastStarProclusEngine
+from .multiparam import MultiParamResult, ReuseLevel
+from .predict import assign_new_points
+from .serialization import load_result, save_result
+from .trace import IterationRecord, RunTrace
+
+__all__ = [
+    "proclus",
+    "run_parameter_study",
+    "BACKENDS",
+    "ProclusEngine",
+    "FastProclusEngine",
+    "FastStarProclusEngine",
+    "MultiParamResult",
+    "ReuseLevel",
+    "assign_new_points",
+    "save_result",
+    "load_result",
+    "RunTrace",
+    "IterationRecord",
+]

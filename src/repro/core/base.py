@@ -1,0 +1,383 @@
+"""Template engine shared by every PROCLUS variant.
+
+:class:`EngineBase.fit` implements Algorithm 1 (initialization,
+iterative, refinement phases).  Variants differ in exactly two places:
+
+* :meth:`EngineBase._compute_l_and_x` — how the sphere sets ``L_i`` and
+  the average-distance matrix ``X`` are obtained (full recomputation in
+  the baseline; cached distances + incremental ``H`` in FAST/FAST*);
+* the ``_account_*`` hooks — how performed work is charged to a
+  hardware cost model (scalar CPU here; multi-core and per-kernel GPU
+  accounting in the subclasses).
+
+Because the *math* is shared and all accumulations are exact
+(:mod:`repro.core.distance`), every variant produces an identical
+clustering for the same seed — the paper's correctness claim.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import time
+
+import numpy as np
+
+from ..exceptions import DataValidationError
+from ..hardware.cost_model import HardwareModel, ScalarCpuModel
+from ..hardware.specs import CpuSpec, cpu_for_problem
+from ..params import ProclusParams
+from ..result import OUTLIER_LABEL, ProclusResult, RunStats
+from ..rng import RandomSource
+from .distance import abs_diff_dim_sums
+from .greedy import greedy_select
+from .phases import (
+    assign_points,
+    cluster_sizes_from_labels,
+    compute_bad_medoids,
+    evaluate_clusters,
+    find_dimensions,
+    find_outliers,
+)
+from .state import SharedStudyState
+from .trace import RunTrace
+
+__all__ = ["EngineBase", "validate_data"]
+
+#: Arithmetic operations per distance term (subtract, square/abs, add).
+OPS_PER_TERM = 3
+
+
+def validate_data(data: np.ndarray) -> np.ndarray:
+    """Validate and canonicalize an input dataset.
+
+    Returns a C-contiguous float32 ``(n, d)`` array.  The library
+    expects min-max normalized data (values in ``[0, 1]``) for the
+    exact-accumulation guarantee; other finite values still cluster
+    correctly but cross-variant bitwise equality is no longer ensured.
+    """
+    array = np.asarray(data)
+    if array.ndim != 2 or array.shape[0] < 1 or array.shape[1] < 1:
+        raise DataValidationError(
+            f"expected a non-empty 2-D (n, d) array, got shape {array.shape}"
+        )
+    if not np.issubdtype(array.dtype, np.number):
+        raise DataValidationError(f"expected numeric data, got dtype {array.dtype}")
+    array = np.ascontiguousarray(array, dtype=np.float32)
+    if not np.all(np.isfinite(array)):
+        raise DataValidationError("dataset contains NaN or infinite values")
+    return array
+
+
+class EngineBase(abc.ABC):
+    """One PROCLUS run: construct, :meth:`fit` once, read the result."""
+
+    #: Variant name reported in :class:`~repro.result.RunStats`.
+    backend_name = "base"
+
+    def __init__(
+        self,
+        params: ProclusParams | None = None,
+        seed: int | RandomSource | None = 0,
+        cpu_spec: CpuSpec | None = None,
+        shared_state: SharedStudyState | None = None,
+        initial_medoids: np.ndarray | None = None,
+        charge_greedy: bool = True,
+        collect_trace: bool = False,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        params:
+            Algorithm parameters (paper defaults when omitted).
+        seed:
+            Seed or :class:`~repro.rng.RandomSource` driving every
+            random decision.
+        cpu_spec:
+            CPU to model; chosen per problem size when omitted.
+        shared_state:
+            Multi-parameter study state (sample, medoids, caches) to
+            reuse instead of sampling afresh (Section 3.1).
+        initial_medoids:
+            Positions into ``M`` to use as the initial ``MCur`` (the
+            "multi-param 3" warm start); random when omitted.
+        charge_greedy:
+            Whether to charge the greedy pick's cost to the model.
+            "multi-param 1" re-runs greedy (cost charged, same result);
+            "multi-param 2" skips it entirely (not charged).
+        collect_trace:
+            Record a per-iteration :class:`~repro.core.trace.RunTrace`
+            in :attr:`trace_` (costs, improvements, medoid churn).
+        """
+        self.params = params if params is not None else ProclusParams()
+        self.rng = seed if isinstance(seed, RandomSource) else RandomSource(seed)
+        self._cpu_spec = cpu_spec
+        self.shared_state = shared_state
+        self.initial_medoids = initial_medoids
+        self.charge_greedy = charge_greedy
+        self.model: HardwareModel | None = None
+        self.trace_: RunTrace | None = RunTrace() if collect_trace else None
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Hooks a variant may override
+    # ------------------------------------------------------------------
+    def _make_model(self, n: int, d: int) -> HardwareModel:
+        """Create the hardware cost model for this run."""
+        spec = self._cpu_spec if self._cpu_spec is not None else cpu_for_problem(n)
+        return ScalarCpuModel(spec)
+
+    def _setup(self, data: np.ndarray) -> None:
+        """Variant-specific preparation (cache/device allocation)."""
+
+    def _teardown(self) -> None:
+        """Variant-specific cleanup (free device memory)."""
+
+    @abc.abstractmethod
+    def _compute_l_and_x(
+        self, mcur: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """ComputeL + the ``X`` averages for the current medoids.
+
+        ``mcur`` holds positions into ``M``.  Returns ``(x, sizes)``:
+        the ``(k, d)`` float64 average-distance matrix and the ``(k,)``
+        sphere sizes ``|L_i|``.
+        """
+
+    def _modeled_peak_bytes(self) -> int:
+        """Peak working-set estimate of the modeled implementation."""
+        n, d = self._data.shape
+        k = self.params.k
+        # data + one distance row set + labels
+        return n * d * 4 + self.params.k * n * 4 + n * 4 + k * d * 8
+
+    # ------------------------------------------------------------------
+    # CPU accounting (subclasses with other hardware override these)
+    # ------------------------------------------------------------------
+    def _account_greedy(self, s: int, count: int, d: int) -> None:
+        self.model.work(
+            "initialization",
+            vector_ops=count * s * OPS_PER_TERM * d,
+            scalar_ops=count * s * 2,
+        )
+
+    def _account_distance_rows(self, rows: int, n: int, d: int) -> None:
+        self.model.work("compute_l", vector_ops=rows * n * OPS_PER_TERM * d)
+
+    def _account_delta(self, k: int) -> None:
+        self.model.work("compute_l", scalar_ops=k * k * 2)
+
+    def _account_scan_l(self, n: int, k: int, appended: int) -> None:
+        self.model.work("compute_l", scalar_ops=n * k * 2 + appended)
+
+    def _account_x_sums(self, points: int, d: int, k: int) -> None:
+        self.model.work("find_dimensions", vector_ops=points * OPS_PER_TERM * d)
+
+    def _account_x_finalize(self, k: int, d: int) -> None:
+        self.model.work("find_dimensions", scalar_ops=k * d)
+
+    def _account_find_dimensions(self, k: int, d: int) -> None:
+        kd = k * d
+        self.model.work(
+            "find_dimensions",
+            scalar_ops=kd * 8 + kd * max(1.0, math.log2(kd)),
+        )
+
+    def _account_assign(self, n: int, k: int, total_dims: int, d: int) -> None:
+        # The segmental-distance loop gathers the |D_i| selected
+        # dimensions (indexed access), which the compiler cannot
+        # vectorize — scalar throughput applies.
+        self.model.work(
+            "assign_points",
+            scalar_ops=n * total_dims * OPS_PER_TERM + n * k,
+        )
+
+    def _account_evaluate(
+        self, member_dims: int, total_dims: int, k: int, d: int
+    ) -> None:
+        # Two passes over each cluster member's subspace dimensions
+        # (centroid, then deviations); gathered access -> scalar.
+        self.model.work(
+            "evaluate",
+            scalar_ops=member_dims * OPS_PER_TERM * 2 + k * d,
+        )
+
+    def _account_bookkeeping(self, k: int) -> None:
+        self.model.work("update", scalar_ops=k * 8)
+
+    def _account_refinement_x(self, n: int, d: int, k: int) -> None:
+        self.model.work("refinement", vector_ops=n * OPS_PER_TERM * d)
+
+    def _account_outliers(self, n: int, k: int, total_dims: int) -> None:
+        self.model.work(
+            "refinement",
+            scalar_ops=k * total_dims * OPS_PER_TERM + n * k,
+        )
+
+    # ------------------------------------------------------------------
+    # The algorithm (Algorithm 1)
+    # ------------------------------------------------------------------
+    def fit(self, data: np.ndarray) -> ProclusResult:
+        """Run PROCLUS on ``data`` and return the clustering."""
+        if self._fitted:
+            raise RuntimeError(
+                "engine instances are single-use; construct a new engine"
+            )
+        self._fitted = True
+        started = time.perf_counter()
+
+        data = validate_data(data)
+        n, d = data.shape
+        p = self.params
+        p.validate_against_data(n, d)
+        self._data = data
+        self.model = self._make_model(n, d)
+        self._setup(data)
+        try:
+            result = self._run(data, started)
+        finally:
+            self._teardown()
+        return result
+
+    def _initialization_phase(self, data: np.ndarray) -> np.ndarray:
+        """Sample ``Data'``, greedily pick ``M``; returns point ids of M."""
+        n, d = data.shape
+        p = self.params
+        if self.shared_state is not None:
+            if self.charge_greedy:
+                s = len(self.shared_state.sample_indices)
+                self._account_greedy(s, self.shared_state.num_potential_medoids, d)
+            return self.shared_state.medoid_ids
+        sample_size = p.effective_sample_size(n)
+        count = p.effective_num_potential(n)
+        sample_indices = self.rng.sample_indices(n, sample_size)
+        seed_index = self.rng.greedy_seed(sample_size)
+        local = greedy_select(data[sample_indices], count, seed_index)
+        self._account_greedy(sample_size, count, d)
+        return sample_indices[local]
+
+    def _run(self, data: np.ndarray, started: float) -> ProclusResult:
+        n, d = data.shape
+        p = self.params
+        k = p.k
+
+        self._medoid_ids = self._initialization_phase(data)
+        m = len(self._medoid_ids)
+
+        if self.initial_medoids is not None:
+            mcur = np.asarray(self.initial_medoids, dtype=np.int64).copy()
+            if len(mcur) != k or len(np.unique(mcur)) != k:
+                raise DataValidationError(
+                    f"initial_medoids must hold {k} distinct positions into M"
+                )
+        else:
+            mcur = self.rng.initial_medoids(m, k)
+
+        # --- iterative phase -----------------------------------------
+        cost_best = math.inf
+        mbest = mcur.copy()
+        labels_best: np.ndarray | None = None
+        sizes_best: np.ndarray | None = None
+        best_iteration = 0
+        stale = 0
+        total = 0
+        while stale < p.patience and total < p.max_iterations:
+            x, _sizes_l = self._compute_l_and_x(mcur)
+
+            dims = find_dimensions(x, p.l)
+            self._account_find_dimensions(k, d)
+
+            medoid_points = data[self._medoid_ids[mcur]]
+            labels, _seg = assign_points(data, medoid_points, dims)
+            total_dims = sum(len(ds) for ds in dims)
+            self._account_assign(n, k, total_dims, d)
+
+            cost = evaluate_clusters(data, labels, dims)
+            sizes = cluster_sizes_from_labels(labels, k)
+            member_dims = int(sum(sizes[i] * len(dims[i]) for i in range(k)))
+            self._account_evaluate(member_dims, total_dims, k, d)
+
+            total += 1
+            stale += 1
+            if cost < cost_best:
+                cost_best = cost
+                mbest = mcur.copy()
+                labels_best = labels
+                sizes_best = sizes
+                best_iteration = total - 1
+                stale = 0
+
+            bad = compute_bad_medoids(
+                sizes_best, n, p.min_deviation, p.bad_medoid_rule
+            )
+            self._account_bookkeeping(k)
+
+            if self.trace_ is not None:
+                self.trace_.append(
+                    iteration=total - 1,
+                    cost=cost,
+                    improved=stale == 0,
+                    best_cost=cost_best,
+                    medoid_positions=mcur,
+                    cluster_sizes=sizes,
+                    bad_medoids=bad,
+                )
+
+            candidates = np.setdiff1d(np.arange(m), mbest)
+            replace = min(len(bad), len(candidates))
+            mcur = mbest.copy()
+            if replace > 0:
+                replacements = self.rng.replacement_medoids(candidates, replace)
+                mcur[bad[:replace]] = replacements
+
+        # --- refinement phase ----------------------------------------
+        assert labels_best is not None
+        medoid_points = data[self._medoid_ids[mbest]]
+        x_ref = np.zeros((k, d), dtype=np.float64)
+        for i in range(k):
+            members = data[labels_best == i]
+            if members.shape[0]:
+                x_ref[i] = abs_diff_dim_sums(members, medoid_points[i]) / members.shape[0]
+        self._account_refinement_x(n, d, k)
+
+        dims = find_dimensions(x_ref, p.l)
+        self._account_find_dimensions(k, d)
+
+        labels, seg = assign_points(data, medoid_points, dims)
+        total_dims = sum(len(ds) for ds in dims)
+        self._account_assign(n, k, total_dims, d)
+
+        outliers = find_outliers(seg, medoid_points, dims)
+        self._account_outliers(n, k, total_dims)
+        labels = labels.copy()
+        labels[outliers] = OUTLIER_LABEL
+
+        refined_cost = evaluate_clusters(data, labels, dims)
+        sizes = cluster_sizes_from_labels(labels, k)
+        member_dims = int(sum(sizes[i] * len(dims[i]) for i in range(k)))
+        self._account_evaluate(member_dims, total_dims, k, d)
+
+        # Positions of the best medoids within M — the multi-parameter
+        # warm start ("multi-param 3") seeds the next setting with these.
+        self.best_positions_ = mbest.copy()
+
+        stats = RunStats(
+            counters=self.model.counter.as_dict(),
+            phase_seconds=dict(self.model.phase_seconds),
+            modeled_seconds=self.model.total_seconds,
+            wall_seconds=time.perf_counter() - started,
+            peak_device_bytes=self._modeled_peak_bytes(),
+            iterations=total,
+            backend=self.backend_name,
+            hardware=self.model.name,
+        )
+        return ProclusResult(
+            labels=labels,
+            medoids=self._medoid_ids[mbest].copy(),
+            dimensions=dims,
+            cost=float(cost_best),
+            refined_cost=float(refined_cost),
+            iterations=total,
+            best_iteration=best_iteration,
+            stats=stats,
+        )

@@ -1,0 +1,97 @@
+"""Persisting clustering results.
+
+Pipelines cluster once and consume the result elsewhere;
+:func:`save_result`/:func:`load_result` round-trip a
+:class:`~repro.result.ProclusResult` (labels, medoids, subspaces, costs,
+and the run's statistics) through a single ``.npz`` file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DataValidationError
+from ..result import ProclusResult, RunStats
+
+__all__ = ["save_result", "load_result"]
+
+#: Bumped on incompatible format changes.
+_FORMAT_VERSION = 1
+
+
+def save_result(result: ProclusResult, path: str | Path) -> Path:
+    """Write a clustering result to ``path`` (``.npz``)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "version": _FORMAT_VERSION,
+        "dimensions": [list(d) for d in result.dimensions],
+        "cost": result.cost,
+        "refined_cost": result.refined_cost,
+        "iterations": result.iterations,
+        "best_iteration": result.best_iteration,
+        "stats": {
+            "counters": result.stats.counters,
+            "phase_seconds": result.stats.phase_seconds,
+            "modeled_seconds": result.stats.modeled_seconds,
+            "wall_seconds": result.stats.wall_seconds,
+            "peak_device_bytes": result.stats.peak_device_bytes,
+            "iterations": result.stats.iterations,
+            "backend": result.stats.backend,
+            "hardware": result.stats.hardware,
+        },
+    }
+    np.savez_compressed(
+        path,
+        labels=result.labels,
+        medoids=result.medoids,
+        meta=np.array(json.dumps(meta)),
+    )
+    return path
+
+
+def load_result(path: str | Path) -> ProclusResult:
+    """Load a result previously written by :func:`save_result`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataValidationError(f"result file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            labels = archive["labels"]
+            medoids = archive["medoids"]
+            meta = json.loads(str(archive["meta"]))
+        except KeyError as exc:
+            raise DataValidationError(
+                f"{path} is not a saved result (missing {exc})"
+            ) from exc
+    version = meta.get("version")
+    if version != _FORMAT_VERSION:
+        raise DataValidationError(
+            f"{path} has format version {version}, expected {_FORMAT_VERSION}"
+        )
+    stats_meta = meta["stats"]
+    stats = RunStats(
+        counters=dict(stats_meta["counters"]),
+        phase_seconds=dict(stats_meta["phase_seconds"]),
+        modeled_seconds=stats_meta["modeled_seconds"],
+        wall_seconds=stats_meta["wall_seconds"],
+        peak_device_bytes=stats_meta["peak_device_bytes"],
+        iterations=stats_meta["iterations"],
+        backend=stats_meta["backend"],
+        hardware=stats_meta["hardware"],
+    )
+    return ProclusResult(
+        labels=labels,
+        medoids=medoids,
+        dimensions=tuple(tuple(int(j) for j in d) for d in meta["dimensions"]),
+        cost=meta["cost"],
+        refined_cost=meta["refined_cost"],
+        iterations=meta["iterations"],
+        best_iteration=meta["best_iteration"],
+        stats=stats,
+    )

@@ -1,0 +1,94 @@
+"""Reusable cache state for the FAST strategies.
+
+FAST-PROCLUS keeps, for every potential medoid (indexed by ``MIdx``):
+
+* its full distance row ``Dist`` to all points (computed once,
+  ``DistFound`` flags which rows exist),
+* the per-dimension distance sums ``H`` over its sphere ``L_i``
+  (Eq. 5, updated incrementally via Theorem 3.2),
+* the sphere radius ``delta`` and size ``|L_i|`` at its previous usage.
+
+The same object is shared across parameter settings by the
+multi-parameter strategies (Section 3.1): as long as the potential
+medoid set ``M`` is unchanged, every cached row stays valid.
+
+FAST*-PROCLUS allocates the same structure but with only ``k`` rows —
+one per *current* medoid slot — trading reuse for an ``O(k*n)`` instead
+of ``O(B*k*n)`` footprint (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MedoidCache", "SharedStudyState"]
+
+#: Sentinel for "medoid never used": any real radius is >= 0, so the
+#: first usage takes the "sphere grew" branch and adds the whole L_i.
+NEVER_USED_DELTA = -1.0
+
+
+@dataclass(slots=True)
+class MedoidCache:
+    """Per-potential-medoid cached distances and partial sums."""
+
+    dist: np.ndarray  #: (m, n) float32 distance rows
+    dist_found: np.ndarray  #: (m,) bool — which rows are valid
+    h: np.ndarray  #: (m, d) float64 per-dimension sums over L_i
+    prev_delta: np.ndarray  #: (m,) float32 radius at previous usage
+    size_l: np.ndarray  #: (m,) int64 |L_i| at previous usage
+
+    @classmethod
+    def create(cls, m: int, n: int, d: int) -> "MedoidCache":
+        """Allocate an empty cache for ``m`` potential medoids."""
+        return cls(
+            dist=np.zeros((m, n), dtype=np.float32),
+            dist_found=np.zeros(m, dtype=bool),
+            h=np.zeros((m, d), dtype=np.float64),
+            prev_delta=np.full(m, NEVER_USED_DELTA, dtype=np.float32),
+            size_l=np.zeros(m, dtype=np.int64),
+        )
+
+    @property
+    def m(self) -> int:
+        return self.dist.shape[0]
+
+    def reset_row(self, row: int) -> None:
+        """Invalidate one cached medoid row (FAST* slot reuse)."""
+        self.dist_found[row] = False
+        self.h[row].fill(0.0)
+        self.prev_delta[row] = NEVER_USED_DELTA
+        self.size_l[row] = 0
+
+    def nbytes(self) -> int:
+        """Host memory held by the cache (working-set accounting)."""
+        return (
+            self.dist.nbytes
+            + self.dist_found.nbytes
+            + self.h.nbytes
+            + self.prev_delta.nbytes
+            + self.size_l.nbytes
+        )
+
+
+@dataclass(slots=True)
+class SharedStudyState:
+    """State shared across the settings of a multi-parameter study.
+
+    Holds the sample ``Data'``, the greedily picked potential medoids
+    ``M`` (chosen once, for the largest ``k`` in the study), and the
+    FAST cache keyed by position in ``M``.
+    """
+
+    sample_indices: np.ndarray  #: (A*k_max,) point ids of Data'
+    medoid_ids: np.ndarray  #: (B*k_max,) point ids of M
+    cache: MedoidCache
+    #: Whether a GPU engine already uploaded the dataset in this study
+    #: (the data stays resident on the device across settings).
+    data_uploaded: bool = False
+
+    @property
+    def num_potential_medoids(self) -> int:
+        return len(self.medoid_ids)

@@ -1,0 +1,126 @@
+"""Iteration-level tracing of the randomized search.
+
+PROCLUS is a hill-climbing search over medoid sets; understanding a run
+(why it stopped, which medoids churned, how the cost moved) needs
+per-iteration records.  Engines collect a :class:`RunTrace` when
+constructed with ``collect_trace=True``; the convergence example and
+several tests consume it.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["IterationRecord", "RunTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class IterationRecord:
+    """One iteration of the iterative phase."""
+
+    iteration: int  #: 0-based iteration index
+    cost: float  #: clustering cost of this iteration's medoid set
+    improved: bool  #: whether this iteration became the new best
+    best_cost: float  #: best cost after this iteration
+    medoid_positions: tuple[int, ...]  #: MCur as positions into M
+    cluster_sizes: tuple[int, ...]  #: sizes of this iteration's clusters
+    bad_medoids: tuple[int, ...]  #: slots replaced for the next iteration
+
+
+@dataclass(slots=True)
+class RunTrace:
+    """All iteration records of one run."""
+
+    records: list[IterationRecord] = field(default_factory=list)
+
+    def append(
+        self,
+        iteration: int,
+        cost: float,
+        improved: bool,
+        best_cost: float,
+        medoid_positions: np.ndarray,
+        cluster_sizes: np.ndarray,
+        bad_medoids: np.ndarray,
+    ) -> None:
+        """Record one iteration."""
+        self.records.append(
+            IterationRecord(
+                iteration=iteration,
+                cost=float(cost),
+                improved=bool(improved),
+                best_cost=float(best_cost),
+                medoid_positions=tuple(int(x) for x in medoid_positions),
+                cluster_sizes=tuple(int(x) for x in cluster_sizes),
+                bad_medoids=tuple(int(x) for x in bad_medoids),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def costs(self) -> list[float]:
+        """Per-iteration costs, in order."""
+        return [r.cost for r in self.records]
+
+    @property
+    def best_costs(self) -> list[float]:
+        """Best-so-far cost after each iteration (non-increasing)."""
+        return [r.best_cost for r in self.records]
+
+    @property
+    def improvements(self) -> list[int]:
+        """Indices of the iterations that improved the best cost."""
+        return [r.iteration for r in self.records if r.improved]
+
+    def medoid_churn(self) -> list[int]:
+        """Number of medoid slots that changed before each iteration."""
+        churn = [0]
+        for prev, cur in zip(self.records, self.records[1:]):
+            changed = sum(
+                1
+                for a, b in zip(prev.medoid_positions, cur.medoid_positions)
+                if a != b
+            )
+            churn.append(changed)
+        return churn
+
+    def summary(self) -> str:
+        """One-paragraph description of the search."""
+        if not self.records:
+            return "(empty trace)"
+        first = self.records[0]
+        last = self.records[-1]
+        return (
+            f"{len(self.records)} iterations; cost {first.cost:.6f} -> "
+            f"{last.best_cost:.6f} over {len(self.improvements)} improvements "
+            f"(last at iteration {self.improvements[-1]}); "
+            f"avg medoid churn {np.mean(self.medoid_churn()):.2f} slots/iter"
+        )
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the trace as a CSV file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["iteration", "cost", "improved", "best_cost",
+                 "medoid_positions", "cluster_sizes", "bad_medoids"]
+            )
+            for r in self.records:
+                writer.writerow(
+                    [r.iteration, r.cost, int(r.improved), r.best_cost,
+                     " ".join(map(str, r.medoid_positions)),
+                     " ".join(map(str, r.cluster_sizes)),
+                     " ".join(map(str, r.bad_medoids))]
+                )
+        return path

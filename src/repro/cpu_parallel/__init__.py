@@ -1,0 +1,13 @@
+"""Multi-core CPU variants (the paper's OpenMP implementations)."""
+
+from .multicore import (
+    MulticoreProclusEngine,
+    MulticoreFastProclusEngine,
+    MulticoreFastStarProclusEngine,
+)
+
+__all__ = [
+    "MulticoreProclusEngine",
+    "MulticoreFastProclusEngine",
+    "MulticoreFastStarProclusEngine",
+]

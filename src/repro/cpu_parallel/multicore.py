@@ -1,0 +1,52 @@
+"""Multi-core CPU variants of PROCLUS and the FAST strategies.
+
+Section 5 of the paper: "Some of the strategies proposed for
+GPU-parallelization are directly applicable to the CPU as well.  We
+have therefore implemented multi-core CPU versions using OpenMP".  The
+parallel loops are the same data-parallel loops the GPU kernels cover,
+so these variants perform *identical* work to their sequential
+counterparts (the clusterings are identical too); only the cost model
+changes — work is spread over the cores with an efficiency factor and a
+fork/join overhead per parallel region, which caps the speedup near the
+~6x the paper observes on 6 physical cores.
+"""
+
+from __future__ import annotations
+
+from ..hardware.cost_model import HardwareModel, MulticoreCpuModel
+from ..hardware.specs import cpu_for_problem
+from ..core.proclus import ProclusEngine
+from ..core.fast import FastProclusEngine
+from ..core.fast_star import FastStarProclusEngine
+
+__all__ = [
+    "MulticoreProclusEngine",
+    "MulticoreFastProclusEngine",
+    "MulticoreFastStarProclusEngine",
+]
+
+
+class _MulticoreModelMixin:
+    """Swaps the scalar CPU cost model for the multi-core one."""
+
+    def _make_model(self, n: int, d: int) -> HardwareModel:
+        spec = self._cpu_spec if self._cpu_spec is not None else cpu_for_problem(n)
+        return MulticoreCpuModel(spec)
+
+
+class MulticoreProclusEngine(_MulticoreModelMixin, ProclusEngine):
+    """OpenMP-style parallel PROCLUS."""
+
+    backend_name = "multicore-proclus"
+
+
+class MulticoreFastProclusEngine(_MulticoreModelMixin, FastProclusEngine):
+    """OpenMP-style parallel FAST-PROCLUS."""
+
+    backend_name = "multicore-fast-proclus"
+
+
+class MulticoreFastStarProclusEngine(_MulticoreModelMixin, FastStarProclusEngine):
+    """OpenMP-style parallel FAST*-PROCLUS."""
+
+    backend_name = "multicore-fast*-proclus"

@@ -1,0 +1,37 @@
+"""Datasets: synthetic subspace-cluster generator and real-world stand-ins.
+
+The paper generates synthetic data with the generator of Beer et al.
+(LWDA 2019), modified as in GPU-INSCY to place clusters in *arbitrary*
+subspaces, and evaluates on UCI datasets (glass, vowel, pendigits) plus
+extracts of the SDSS SkyServer catalogue.  Those exact files are not
+available offline, so :mod:`repro.data.realworld` synthesizes stand-ins
+with the published sizes and dimensionalities (see ``DESIGN.md``).
+"""
+
+from .synthetic import SyntheticDataset, generate_subspace_data, default_dataset
+from .generators_ext import (
+    generate_correlated_subspace_data,
+    generate_imbalanced_subspace_data,
+    generate_overlapping_subspace_data,
+)
+from .normalize import minmax_normalize
+from .realworld import REAL_WORLD_SIZES, load_dataset, dataset_names
+from .io import save_dataset, load_saved_dataset
+from .loaders import LoadedTable, load_delimited
+
+__all__ = [
+    "SyntheticDataset",
+    "generate_subspace_data",
+    "default_dataset",
+    "generate_overlapping_subspace_data",
+    "generate_correlated_subspace_data",
+    "generate_imbalanced_subspace_data",
+    "minmax_normalize",
+    "REAL_WORLD_SIZES",
+    "load_dataset",
+    "dataset_names",
+    "save_dataset",
+    "load_saved_dataset",
+    "LoadedTable",
+    "load_delimited",
+]

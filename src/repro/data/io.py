@@ -1,0 +1,53 @@
+"""Dataset persistence: save/load generated datasets as ``.npz`` files.
+
+Benchmarks reuse generated datasets across runs; this module gives them
+a stable on-disk format that round-trips the ground truth.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DataValidationError
+from .synthetic import SyntheticDataset
+
+__all__ = ["save_dataset", "load_saved_dataset"]
+
+
+def save_dataset(dataset: SyntheticDataset, path: str | Path) -> Path:
+    """Write a dataset (points + ground truth) to ``path`` (``.npz``)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    subspaces_json = json.dumps([list(dims) for dims in dataset.subspaces])
+    np.savez_compressed(
+        path,
+        data=dataset.data,
+        labels=dataset.labels,
+        subspaces=np.array(subspaces_json),
+        name=np.array(dataset.name),
+    )
+    return path
+
+
+def load_saved_dataset(path: str | Path) -> SyntheticDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataValidationError(f"dataset file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            data = archive["data"]
+            labels = archive["labels"]
+            subspaces_json = str(archive["subspaces"])
+            name = str(archive["name"])
+        except KeyError as exc:
+            raise DataValidationError(
+                f"{path} is not a saved dataset (missing {exc})"
+            ) from exc
+    subspaces = tuple(tuple(int(j) for j in dims) for dims in json.loads(subspaces_json))
+    return SyntheticDataset(data=data, labels=labels, subspaces=subspaces, name=name)

@@ -1,0 +1,46 @@
+"""Evaluation utilities: clustering quality metrics and timing harness.
+
+The paper's evaluation is purely about running time ("The important
+measure in this work is ... not the accuracy but solely the running
+time") because all variants produce the same clustering; this package
+provides both the timing harness used by the benchmarks and standard
+external quality metrics (ARI, NMI, purity, subspace recovery) so the
+examples can demonstrate that the clusterings are also *good*.
+"""
+
+from .metrics import (
+    adjusted_rand_index,
+    confusion_matrix,
+    normalized_mutual_information,
+    purity,
+    subspace_recovery,
+)
+from .timing import TimingResult, time_backend, time_parameter_study
+from .speedup import SpeedupRow, speedup_table
+from .profiling import PhaseBreakdown, compare_breakdowns, phase_breakdown
+from .scaling import ScalingFit, extrapolate_speedup, fit_linear_scaling
+from .stability import StabilityReport, stability_analysis
+from .validation import ValidationReport, validate_equivalence
+
+__all__ = [
+    "adjusted_rand_index",
+    "confusion_matrix",
+    "normalized_mutual_information",
+    "purity",
+    "subspace_recovery",
+    "TimingResult",
+    "time_backend",
+    "time_parameter_study",
+    "SpeedupRow",
+    "speedup_table",
+    "PhaseBreakdown",
+    "phase_breakdown",
+    "compare_breakdowns",
+    "ScalingFit",
+    "fit_linear_scaling",
+    "extrapolate_speedup",
+    "ValidationReport",
+    "validate_equivalence",
+    "StabilityReport",
+    "stability_analysis",
+]

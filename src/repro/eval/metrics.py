@@ -1,0 +1,135 @@
+"""External clustering quality metrics (implemented from scratch).
+
+Outliers (label ``-1``) in *either* labeling are treated as their own
+singleton-ish class by :func:`confusion_matrix` callers unless they
+exclude them; the pairwise metrics below exclude points that are
+outliers in either labeling, which is the convention subspace-clustering
+evaluations (Müller et al., VLDB 2009) use for PROCLUS-style outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "purity",
+    "subspace_recovery",
+]
+
+
+def _validated_pair(
+    labels_true: np.ndarray, labels_pred: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    labels_true = np.asarray(labels_true).ravel()
+    labels_pred = np.asarray(labels_pred).ravel()
+    if labels_true.shape != labels_pred.shape:
+        raise ValueError(
+            f"label arrays differ in length: {labels_true.shape} vs "
+            f"{labels_pred.shape}"
+        )
+    keep = (labels_true >= 0) & (labels_pred >= 0)
+    return labels_true[keep], labels_pred[keep]
+
+
+def confusion_matrix(
+    labels_true: np.ndarray, labels_pred: np.ndarray
+) -> np.ndarray:
+    """Contingency table over the non-outlier points.
+
+    Rows are true classes (sorted unique order), columns predicted
+    clusters.
+    """
+    t, p = _validated_pair(labels_true, labels_pred)
+    true_ids, t_idx = np.unique(t, return_inverse=True)
+    pred_ids, p_idx = np.unique(p, return_inverse=True)
+    table = np.zeros((len(true_ids), len(pred_ids)), dtype=np.int64)
+    np.add.at(table, (t_idx, p_idx), 1)
+    return table
+
+
+def _comb2(x: np.ndarray) -> np.ndarray:
+    return x * (x - 1) / 2.0
+
+
+def adjusted_rand_index(
+    labels_true: np.ndarray, labels_pred: np.ndarray
+) -> float:
+    """Adjusted Rand Index in ``[-1, 1]``; 1 means identical partitions."""
+    table = confusion_matrix(labels_true, labels_pred)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+    sum_cells = _comb2(table.astype(np.float64)).sum()
+    sum_rows = _comb2(table.sum(axis=1).astype(np.float64)).sum()
+    sum_cols = _comb2(table.sum(axis=0).astype(np.float64)).sum()
+    expected = sum_rows * sum_cols / _comb2(np.float64(n))
+    maximum = (sum_rows + sum_cols) / 2.0
+    if maximum == expected:
+        return 1.0
+    return float((sum_cells - expected) / (maximum - expected))
+
+
+def normalized_mutual_information(
+    labels_true: np.ndarray, labels_pred: np.ndarray
+) -> float:
+    """NMI with arithmetic-mean normalization, in ``[0, 1]``."""
+    table = confusion_matrix(labels_true, labels_pred).astype(np.float64)
+    n = table.sum()
+    if n == 0:
+        return 0.0
+    pij = table / n
+    pi = pij.sum(axis=1)
+    pj = pij.sum(axis=0)
+    nz = pij > 0
+    outer = np.outer(pi, pj)
+    mi = float(np.sum(pij[nz] * np.log(pij[nz] / outer[nz])))
+    h_true = -float(np.sum(pi[pi > 0] * np.log(pi[pi > 0])))
+    h_pred = -float(np.sum(pj[pj > 0] * np.log(pj[pj > 0])))
+    denom = (h_true + h_pred) / 2.0
+    if denom == 0:
+        return 1.0 if mi == 0 else 0.0
+    return float(np.clip(mi / denom, 0.0, 1.0))
+
+
+def purity(labels_true: np.ndarray, labels_pred: np.ndarray) -> float:
+    """Fraction of points in the majority true class of their cluster."""
+    table = confusion_matrix(labels_true, labels_pred)
+    n = table.sum()
+    if n == 0:
+        return 0.0
+    return float(table.max(axis=0).sum() / n)
+
+
+def subspace_recovery(
+    true_subspaces: tuple[tuple[int, ...], ...],
+    labels_true: np.ndarray,
+    found_subspaces: tuple[tuple[int, ...], ...],
+    labels_pred: np.ndarray,
+) -> float:
+    """Average Jaccard similarity between matched true and found subspaces.
+
+    Each found cluster is matched to the true cluster it overlaps most
+    (by shared points); the metric is the size-weighted mean Jaccard
+    index between the matched subspace dimension sets.  1.0 means every
+    cluster recovered its true projected subspace exactly.
+    """
+    t = np.asarray(labels_true).ravel()
+    p = np.asarray(labels_pred).ravel()
+    total = 0.0
+    weight = 0.0
+    for i, found in enumerate(found_subspaces):
+        members = t[(p == i) & (t >= 0)]
+        if members.size == 0:
+            continue
+        counts = np.bincount(members)
+        best_true = int(np.argmax(counts))
+        truth = set(true_subspaces[best_true])
+        found_set = set(found)
+        union = truth | found_set
+        jaccard = len(truth & found_set) / len(union) if union else 1.0
+        total += members.size * jaccard
+        weight += members.size
+    return total / weight if weight else 0.0

@@ -1,0 +1,95 @@
+"""Phase-level profiling across algorithm variants.
+
+The paper's analysis is phase-driven ("the iterative phase has several
+steps with O(n*k*d) running time... the focus for improvement").  These
+helpers turn the per-phase modeled seconds that every run records into
+comparable breakdowns, so users can see *where* each variant spends its
+time and what the FAST strategies actually removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..result import ProclusResult
+
+__all__ = ["PhaseBreakdown", "phase_breakdown", "compare_breakdowns"]
+
+#: Canonical phase display order.
+PHASE_ORDER = (
+    "transfer",
+    "initialization",
+    "compute_l",
+    "find_dimensions",
+    "assign_points",
+    "evaluate",
+    "update",
+    "refinement",
+)
+
+
+@dataclass(slots=True)
+class PhaseBreakdown:
+    """One run's time, split by algorithm phase."""
+
+    backend: str
+    total_seconds: float
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    def fraction(self, phase: str) -> float:
+        """Share of the total spent in ``phase`` (0 when absent)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.phase_seconds.get(phase, 0.0) / self.total_seconds
+
+    def dominant_phase(self) -> str:
+        """The phase with the largest share."""
+        if not self.phase_seconds:
+            return ""
+        return max(self.phase_seconds, key=self.phase_seconds.get)  # type: ignore[arg-type]
+
+    def as_rows(self) -> list[tuple[str, float, float]]:
+        """``(phase, seconds, fraction)`` rows in canonical order."""
+        ordered = [p for p in PHASE_ORDER if p in self.phase_seconds]
+        ordered += [p for p in sorted(self.phase_seconds) if p not in ordered]
+        return [
+            (p, self.phase_seconds[p], self.fraction(p)) for p in ordered
+        ]
+
+
+def phase_breakdown(result: ProclusResult) -> PhaseBreakdown:
+    """Extract the phase breakdown from a run's statistics."""
+    return PhaseBreakdown(
+        backend=result.stats.backend,
+        total_seconds=result.stats.modeled_seconds,
+        phase_seconds=dict(result.stats.phase_seconds),
+    )
+
+
+def compare_breakdowns(breakdowns: list[PhaseBreakdown]) -> str:
+    """Render several breakdowns side by side (phases x backends)."""
+    if not breakdowns:
+        return "(no runs)"
+    phases: list[str] = []
+    for b in breakdowns:
+        for phase, _, _ in b.as_rows():
+            if phase not in phases:
+                phases.append(phase)
+    name_width = max(len("phase"), max(len(p) for p in phases))
+    col_width = max(12, max(len(b.backend) for b in breakdowns) + 2)
+    header = "phase".ljust(name_width) + "".join(
+        b.backend.rjust(col_width) for b in breakdowns
+    )
+    lines = [header, "-" * len(header)]
+    for phase in phases:
+        cells = []
+        for b in breakdowns:
+            seconds = b.phase_seconds.get(phase, 0.0)
+            cells.append(f"{seconds * 1e3:8.3f}ms {b.fraction(phase) * 100:4.0f}%".rjust(col_width))
+        lines.append(phase.ljust(name_width) + "".join(cells))
+    totals = "total".ljust(name_width) + "".join(
+        f"{b.total_seconds * 1e3:8.3f}ms     ".rjust(col_width) for b in breakdowns
+    )
+    lines.append("-" * len(header))
+    lines.append(totals)
+    return "\n".join(lines)

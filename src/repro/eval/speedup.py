@@ -1,0 +1,55 @@
+"""Speedup tables comparing backends against a reference backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .timing import TimingResult
+
+__all__ = ["SpeedupRow", "speedup_table", "format_speedup_table"]
+
+
+@dataclass(slots=True)
+class SpeedupRow:
+    """One backend's time and speedup relative to the reference."""
+
+    backend: str
+    modeled_seconds: float
+    speedup: float
+
+
+def speedup_table(
+    timings: list[TimingResult], reference: str
+) -> list[SpeedupRow]:
+    """Compute speedups of every timing w.r.t. ``reference``'s backend."""
+    by_name = {t.backend: t for t in timings}
+    if reference not in by_name:
+        raise ValueError(
+            f"reference backend {reference!r} not among "
+            f"{sorted(by_name)}"
+        )
+    base = by_name[reference].modeled_seconds
+    return [
+        SpeedupRow(
+            backend=t.backend,
+            modeled_seconds=t.modeled_seconds,
+            speedup=base / t.modeled_seconds if t.modeled_seconds > 0 else float("inf"),
+        )
+        for t in timings
+    ]
+
+
+def format_speedup_table(rows: list[SpeedupRow], title: str = "") -> str:
+    """Render speedup rows as an aligned text table."""
+    lines = []
+    if title:
+        lines.append(title)
+    width = max(len(r.backend) for r in rows)
+    lines.append(f"{'backend'.ljust(width)}  {'modeled time':>14}  {'speedup':>10}")
+    for r in rows:
+        if r.modeled_seconds >= 1.0:
+            t = f"{r.modeled_seconds:10.3f} s  "
+        else:
+            t = f"{r.modeled_seconds * 1e3:10.3f} ms "
+        lines.append(f"{r.backend.ljust(width)}  {t}  {r.speedup:9.1f}x")
+    return "\n".join(lines)

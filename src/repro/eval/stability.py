@@ -1,0 +1,110 @@
+"""Seed-stability analysis of the randomized search.
+
+PROCLUS is non-deterministic across seeds ("results between runs may
+differ both for the GPU versions and the CPU versions", Section 4.1).
+Practitioners therefore run several seeds and keep the best; this
+module quantifies how much that matters for a given workload — the
+spread of costs, the agreement between runs, and the marginal value of
+additional seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.api import proclus
+from ..params import ProclusParams
+from ..result import ProclusResult
+from .metrics import adjusted_rand_index
+
+__all__ = ["StabilityReport", "stability_analysis"]
+
+
+@dataclass(slots=True)
+class StabilityReport:
+    """Cost/agreement statistics across seeds for one workload."""
+
+    backend: str
+    seeds: tuple[int, ...]
+    costs: list[float] = field(default_factory=list)
+    results: list[ProclusResult] = field(default_factory=list)
+
+    @property
+    def best_cost(self) -> float:
+        return min(self.costs)
+
+    @property
+    def worst_cost(self) -> float:
+        return max(self.costs)
+
+    @property
+    def mean_cost(self) -> float:
+        return float(np.mean(self.costs))
+
+    @property
+    def std_cost(self) -> float:
+        return float(np.std(self.costs))
+
+    @property
+    def relative_spread(self) -> float:
+        """(worst - best) / best: 0 means seeds don't matter."""
+        return (self.worst_cost - self.best_cost) / self.best_cost
+
+    def best_result(self) -> ProclusResult:
+        return self.results[int(np.argmin(self.costs))]
+
+    def pairwise_agreement(self) -> float:
+        """Mean ARI between all pairs of runs (1 = always identical)."""
+        if len(self.results) < 2:
+            return 1.0
+        scores = []
+        for i in range(len(self.results)):
+            for j in range(i + 1, len(self.results)):
+                scores.append(
+                    adjusted_rand_index(
+                        self.results[i].labels, self.results[j].labels
+                    )
+                )
+        return float(np.mean(scores))
+
+    def seeds_to_reach(self, tolerance: float = 0.05) -> int:
+        """Seeds (in order) needed until the running best is within
+        ``tolerance`` (relative) of the overall best."""
+        target = self.best_cost * (1.0 + tolerance)
+        best = np.inf
+        for i, cost in enumerate(self.costs, start=1):
+            best = min(best, cost)
+            if best <= target:
+                return i
+        return len(self.costs)
+
+    def render(self) -> str:
+        return (
+            f"{self.backend}: {len(self.seeds)} seeds — cost "
+            f"best {self.best_cost:.6f} / mean {self.mean_cost:.6f} "
+            f"(sd {self.std_cost:.6f}) / worst {self.worst_cost:.6f}; "
+            f"relative spread {self.relative_spread * 100:.1f}%; "
+            f"pairwise ARI {self.pairwise_agreement():.3f}; "
+            f"{self.seeds_to_reach():d} seed(s) reach within 5% of best"
+        )
+
+
+def stability_analysis(
+    data: np.ndarray,
+    params: ProclusParams | None = None,
+    backend: str = "fast",
+    seeds: tuple[int, ...] = tuple(range(10)),
+    **engine_kwargs,
+) -> StabilityReport:
+    """Run one workload across ``seeds`` and summarize the variability."""
+    params = params if params is not None else ProclusParams()
+    report = StabilityReport(backend=backend, seeds=tuple(seeds))
+    for seed in seeds:
+        result = proclus(
+            data, backend=backend, params=params, seed=seed, **engine_kwargs
+        )
+        report.costs.append(result.cost)
+        report.results.append(result)
+    return report

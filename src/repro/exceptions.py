@@ -1,0 +1,67 @@
+"""Exception hierarchy for the GPU-FAST-PROCLUS reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  More specific
+subclasses distinguish user errors (bad parameters, bad data) from
+resource errors (simulated device out of memory) and internal invariant
+violations in the GPU substrate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "DataValidationError",
+    "DeviceError",
+    "DeviceOutOfMemoryError",
+    "KernelLaunchError",
+    "EmulationError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter is out of its valid range."""
+
+
+class DataValidationError(ReproError, ValueError):
+    """The input dataset is malformed (wrong shape, dtype, NaN, ...)."""
+
+
+class DeviceError(ReproError, RuntimeError):
+    """A simulated GPU device operation failed."""
+
+
+class DeviceOutOfMemoryError(DeviceError):
+    """A simulated device allocation exceeded the device's memory."""
+
+    def __init__(self, requested: int, free: int, total: int) -> None:
+        self.requested = int(requested)
+        self.free = int(free)
+        self.total = int(total)
+        super().__init__(
+            f"device out of memory: requested {requested} B, "
+            f"free {free} B of {total} B"
+        )
+
+
+class KernelLaunchError(DeviceError):
+    """A kernel was launched with an invalid configuration."""
+
+
+class EmulationError(ReproError, RuntimeError):
+    """The SIMT emulator detected an invalid kernel behaviour.
+
+    Raised, for example, when threads of one block reach different
+    barriers (divergent ``syncthreads``), which on real hardware is
+    undefined behaviour.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """The iterative phase exceeded its iteration budget."""

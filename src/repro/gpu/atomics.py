@@ -1,0 +1,103 @@
+"""Atomic operations with CUDA semantics, for emulated kernels.
+
+All functions operate on an element of a NumPy array and return the
+*old* value, exactly like CUDA's ``atomicAdd``/``atomicMin``/... .
+Inside the cooperative SIMT emulator each Python-level operation is
+indivisible, so these functions are trivially atomic; their purpose is
+to make kernel code read like the CUDA it models and to let the
+emulator count atomic traffic.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = [
+    "atomic_add",
+    "atomic_min",
+    "atomic_max",
+    "atomic_inc",
+    "atomic_cas",
+    "count_atomics",
+]
+
+Index = Any  # int or tuple of ints
+
+#: Incremented by every atomic operation while a count_atomics() context
+#: is active (None otherwise, keeping the hot path branch-cheap).
+_counter: list[int] | None = None
+
+
+@contextlib.contextmanager
+def count_atomics() -> Iterator[list[int]]:
+    """Count atomic operations performed inside the context.
+
+    Yields a single-element list whose value after the context holds the
+    number of atomics executed — used to cross-validate the cost model's
+    accounted atomic traffic against the emulator's actual behaviour.
+    """
+    global _counter
+    previous = _counter
+    _counter = [0]
+    try:
+        yield _counter
+    finally:
+        current = _counter
+        _counter = previous
+        if previous is not None:
+            previous[0] += current[0]
+
+
+def _tick() -> None:
+    if _counter is not None:
+        _counter[0] += 1
+
+
+def atomic_add(array: np.ndarray, index: Index, value: float) -> float:
+    """``old = array[index]; array[index] += value; return old``."""
+    _tick()
+    old = array[index]
+    array[index] = old + value
+    return old
+
+
+def atomic_min(array: np.ndarray, index: Index, value: float) -> float:
+    """``old = array[index]; array[index] = min(old, value); return old``."""
+    _tick()
+    old = array[index]
+    if value < old:
+        array[index] = value
+    return old
+
+
+def atomic_max(array: np.ndarray, index: Index, value: float) -> float:
+    """``old = array[index]; array[index] = max(old, value); return old``."""
+    _tick()
+    old = array[index]
+    if value > old:
+        array[index] = value
+    return old
+
+
+def atomic_inc(array: np.ndarray, index: Index) -> int:
+    """Increment a counter and return the *old* value.
+
+    This is how GPU-PROCLUS appends points to the ``L_i`` and ``C_i``
+    arrays: the returned old value is the append position.
+    """
+    _tick()
+    old = int(array[index])
+    array[index] = old + 1
+    return old
+
+
+def atomic_cas(array: np.ndarray, index: Index, compare: float, value: float) -> float:
+    """Compare-and-swap; returns the old value."""
+    _tick()
+    old = array[index]
+    if old == compare:
+        array[index] = value
+    return old

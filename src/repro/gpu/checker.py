@@ -1,0 +1,101 @@
+"""Schedule-independence checker for emulated kernels.
+
+On real hardware, a kernel whose result depends on warp scheduling is a
+race bug.  The emulator can execute the same launch under different
+deterministic thread orders; this checker runs a kernel several times
+with shuffled schedules and reports whether any output buffer differed
+— a cheap ThreadSanitizer for the kernels in this repository (and for
+user-written ones).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from .emulator import SimtEmulator
+
+__all__ = ["ScheduleCheckResult", "check_schedule_independence"]
+
+
+@dataclass(slots=True)
+class ScheduleCheckResult:
+    """Outcome of a schedule-independence check."""
+
+    schedules_tried: int
+    #: Indices (into the launch's argument list) of arrays whose final
+    #: contents differed between schedules; empty = independent.
+    divergent_arguments: list[int]
+    #: Maximum absolute elementwise difference seen per divergent array.
+    max_differences: dict[int, float]
+
+    @property
+    def independent(self) -> bool:
+        return not self.divergent_arguments
+
+
+def _snapshot(args: tuple[Any, ...]) -> list[np.ndarray | None]:
+    return [a.copy() if isinstance(a, np.ndarray) else None for a in args]
+
+
+def check_schedule_independence(
+    kernel: Callable[..., Any],
+    grid_dim,
+    block_dim,
+    *args: Any,
+    schedules: int = 4,
+    exact: bool = True,
+    tolerance: float = 0.0,
+) -> ScheduleCheckResult:
+    """Run ``kernel`` under several schedules and diff its outputs.
+
+    Array arguments are treated as in/out buffers: each trial starts
+    from a pristine copy of the initial contents, and final contents are
+    compared across trials.  With ``exact=False``, differences up to
+    ``tolerance`` are allowed (for kernels whose floating-point
+    accumulation is legitimately order-sensitive in the last bits).
+    """
+    if schedules < 2:
+        raise ValueError(f"need >= 2 schedules to compare, got {schedules}")
+    initial = _snapshot(args)
+
+    def run(seed: int | None) -> list[np.ndarray | None]:
+        trial_args = tuple(
+            initial[i].copy() if initial[i] is not None else args[i]
+            for i in range(len(args))
+        )
+        SimtEmulator(schedule_seed=seed).launch(
+            kernel, grid_dim, block_dim, *trial_args
+        )
+        return _snapshot(trial_args)
+
+    reference = run(None)
+    divergent: list[int] = []
+    max_diff: dict[int, float] = {}
+    for seed in range(1, schedules):
+        outcome = run(seed)
+        for i, (ref, got) in enumerate(zip(reference, outcome)):
+            if ref is None:
+                continue
+            if exact:
+                same = np.array_equal(ref, got)
+            else:
+                same = np.allclose(ref, got, atol=tolerance, rtol=0.0)
+            if not same:
+                if i not in divergent:
+                    divergent.append(i)
+                if np.issubdtype(ref.dtype, np.number):
+                    diff = float(
+                        np.max(np.abs(ref.astype(np.float64) - got.astype(np.float64)))
+                    )
+                else:
+                    diff = float(np.count_nonzero(ref != got))
+                max_diff[i] = max(max_diff.get(i, 0.0), diff)
+    return ScheduleCheckResult(
+        schedules_tried=schedules,
+        divergent_arguments=sorted(divergent),
+        max_differences=max_diff,
+    )

@@ -1,0 +1,107 @@
+"""Device facade: allocation, host/device transfer, and kernel launches.
+
+A :class:`Device` ties together the memory manager (capacity + peak
+tracking), the roofline cost model (modeled kernel times), and simple
+PCIe transfer accounting.  The GPU algorithm variants perform all of
+their computation "on the device": every kernel has a vectorized NumPy
+implementation that records an equivalent
+:class:`~repro.hardware.counters.KernelLaunch` here, and the cost model
+turns those launches into modeled seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.cost_model import GpuModel
+from ..hardware.counters import KernelLaunch
+from ..hardware.specs import GpuSpec, GTX_1660_TI
+from .memory import DeviceArray, MemoryManager
+
+__all__ = ["Device"]
+
+#: Sustained host<->device PCIe bandwidth (B/s); PROCLUS transfers the
+#: dataset once and the labels back once, so this barely matters — the
+#: paper explicitly keeps all computation on the GPU to avoid transfers.
+_PCIE_BANDWIDTH = 12e9
+#: Fixed latency of one host<->device copy.
+_TRANSFER_LATENCY_S = 10e-6
+
+
+class Device:
+    """A simulated CUDA device with a calibrated performance model."""
+
+    def __init__(self, spec: GpuSpec = GTX_1660_TI, model: GpuModel | None = None) -> None:
+        self.spec = spec
+        self.model = model if model is not None else GpuModel(spec)
+        self.memory = MemoryManager(spec.usable_bytes)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def alloc(
+        self,
+        shape: int | tuple[int, ...],
+        dtype: np.dtype | type = np.float32,
+        name: str = "unnamed",
+        fill: float | None = None,
+    ) -> DeviceArray:
+        """Allocate device global memory (raises when the card is full)."""
+        return self.memory.alloc(shape, dtype=dtype, name=name, fill=fill)
+
+    def to_device(self, host: np.ndarray, name: str, phase: str = "transfer") -> DeviceArray:
+        """Copy a host array onto the device, accounting the transfer."""
+        array = self.memory.alloc(host.shape, dtype=host.dtype, name=name)
+        array.data[...] = host
+        seconds = _TRANSFER_LATENCY_S + host.nbytes / _PCIE_BANDWIDTH
+        self.model._accrue(phase, seconds)
+        self.model.counter.add("gpu.h2d_bytes", host.nbytes)
+        return array
+
+    def to_host(self, array: DeviceArray, phase: str = "transfer") -> np.ndarray:
+        """Copy a device array back to the host, accounting the transfer."""
+        seconds = _TRANSFER_LATENCY_S + array.nbytes / _PCIE_BANDWIDTH
+        self.model._accrue(phase, seconds)
+        self.model.counter.add("gpu.d2h_bytes", array.nbytes)
+        return array.copy_to_host()
+
+    @property
+    def peak_bytes(self) -> int:
+        """Peak device memory footprint so far."""
+        return self.memory.peak_bytes
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        name: str,
+        phase: str,
+        grid_blocks: int,
+        threads_per_block: int,
+        flops: float = 0.0,
+        gmem_bytes: float = 0.0,
+        atomic_ops: float = 0.0,
+        smem_bytes_per_block: int = 0,
+        registers_per_thread: int = 32,
+        ipc: float = 1.0,
+    ) -> float:
+        """Account one kernel launch; returns its modeled seconds."""
+        launch = KernelLaunch(
+            name=name,
+            phase=phase,
+            grid_blocks=int(grid_blocks),
+            threads_per_block=int(threads_per_block),
+            flops=float(flops),
+            gmem_bytes=float(gmem_bytes),
+            atomic_ops=float(atomic_ops),
+            smem_bytes_per_block=int(smem_bytes_per_block),
+            registers_per_thread=int(registers_per_thread),
+            ipc=float(ipc),
+        )
+        return self.model.launch(launch)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total modeled seconds accumulated on this device."""
+        return self.model.total_seconds

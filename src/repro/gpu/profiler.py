@@ -1,0 +1,104 @@
+"""nvprof-style kernel profile from a run's recorded launches.
+
+Every GPU engine records each simulated kernel launch; this module
+aggregates them into the familiar profiler table — calls, total time,
+average, share — and computes per-kernel roofline diagnostics (whether
+a kernel is launch-, memory-, compute- or atomic-bound), mirroring how
+one reads an Nsight/nvprof capture of the real implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.cost_model import GpuModel
+from ..hardware.counters import KernelLaunch
+
+__all__ = ["KernelProfile", "profile_kernels", "format_kernel_profile"]
+
+
+@dataclass(slots=True)
+class KernelProfile:
+    """Aggregated statistics of one kernel across a run."""
+
+    name: str
+    calls: int
+    total_seconds: float
+    total_flops: float
+    total_bytes: float
+    total_atomics: float
+    #: Dominant cost component: launch / memory / compute / atomics.
+    bound_by: str
+
+    @property
+    def average_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+def _bound_by(model: GpuModel, launch: KernelLaunch) -> str:
+    """Which roofline term dominates this launch."""
+    spec = model.spec
+    mem_util, compute_util = model._utilization(launch)
+    terms = {
+        "launch": spec.kernel_launch_overhead_s,
+        "memory": launch.gmem_bytes / (spec.effective_bandwidth * mem_util),
+        "compute": launch.flops
+        / (spec.core_count * spec.clock_hz * launch.ipc * compute_util),
+        "atomics": launch.atomic_ops / spec.atomic_ops_per_s,
+    }
+    return max(terms, key=terms.get)  # type: ignore[arg-type]
+
+
+def profile_kernels(model: GpuModel) -> list[KernelProfile]:
+    """Aggregate a GPU model's recorded launches per kernel name.
+
+    Returns profiles sorted by total time, descending (the nvprof
+    convention).
+    """
+    groups: dict[str, list[KernelLaunch]] = {}
+    for launch in model.counter.kernel_launches:
+        groups.setdefault(launch.name, []).append(launch)
+    profiles = []
+    for name, launches in groups.items():
+        total = sum(model.launch_time(launch) for launch in launches)
+        # The bound of the most expensive single launch characterizes
+        # the kernel (small setup calls of the same kernel don't).
+        heaviest = max(launches, key=model.launch_time)
+        profiles.append(
+            KernelProfile(
+                name=name,
+                calls=len(launches),
+                total_seconds=total,
+                total_flops=sum(l.flops for l in launches),
+                total_bytes=sum(l.gmem_bytes for l in launches),
+                total_atomics=sum(l.atomic_ops for l in launches),
+                bound_by=_bound_by(model, heaviest),
+            )
+        )
+    profiles.sort(key=lambda p: -p.total_seconds)
+    return profiles
+
+
+def format_kernel_profile(profiles: list[KernelProfile]) -> str:
+    """Render profiles as an nvprof-style table."""
+    if not profiles:
+        return "(no kernel launches recorded)"
+    grand_total = sum(p.total_seconds for p in profiles)
+    name_width = max(len(p.name) for p in profiles)
+    lines = [
+        f"{'kernel'.ljust(name_width)}  {'calls':>6}  {'total':>11}  "
+        f"{'avg':>10}  {'share':>6}  bound by"
+    ]
+    for p in profiles:
+        share = p.total_seconds / grand_total if grand_total else 0.0
+        lines.append(
+            f"{p.name.ljust(name_width)}  {p.calls:>6}  "
+            f"{p.total_seconds * 1e3:>9.3f}ms  "
+            f"{p.average_seconds * 1e6:>8.2f}us  "
+            f"{share * 100:>5.1f}%  {p.bound_by}"
+        )
+    lines.append(
+        f"{'total'.ljust(name_width)}  {sum(p.calls for p in profiles):>6}  "
+        f"{grand_total * 1e3:>9.3f}ms"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""CUDA-stream overlap modeling (the Section 5.4 what-if).
+
+The paper notes that its small kernels (e.g. the ``k x k``
+medoid-distance kernel with 3 % achieved occupancy) leave most of the
+GPU idle, and that "if the preceding and the succeeding kernels were
+not depending on each other, streams could be used to run two kernels
+concurrently to engage more cores".  The paper does not implement this;
+this module models it, so the ablation-minded can quantify how much the
+unexploited overlap would buy.
+
+Model: kernels assigned to different streams run concurrently when
+their combined resident-warp demand fits the device; each kernel's
+effective duration stretches by the factor by which concurrent demand
+oversubscribes a resource (memory bandwidth is shared proportionally).
+The schedule is greedy list scheduling in submission order, which is
+what the CUDA runtime does per stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.cost_model import GpuModel
+from ..hardware.counters import KernelLaunch
+from ..hardware.specs import GpuSpec
+
+__all__ = ["StreamPlan", "overlap_analysis"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamPlan:
+    """Outcome of overlapping a kernel sequence across streams."""
+
+    serial_seconds: float  #: one-stream (status quo) duration
+    overlapped_seconds: float  #: modeled duration with streams
+    concurrent_groups: int  #: independent groups that actually overlapped
+
+    @property
+    def saved_seconds(self) -> float:
+        return self.serial_seconds - self.overlapped_seconds
+
+    @property
+    def speedup(self) -> float:
+        if self.overlapped_seconds <= 0:
+            return 1.0
+        return self.serial_seconds / self.overlapped_seconds
+
+
+def _resident_warp_demand(model: GpuModel, launch: KernelLaunch) -> int:
+    """Resident warps a launch wants across the whole device."""
+    spec = model.spec
+    warps_per_block = -(-launch.threads_per_block // spec.warp_size)
+    resident_blocks = min(
+        launch.grid_blocks, model.resident_blocks_per_sm(launch) * spec.sm_count
+    )
+    return max(1, resident_blocks * warps_per_block)
+
+
+def overlap_analysis(
+    spec: GpuSpec, groups: list[list[KernelLaunch]]
+) -> StreamPlan:
+    """Model running each *group* of independent kernels concurrently.
+
+    ``groups`` is a dependency-ordered list: kernels inside one group
+    are mutually independent (candidates for separate streams); groups
+    run one after another.  Returns the serial vs overlapped durations.
+    """
+    model = GpuModel(spec)
+    device_warps = spec.sm_count * (spec.max_threads_per_sm // spec.warp_size)
+
+    serial = 0.0
+    overlapped = 0.0
+    concurrent_groups = 0
+    for group in groups:
+        if not group:
+            continue
+        times = [model.launch_time(launch) for launch in group]
+        serial += sum(times)
+        if len(group) == 1:
+            overlapped += times[0]
+            continue
+        demand = sum(_resident_warp_demand(model, launch) for launch in group)
+        # Oversubscription stretches everything proportionally; under
+        # subscription means the kernels genuinely run side by side and
+        # the group costs as much as its slowest member (plus a single
+        # launch overhead already inside each time).
+        stretch = max(1.0, demand / device_warps)
+        group_time = max(times) * stretch
+        # Overlap can never beat running just the longest kernel, nor be
+        # worse than full serialization.
+        group_time = min(max(group_time, max(times)), sum(times))
+        overlapped += group_time
+        if group_time < sum(times):
+            concurrent_groups += 1
+    return StreamPlan(
+        serial_seconds=serial,
+        overlapped_seconds=overlapped,
+        concurrent_groups=concurrent_groups,
+    )

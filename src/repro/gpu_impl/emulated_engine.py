@@ -1,0 +1,314 @@
+"""End-to-end PROCLUS on the SIMT emulator (validation engine).
+
+This engine is the "host program" of the paper's CUDA implementation:
+it drives the emulated kernels of Algorithms 2-6 (greedy pick, ComputeL,
+FindDimensions, AssignPoints, EvaluateCluster, RemoveOutliers) through
+the full three-phase PROCLUS algorithm, with every data-parallel step
+executed thread by thread under the cooperative emulator.
+
+It exists for validation, not speed: the integration tests run it on
+small datasets and assert that its clustering is identical to every
+vectorized backend's.  Expect it to be several orders of magnitude
+slower than the vectorized engines — each emulated thread is a Python
+generator.
+
+The randomness protocol is the shared one, so for equal seeds the
+emulated run is directly comparable to any other backend.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from ..core.base import EngineBase
+from ..core.phases import cluster_sizes_from_labels, compute_bad_medoids
+from ..exceptions import DataValidationError
+from ..gpu.emulator import SimtEmulator
+from ..result import OUTLIER_LABEL, ProclusResult, RunStats
+from .kernels.assign_points import assign_points_emulated
+from .kernels.compute_l import compute_l_emulated
+from .kernels.evaluate import evaluate_clusters_emulated
+from .kernels.find_dimensions import (
+    _x_sums_kernel,
+    find_dimensions_emulated,
+    _select_dimensions_from_z,
+)
+from .kernels.fast_compute_l import fast_compute_l_emulated
+from .kernels.find_dimensions import _z_kernel
+from .kernels.greedy import greedy_select_emulated
+from .kernels.outliers import find_outliers_emulated
+
+__all__ = [
+    "EmulatedGpuProclusEngine",
+    "EmulatedGpuFastProclusEngine",
+    "EmulatedGpuFastStarProclusEngine",
+]
+
+
+def _pad_sets(sets: list[np.ndarray], n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Pack variable-length index sets into the (k, n) device layout."""
+    k = len(sets)
+    padded = np.full((k, n), -1, dtype=np.int64)
+    sizes = np.zeros(k, dtype=np.int64)
+    for i, members in enumerate(sets):
+        padded[i, : len(members)] = members
+        sizes[i] = len(members)
+    return padded, sizes
+
+
+class EmulatedGpuProclusEngine(EngineBase):
+    """GPU-PROCLUS executed kernel-for-kernel on the SIMT emulator."""
+
+    backend_name = "gpu-emulated"
+
+    def __init__(self, *args, schedule_seed: int | None = None, **kwargs) -> None:
+        """``schedule_seed`` shuffles intra-round thread order, proving
+        the result does not depend on warp scheduling."""
+        super().__init__(*args, **kwargs)
+        self.emulator = SimtEmulator(schedule_seed=schedule_seed)
+
+    def _compute_l_and_x(self, mcur):  # pragma: no cover - _run overridden
+        raise NotImplementedError
+
+    def _initialization_phase(self, data: np.ndarray) -> np.ndarray:
+        """Sample Data' and run Algorithm 2 on the emulator."""
+        if self.shared_state is not None:
+            return self.shared_state.medoid_ids
+        n, d = data.shape
+        p = self.params
+        sample_size = p.effective_sample_size(n)
+        count = p.effective_num_potential(n)
+        sample_indices = self.rng.sample_indices(n, sample_size)
+        seed_index = self.rng.greedy_seed(sample_size)
+        local = greedy_select_emulated(
+            data[sample_indices], count, seed_index, emulator=self.emulator
+        )
+        return sample_indices[local]
+
+    def _dims_for_iteration(
+        self, data: np.ndarray, medoid_ids: np.ndarray, mcur: np.ndarray
+    ) -> tuple[tuple[int, ...], ...]:
+        """One iteration's ComputeL + FindDimensions (Algorithms 3-4)."""
+        l_sets, _, _ = compute_l_emulated(data, medoid_ids, emulator=self.emulator)
+        l_pad, l_sizes = _pad_sets(l_sets, data.shape[0])
+        dims, _ = find_dimensions_emulated(
+            data, medoid_ids, l_pad, l_sizes, self.params.l,
+            emulator=self.emulator,
+        )
+        return dims
+
+    def _run(self, data: np.ndarray, started: float) -> ProclusResult:
+        n, d = data.shape
+        p = self.params
+        k = p.k
+        em = self.emulator
+
+        self._medoid_ids = self._initialization_phase(data)
+        m = len(self._medoid_ids)
+
+        if self.initial_medoids is not None:
+            mcur = np.asarray(self.initial_medoids, dtype=np.int64).copy()
+            if len(mcur) != k or len(np.unique(mcur)) != k:
+                raise DataValidationError(
+                    f"initial_medoids must hold {k} distinct positions into M"
+                )
+        else:
+            mcur = self.rng.initial_medoids(m, k)
+
+        cost_best = math.inf
+        mbest = mcur.copy()
+        c_best: list[np.ndarray] | None = None
+        sizes_best: np.ndarray | None = None
+        best_iteration = 0
+        stale = 0
+        total = 0
+        while stale < p.patience and total < p.max_iterations:
+            medoid_ids = self._medoid_ids[mcur]
+            dims = self._dims_for_iteration(data, medoid_ids, mcur)
+            labels, c_sets = assign_points_emulated(
+                data, medoid_ids, dims, emulator=em
+            )
+            c_pad, c_sizes = _pad_sets(c_sets, n)
+            cost = evaluate_clusters_emulated(data, c_pad, c_sizes, dims, emulator=em)
+
+            total += 1
+            stale += 1
+            if cost < cost_best:
+                cost_best = cost
+                mbest = mcur.copy()
+                c_best = c_sets
+                sizes_best = cluster_sizes_from_labels(labels, k)
+                best_iteration = total - 1
+                stale = 0
+
+            bad = compute_bad_medoids(
+                sizes_best, n, p.min_deviation, p.bad_medoid_rule
+            )
+            candidates = np.setdiff1d(np.arange(m), mbest)
+            replace = min(len(bad), len(candidates))
+            mcur = mbest.copy()
+            if replace > 0:
+                replacements = self.rng.replacement_medoids(candidates, replace)
+                mcur[bad[:replace]] = replacements
+
+        # --- refinement: L <- CBest, then the same kernels -----------
+        assert c_best is not None
+        medoid_ids = self._medoid_ids[mbest]
+        c_pad, c_sizes = _pad_sets(c_best, n)
+        x = np.zeros((k, d), dtype=np.float64)
+        em.launch(
+            _x_sums_kernel, (d, k), 32,
+            data, data[medoid_ids], c_pad, c_sizes, x,
+        )
+        x /= np.maximum(c_sizes.astype(np.float64), 1.0)[:, None]
+        y = np.zeros(k)
+        sigma = np.zeros(k)
+        z = np.zeros((k, d))
+        from .kernels.find_dimensions import _z_kernel
+
+        em.launch(_z_kernel, k, min(32, d), x, y, sigma, z)
+        dims = _select_dimensions_from_z(z, p.l)
+
+        labels, _ = assign_points_emulated(data, medoid_ids, dims, emulator=em)
+        outliers = find_outliers_emulated(data, medoid_ids, dims, emulator=em)
+        labels = labels.copy()
+        labels[outliers] = OUTLIER_LABEL
+
+        refined_cost = self._evaluate_refined(data, labels, dims, em)
+
+        self.best_positions_ = mbest.copy()
+        stats = RunStats(
+            counters={"emulator.kernel_launches": float(em.launches)},
+            wall_seconds=time.perf_counter() - started,
+            iterations=total,
+            backend=self.backend_name,
+            hardware="SIMT emulator",
+        )
+        return ProclusResult(
+            labels=labels,
+            medoids=self._medoid_ids[mbest].copy(),
+            dimensions=dims,
+            cost=float(cost_best),
+            refined_cost=float(refined_cost),
+            iterations=total,
+            best_iteration=best_iteration,
+            stats=stats,
+        )
+
+    def _evaluate_refined(self, data, labels, dims, em) -> float:
+        """Cost of the refined clustering (outliers excluded)."""
+        k = self.params.k
+        sets = [np.flatnonzero(labels == i) for i in range(k)]
+        c_pad, c_sizes = _pad_sets(sets, data.shape[0])
+        return evaluate_clusters_emulated(data, c_pad, c_sizes, dims, emulator=em)
+
+
+class EmulatedGpuFastProclusEngine(EmulatedGpuProclusEngine):
+    """GPU-FAST-PROCLUS executed kernel-for-kernel on the SIMT emulator.
+
+    Runs Section 4.2's modified pipeline: DistFound-guarded distance
+    kernel, separate flag-set kernel, DeltaL collection (Theorem 3.1),
+    per-(medoid, dimension) H update (Theorem 3.2), and the separate
+    ``X <- H / |L|`` kernel — against persistent device-state arrays.
+    """
+
+    backend_name = "gpu-fast-emulated"
+
+    def _setup(self, data: np.ndarray) -> None:
+        n, d = data.shape
+        m = (
+            self.shared_state.num_potential_medoids
+            if self.shared_state is not None
+            else self.params.effective_num_potential(n)
+        )
+        from ..core.state import NEVER_USED_DELTA
+
+        self._dist = np.zeros((m, n), dtype=np.float32)
+        self._dist_found = np.zeros(m, dtype=bool)
+        self._h = np.zeros((m, d), dtype=np.float64)
+        self._prev_delta = np.full(m, NEVER_USED_DELTA, dtype=np.float32)
+        self._size_l = np.zeros(m, dtype=np.int64)
+
+    def _dims_for_iteration(
+        self, data: np.ndarray, medoid_ids: np.ndarray, mcur: np.ndarray
+    ) -> tuple[tuple[int, ...], ...]:
+        k = len(mcur)
+        d = data.shape[1]
+        x, _ = fast_compute_l_emulated(
+            data,
+            medoid_ids,
+            np.asarray(mcur, dtype=np.int64),
+            self._dist,
+            self._dist_found,
+            self._h,
+            self._prev_delta,
+            self._size_l,
+            emulator=self.emulator,
+        )
+        y = np.zeros(k)
+        sigma = np.zeros(k)
+        z = np.zeros((k, d))
+        self.emulator.launch(_z_kernel, k, min(32, d), x, y, sigma, z)
+        return _select_dimensions_from_z(z, self.params.l)
+
+
+class EmulatedGpuFastStarProclusEngine(EmulatedGpuFastProclusEngine):
+    """GPU-FAST*-PROCLUS on the emulator: k-slot caches (Section 3.2).
+
+    Uses the same Section 4.2 kernel pipeline as the emulated GPU-FAST
+    engine but with per-slot state: before each iteration, any slot
+    whose medoid changed is reset on the host (the paper's "use i in
+    MBad to identify for which of the medoids we need to recompute"),
+    and ``MIdx`` degenerates to the slot index.
+    """
+
+    backend_name = "gpu-fast*-emulated"
+
+    def _setup(self, data: np.ndarray) -> None:
+        n, d = data.shape
+        k = self.params.k
+        from ..core.state import NEVER_USED_DELTA
+
+        self._dist = np.zeros((k, n), dtype=np.float32)
+        self._dist_found = np.zeros(k, dtype=bool)
+        self._h = np.zeros((k, d), dtype=np.float64)
+        self._prev_delta = np.full(k, NEVER_USED_DELTA, dtype=np.float32)
+        self._size_l = np.zeros(k, dtype=np.int64)
+        self._slot_ids = np.full(k, -1, dtype=np.int64)
+
+    def _dims_for_iteration(
+        self, data: np.ndarray, medoid_ids: np.ndarray, mcur: np.ndarray
+    ) -> tuple[tuple[int, ...], ...]:
+        from ..core.state import NEVER_USED_DELTA
+
+        k = len(mcur)
+        # Reset the slots whose medoid changed since the last iteration.
+        for i in range(k):
+            if self._slot_ids[i] != medoid_ids[i]:
+                self._dist_found[i] = False
+                self._h[i].fill(0.0)
+                self._prev_delta[i] = NEVER_USED_DELTA
+                self._size_l[i] = 0
+                self._slot_ids[i] = medoid_ids[i]
+        # MIdx is the identity for the k-slot cache.
+        slots = np.arange(k, dtype=np.int64)
+        x, _ = fast_compute_l_emulated(
+            data,
+            medoid_ids,
+            slots,
+            self._dist,
+            self._dist_found,
+            self._h,
+            self._prev_delta,
+            self._size_l,
+            emulator=self.emulator,
+        )
+        d = data.shape[1]
+        y = np.zeros(k)
+        sigma = np.zeros(k)
+        z = np.zeros((k, d))
+        self.emulator.launch(_z_kernel, k, min(32, d), x, y, sigma, z)
+        return _select_dimensions_from_z(z, self.params.l)

@@ -1,0 +1,35 @@
+"""GPU versions of the ablation engines (strategy 1 / strategy 2 only)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ablation import FastDistOnlyEngine, FastHOnlyEngine
+from .accounting import GpuEngineMixin
+
+__all__ = ["GpuFastDistOnlyEngine", "GpuFastHOnlyEngine"]
+
+
+class GpuFastDistOnlyEngine(GpuEngineMixin, FastDistOnlyEngine):
+    """GPU variant caching only the distance rows (no H)."""
+
+    backend_name = "gpu-fast-dist-only"
+
+    def _variant_device_arrays(self, n: int, d: int) -> None:
+        m = self._m_rows()
+        self.device.alloc((m, n), np.float32, "Dist")
+        self.device.alloc((m,), np.bool_, "DistFound")
+
+
+class GpuFastHOnlyEngine(GpuEngineMixin, FastHOnlyEngine):
+    """GPU variant maintaining only the incremental H (no Dist cache)."""
+
+    backend_name = "gpu-fast-h-only"
+
+    def _variant_device_arrays(self, n: int, d: int) -> None:
+        k = self.params.k
+        m = self._m_rows()
+        self.device.alloc((k, n), np.float32, "Dist")
+        self.device.alloc((m, d), np.float32, "H")
+        self.device.alloc((m,), np.float32, "prev_delta")
+        self.device.alloc((m,), np.int32, "L_size_cache")

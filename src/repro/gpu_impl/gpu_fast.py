@@ -1,0 +1,32 @@
+"""GPU-FAST-PROCLUS: FAST-PROCLUS's caches on the GPU (Section 4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.fast import FastProclusEngine
+from .accounting import GpuEngineMixin
+
+__all__ = ["GpuFastProclusEngine"]
+
+
+class GpuFastProclusEngine(GpuEngineMixin, FastProclusEngine):
+    """FAST-PROCLUS executed as kernels on the simulated GPU.
+
+    Keeps the full ``(B*k, n)`` distance matrix and the ``(B*k, d)``
+    sums ``H`` in device memory — the space/time trade-off that makes
+    this the fastest but most memory-hungry variant (it is the one that
+    exhausts the 6 GB card at ~8M points in Fig. 3e).  The ``DistFound``
+    flag is set in a separate kernel after the distance kernel finishes,
+    as the paper describes (no cross-block synchronization).
+    """
+
+    backend_name = "gpu-fast-proclus"
+
+    def _variant_device_arrays(self, n: int, d: int) -> None:
+        m = self._m_rows()
+        self.device.alloc((m, n), np.float32, "Dist")
+        self.device.alloc((m, d), np.float32, "H")
+        self.device.alloc((m,), np.float32, "prev_delta")
+        self.device.alloc((m,), np.int32, "L_size_cache")
+        self.device.alloc((m,), np.bool_, "DistFound")

@@ -1,0 +1,32 @@
+"""Faithful SIMT implementations of the paper's CUDA kernels.
+
+Each module implements one of the paper's Algorithms 2-6 (plus
+RemoveOutliers) as kernels for the cooperative emulator in
+:mod:`repro.gpu.emulator`: explicit thread blocks, shared memory,
+atomics and barrier synchronization, following the pseudocode line by
+line.  They are intentionally slow — their job is to validate, on small
+inputs, that the vectorized phase implementations used by the engines
+compute exactly what the GPU kernels would.
+
+Deterministic tie-breaking: where the paper's kernels resolve ties by
+racing writes (``if maxDist = Dist_p then M_i <- p``), these kernels
+resolve toward the lowest index with an atomic min, so their output is
+schedule-independent and matches the vectorized implementation bit for
+bit.
+"""
+
+from .greedy import greedy_select_emulated
+from .compute_l import compute_l_emulated
+from .find_dimensions import find_dimensions_emulated
+from .assign_points import assign_points_emulated
+from .evaluate import evaluate_clusters_emulated
+from .outliers import find_outliers_emulated
+
+__all__ = [
+    "greedy_select_emulated",
+    "compute_l_emulated",
+    "find_dimensions_emulated",
+    "assign_points_emulated",
+    "evaluate_clusters_emulated",
+    "find_outliers_emulated",
+]

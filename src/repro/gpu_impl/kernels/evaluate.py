@@ -1,0 +1,82 @@
+"""Algorithm 6 (EvaluateCluster) as an emulated SIMT kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...gpu.atomics import atomic_add
+from ...gpu.emulator import SimtEmulator, ThreadContext
+
+__all__ = ["evaluate_clusters_emulated"]
+
+
+def _evaluate_kernel(
+    ctx: ThreadContext,
+    data: np.ndarray,
+    c_sets: np.ndarray,
+    c_sizes: np.ndarray,
+    pair_cluster: np.ndarray,
+    pair_dim: np.ndarray,
+    pair_weight: np.ndarray,
+    cost: np.ndarray,
+):
+    """One block per (cluster i, dimension j in D_i) pair (Eq. 9).
+
+    The centroid coordinate ``mu_ij`` is accumulated in shared memory
+    (never written to global memory, as the paper stresses); each
+    thread keeps a local partial and issues one atomic per pass.
+    """
+    i = int(pair_cluster[ctx.bx])
+    j = int(pair_dim[ctx.bx])
+    size = int(c_sizes[i])
+    mu = ctx.shared.array("mu", 1, np.float64, fill=0.0)
+    local = 0.0
+    for t in ctx.block_stride(size):
+        local += float(data[c_sets[i, t], j])
+    atomic_add(mu, 0, local / size if size else 0.0)
+    yield  # __syncthreads: mu_ij complete before it is used
+    local = 0.0
+    for t in ctx.block_stride(size):
+        local += abs(float(data[c_sets[i, t], j]) - mu[0])
+    atomic_add(cost, 0, local * pair_weight[ctx.bx])
+
+
+def evaluate_clusters_emulated(
+    data: np.ndarray,
+    c_sets: np.ndarray,
+    c_sizes: np.ndarray,
+    dimensions: tuple[tuple[int, ...], ...],
+    emulator: SimtEmulator | None = None,
+    threads_per_block: int = 32,
+) -> float:
+    """Run Algorithm 6 on the emulator; returns the clustering cost.
+
+    Note the float64 atomic accumulation of ``cost`` is order-sensitive
+    in the last bits (the terms are not exactly representable once the
+    centroid enters), so callers compare against the vectorized
+    :func:`~repro.core.phases.evaluate_clusters` with a tolerance.
+    """
+    em = emulator if emulator is not None else SimtEmulator()
+    n = data.shape[0]
+    pair_cluster: list[int] = []
+    pair_dim: list[int] = []
+    pair_weight: list[float] = []
+    for i, dims in enumerate(dimensions):
+        for j in dims:
+            pair_cluster.append(i)
+            pair_dim.append(j)
+            pair_weight.append(1.0 / (len(dims) * n))
+    cost = np.zeros(1, dtype=np.float64)
+    em.launch(
+        _evaluate_kernel,
+        len(pair_cluster),
+        threads_per_block,
+        data,
+        c_sets,
+        c_sizes,
+        np.array(pair_cluster, dtype=np.int64),
+        np.array(pair_dim, dtype=np.int64),
+        np.array(pair_weight, dtype=np.float64),
+        cost,
+    )
+    return float(cost[0])

@@ -1,0 +1,209 @@
+"""Section 4.2's GPU-FAST-PROCLUS kernels, emulated.
+
+GPU-FAST-PROCLUS modifies ComputeL and FindDimensions:
+
+* the distance kernel checks ``DistFound`` and only computes missing
+  rows; the flag is set **in a separate kernel afterwards** because
+  thread blocks cannot synchronize with each other ("Instead of using
+  community groups to synchronize across thread blocks, we set the flag
+  afterward in a separate kernel call");
+* instead of rebuilding ``L_i``, a kernel collects the *change*
+  ``DeltaL_i`` between the previous and current radius (Theorem 3.1)
+  and a per-(medoid, dimension) kernel adds ``lambda_i * sum`` into the
+  persistent ``H`` matrix (Theorem 3.2);
+* ``X = H / |L|`` happens in another separate kernel, again so that all
+  ``H`` updates are visible first.
+
+These kernels drive the emulated GPU-FAST engine and are tested to
+produce bitwise the state the vectorized
+:class:`~repro.core.fast.FastProclusEngine` maintains.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...gpu.atomics import atomic_add, atomic_inc, atomic_min
+from ...gpu.emulator import SimtEmulator, ThreadContext
+from .greedy import _euclidean_f32
+
+__all__ = ["fast_compute_l_emulated"]
+
+
+def _distances_if_missing_kernel(
+    ctx: ThreadContext,
+    data: np.ndarray,
+    medoid_ids: np.ndarray,
+    midx: np.ndarray,
+    dist: np.ndarray,
+    dist_found: np.ndarray,
+) -> None:
+    """Compute a medoid's distance row only when DistFound is unset.
+
+    The flag is *read* here but set later in a separate kernel so that
+    all blocks working on the same row agree on whether to compute.
+    """
+    i = ctx.by
+    row = int(midx[i])
+    if dist_found[row]:
+        return
+    medoid = data[int(medoid_ids[i])]
+    for p in ctx.grid_stride_x(data.shape[0]):
+        dist[row, p] = _euclidean_f32(data[p], medoid)
+
+
+def _set_found_kernel(
+    ctx: ThreadContext, midx: np.ndarray, dist_found: np.ndarray
+) -> None:
+    """The separate flag-setting kernel (one thread per current medoid)."""
+    for i in ctx.grid_stride(len(midx)):
+        dist_found[int(midx[i])] = True
+
+
+def _delta_kernel(
+    ctx: ThreadContext,
+    medoid_ids: np.ndarray,
+    midx: np.ndarray,
+    dist: np.ndarray,
+    delta: np.ndarray,
+) -> None:
+    """Radius to the nearest other current medoid, from cached rows."""
+    i = ctx.bx
+    for j in ctx.block_stride(len(midx)):
+        if j != i:
+            atomic_min(delta, i, dist[int(midx[i]), int(medoid_ids[j])])
+
+
+def _collect_delta_l_kernel(
+    ctx: ThreadContext,
+    midx: np.ndarray,
+    dist: np.ndarray,
+    prev_delta: np.ndarray,
+    delta: np.ndarray,
+    dl_sets: np.ndarray,
+    dl_sizes: np.ndarray,
+) -> None:
+    """Collect DeltaL_i: the points between the previous and current
+    radius (Theorem 3.1), appended with atomicInc like L in Algorithm 3."""
+    i = ctx.by
+    row = int(midx[i])
+    previous = prev_delta[row]
+    current = delta[i]
+    lo, hi = (previous, current) if current >= previous else (current, previous)
+    for p in ctx.grid_stride_x(dist.shape[1]):
+        value = dist[row, p]
+        if lo < value <= hi:
+            slot = atomic_inc(dl_sizes, i)
+            dl_sets[i, slot] = p
+
+
+def _h_update_kernel(
+    ctx: ThreadContext,
+    data: np.ndarray,
+    medoid_ids: np.ndarray,
+    midx: np.ndarray,
+    lam: np.ndarray,
+    dl_sets: np.ndarray,
+    dl_sizes: np.ndarray,
+    h: np.ndarray,
+) -> None:
+    """H update (Theorem 3.2): one block per (medoid, dimension), local
+    partial sums, one atomic per thread.  Exact in float64."""
+    i, j = ctx.by, ctx.bx
+    row = int(midx[i])
+    medoid = data[int(medoid_ids[i])]
+    size = int(dl_sizes[i])
+    local = 0.0
+    for t in ctx.block_stride(size):
+        p = dl_sets[i, t]
+        local += float(np.float32(abs(np.float32(data[p, j] - medoid[j]))))
+    if local:
+        atomic_add(h, (row, j), float(lam[i]) * local)
+
+
+def _finalize_kernel(
+    ctx: ThreadContext,
+    midx: np.ndarray,
+    lam: np.ndarray,
+    dl_sizes: np.ndarray,
+    delta: np.ndarray,
+    prev_delta: np.ndarray,
+    size_l: np.ndarray,
+    h: np.ndarray,
+    x: np.ndarray,
+) -> None:
+    """Bookkeeping + X <- H / |L| in a separate kernel (Section 4.2:
+    "X_{i,j} is computed in a separate kernel call" so every H update
+    is visible).  One block per medoid; thread 0 updates the scalars."""
+    i = ctx.bx
+    row = int(midx[i])
+    d = h.shape[1]
+    if ctx.tx == 0:
+        size_l[row] = size_l[row] + int(lam[i]) * int(dl_sizes[i])
+        prev_delta[row] = delta[i]
+    yield  # __syncthreads: |L| updated before the division
+    for j in ctx.block_stride(d):
+        x[i, j] = h[row, j] / size_l[row]
+
+
+def fast_compute_l_emulated(
+    data: np.ndarray,
+    medoid_ids: np.ndarray,
+    midx: np.ndarray,
+    dist: np.ndarray,
+    dist_found: np.ndarray,
+    h: np.ndarray,
+    prev_delta: np.ndarray,
+    size_l: np.ndarray,
+    emulator: SimtEmulator | None = None,
+    threads_per_block: int = 32,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run GPU-FAST's ComputeL + X pipeline on the emulator.
+
+    Mutates the persistent cache arrays (``dist``, ``dist_found``,
+    ``h``, ``prev_delta``, ``size_l`` — all indexed by position in M)
+    exactly as the CUDA implementation would, and returns ``(x, sizes)``
+    for the current medoids.
+
+    Parameters mirror the device state of GPU-FAST-PROCLUS:
+    ``medoid_ids`` are the current medoids' point ids and ``midx`` their
+    positions in M (the paper's ``MIdx``).
+    """
+    em = emulator if emulator is not None else SimtEmulator()
+    n, d = data.shape
+    k = len(midx)
+    grid_x = max(1, math.ceil(n / threads_per_block))
+
+    em.launch(
+        _distances_if_missing_kernel, (grid_x, k), threads_per_block,
+        data, medoid_ids, midx, dist, dist_found,
+    )
+    em.launch(_set_found_kernel, 1, max(1, k), midx, dist_found)
+
+    delta = np.full(k, np.inf, dtype=np.float32)
+    em.launch(_delta_kernel, k, max(1, k), medoid_ids, midx, dist, delta)
+
+    # lambda_i: +1 when the sphere grew, -1 when it shrank (host-side
+    # scalar per medoid, as in FAST-PROCLUS).
+    lam = np.where(delta >= prev_delta[midx], 1, -1).astype(np.int64)
+
+    dl_sets = np.full((k, n), -1, dtype=np.int64)
+    dl_sizes = np.zeros(k, dtype=np.int64)
+    em.launch(
+        _collect_delta_l_kernel, (grid_x, k), threads_per_block,
+        midx, dist, prev_delta, delta, dl_sets, dl_sizes,
+    )
+
+    em.launch(
+        _h_update_kernel, (d, k), threads_per_block,
+        data, medoid_ids, midx, lam, dl_sets, dl_sizes, h,
+    )
+
+    x = np.zeros((k, d), dtype=np.float64)
+    em.launch(
+        _finalize_kernel, k, min(threads_per_block, max(1, d)),
+        midx, lam, dl_sizes, delta, prev_delta, size_l, h, x,
+    )
+    return x, size_l[midx].copy()

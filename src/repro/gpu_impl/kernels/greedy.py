@@ -1,0 +1,90 @@
+"""Algorithm 2 (Greedy) as emulated SIMT kernels."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...gpu.atomics import atomic_max, atomic_min
+from ...gpu.emulator import SimtEmulator, ThreadContext
+
+__all__ = ["greedy_select_emulated"]
+
+
+def _euclidean_f32(a: np.ndarray, b: np.ndarray) -> np.float32:
+    """Per-thread distance: f32 terms, exact f64 accumulation, f32 result.
+
+    Mirrors :func:`repro.core.distance.euclidean_to_point` exactly.
+    """
+    acc = 0.0
+    for j in range(len(a)):
+        diff = np.float32(a[j] - b[j])
+        acc += float(np.float32(diff * diff))
+    return np.float32(math.sqrt(acc))
+
+
+def _distance_kernel(
+    ctx: ThreadContext,
+    sample: np.ndarray,
+    medoid_index: np.ndarray,
+    dist: np.ndarray,
+    max_dist: np.ndarray,
+    first: bool,
+) -> None:
+    """Lines 2-5 / 10-13: update min-distances and the shared maximum."""
+    medoid = sample[int(medoid_index[0])]
+    for p in ctx.grid_stride(sample.shape[0]):
+        new = _euclidean_f32(sample[p], medoid)
+        if first or new < dist[p]:
+            dist[p] = new
+        atomic_max(max_dist, 0, dist[p])
+
+
+def _argmax_check_kernel(
+    ctx: ThreadContext,
+    dist: np.ndarray,
+    max_dist: np.ndarray,
+    winner: np.ndarray,
+) -> None:
+    """Lines 7-9: find a point at the maximal distance.
+
+    The paper lets the last writer win; we take the lowest index via an
+    atomic min so the pick is deterministic (and matches the vectorized
+    ``argmax``).
+    """
+    for p in ctx.grid_stride(dist.shape[0]):
+        if dist[p] == max_dist[0]:
+            atomic_min(winner, 0, p)
+
+
+def greedy_select_emulated(
+    sample: np.ndarray,
+    count: int,
+    seed_index: int,
+    emulator: SimtEmulator | None = None,
+    threads_per_block: int = 32,
+) -> np.ndarray:
+    """Run Algorithm 2 on the emulator; returns indices into ``sample``."""
+    em = emulator if emulator is not None else SimtEmulator()
+    s = sample.shape[0]
+    grid = max(1, math.ceil(s / threads_per_block))
+
+    dist = np.empty(s, dtype=np.float32)
+    max_dist = np.zeros(1, dtype=np.float32)
+    chosen = np.empty(count, dtype=np.int64)
+    chosen[0] = seed_index
+    current = np.array([seed_index], dtype=np.int64)
+
+    em.launch(_distance_kernel, grid, threads_per_block,
+              sample, current, dist, max_dist, True)
+    for i in range(1, count):
+        winner = np.array([s], dtype=np.int64)
+        em.launch(_argmax_check_kernel, grid, threads_per_block,
+                  dist, max_dist, winner)
+        chosen[i] = winner[0]
+        current[0] = winner[0]
+        max_dist[0] = 0.0
+        em.launch(_distance_kernel, grid, threads_per_block,
+                  sample, current, dist, max_dist, False)
+    return chosen

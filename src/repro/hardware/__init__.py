@@ -1,0 +1,48 @@
+"""Hardware specifications and analytical cost models.
+
+The paper measures wall-clock time on two CPU/GPU workstations.  This
+reproduction runs on a plain CPU, so every algorithm variant *counts*
+the work it performs (arithmetic, memory traffic, atomics, kernel
+launches) and the models in this package translate those counts into
+modeled seconds on the paper's hardware.  See ``DESIGN.md`` for why
+this substitution preserves the paper's claims.
+"""
+
+from .specs import (
+    CpuSpec,
+    GpuSpec,
+    GTX_1660_TI,
+    RTX_3090,
+    INTEL_I7_9750H,
+    INTEL_I9_10940X,
+    gpu_for_problem,
+    cpu_for_problem,
+)
+from .counters import WorkCounter, KernelLaunch
+from .cost_model import (
+    HardwareModel,
+    ScalarCpuModel,
+    MulticoreCpuModel,
+    GpuModel,
+)
+from .calibration import Anchor, CalibrationResult, solve_rates
+
+__all__ = [
+    "CpuSpec",
+    "GpuSpec",
+    "GTX_1660_TI",
+    "RTX_3090",
+    "INTEL_I7_9750H",
+    "INTEL_I9_10940X",
+    "gpu_for_problem",
+    "cpu_for_problem",
+    "WorkCounter",
+    "KernelLaunch",
+    "HardwareModel",
+    "ScalarCpuModel",
+    "MulticoreCpuModel",
+    "GpuModel",
+    "Anchor",
+    "CalibrationResult",
+    "solve_rates",
+]

@@ -1,0 +1,118 @@
+"""Re-deriving the CPU calibration constants from anchor measurements.
+
+The cost models carry exactly four tuned numbers: the scalar and vector
+sustained throughputs of the two CPUs (`specs.py`).  This module makes
+that calibration *reproducible*: given anchor observations — "the C++
+baseline takes T seconds on workload W" — it solves for the rates that
+explain them, so anyone with access to the paper's hardware (or their
+own) can re-calibrate instead of trusting ours.
+
+The solve is ordinary least squares on the model equation
+
+    T_run = scalar_ops / r_s + vector_ops / r_v
+
+which is linear in ``1/r_s`` and ``1/r_v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.normalize import minmax_normalize
+from ..data.synthetic import generate_subspace_data
+from ..params import ProclusParams
+from .specs import CpuSpec
+
+__all__ = ["Anchor", "CalibrationResult", "collect_op_counts", "solve_rates"]
+
+
+@dataclass(frozen=True, slots=True)
+class Anchor:
+    """One observation: a workload plus its measured baseline seconds."""
+
+    n: int
+    d: int
+    seconds: float
+    seed: int = 0
+    params: ProclusParams | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationResult:
+    """Solved sustained rates and the fit quality."""
+
+    scalar_ops_per_s: float
+    vector_ops_per_s: float
+    max_relative_error: float
+
+    def apply_to(self, spec: CpuSpec) -> CpuSpec:
+        """Return ``spec`` with the solved rates substituted."""
+        import dataclasses
+
+        return dataclasses.replace(
+            spec,
+            scalar_ops_per_s=self.scalar_ops_per_s,
+            vector_ops_per_s=self.vector_ops_per_s,
+        )
+
+
+def collect_op_counts(anchor: Anchor, spec: CpuSpec) -> tuple[float, float]:
+    """Run the baseline on the anchor's workload; return (scalar, vector) ops.
+
+    The run uses the given spec only as a carrier — operation counts are
+    independent of the rates.
+    """
+    from ..core.proclus import ProclusEngine
+
+    params = anchor.params if anchor.params is not None else ProclusParams()
+    dataset = generate_subspace_data(n=anchor.n, d=anchor.d, seed=anchor.seed)
+    data = minmax_normalize(dataset.data)
+    engine = ProclusEngine(params=params, seed=anchor.seed, cpu_spec=spec)
+    result = engine.fit(data)
+    counters = result.stats.counters
+    return counters.get("cpu.scalar_ops", 0.0), counters.get("cpu.vector_ops", 0.0)
+
+
+def solve_rates(
+    anchors: list[Anchor], spec: CpuSpec
+) -> CalibrationResult:
+    """Solve the sustained rates that best explain the anchors.
+
+    With a single anchor the system is under-determined; the solver then
+    keeps the spec's scalar/vector *ratio* and scales both rates to
+    match the anchor exactly.
+    """
+    if not anchors:
+        raise ValueError("need at least one anchor")
+    counts = [collect_op_counts(anchor, spec) for anchor in anchors]
+    times = np.array([anchor.seconds for anchor in anchors], dtype=np.float64)
+    if np.any(times <= 0):
+        raise ValueError("anchor seconds must be positive")
+
+    if len(anchors) == 1:
+        scalar_ops, vector_ops = counts[0]
+        modeled = (
+            scalar_ops / spec.scalar_ops_per_s
+            + vector_ops / spec.vector_ops_per_s
+        )
+        scale = modeled / times[0]
+        result = CalibrationResult(
+            scalar_ops_per_s=spec.scalar_ops_per_s * scale,
+            vector_ops_per_s=spec.vector_ops_per_s * scale,
+            max_relative_error=0.0,
+        )
+        return result
+
+    design = np.array(counts, dtype=np.float64)  # columns: scalar, vector ops
+    # Solve T = design @ [1/r_s, 1/r_v] with non-negativity via clipping.
+    inverse_rates, *_ = np.linalg.lstsq(design, times, rcond=None)
+    inverse_rates = np.clip(inverse_rates, 1e-12, None)
+    predicted = design @ inverse_rates
+    max_err = float(np.max(np.abs(predicted - times) / times))
+    return CalibrationResult(
+        scalar_ops_per_s=1.0 / inverse_rates[0],
+        vector_ops_per_s=1.0 / inverse_rates[1],
+        max_relative_error=max_err,
+    )

@@ -1,0 +1,210 @@
+"""Analytical cost models translating work counters into modeled seconds.
+
+Three models mirror the paper's three execution platforms:
+
+* :class:`ScalarCpuModel` — the sequential C++ baseline.  Time is the
+  sum of scalar-op and vectorizable-op counts divided by the calibrated
+  sustained single-core throughputs.  (The compiler vectorizes the
+  contiguous inner per-dimension loops of the C++ code, which is why
+  those are accounted at a higher rate; this is also what makes the
+  GPU-over-CPU speedup shrink slightly as ``d`` grows, as the paper
+  observes in Figs. 2c-2d.)
+* :class:`MulticoreCpuModel` — the OpenMP version: the same work spread
+  over ``cores`` with a parallel-efficiency factor and a fork/join
+  overhead per parallel region.  This saturates near the ~6x the paper
+  reports.
+* :class:`GpuModel` — a per-kernel roofline: each launch costs a fixed
+  launch overhead plus the maximum of its compute time, its global
+  memory time, and its atomic-throughput time, each derated by how well
+  the launch configuration fills the device (resident-warp utilization).
+  Small helper kernels (e.g. the ``k x k`` medoid-distance kernel of
+  Algorithm 3) are therefore launch-overhead dominated, exactly as the
+  paper's Section 5.4 discusses.
+
+Models are stateful per run: they accumulate per-phase seconds and hold
+the run's :class:`~repro.hardware.counters.WorkCounter`.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from .counters import KernelLaunch, WorkCounter
+from .specs import CpuSpec, GpuSpec
+
+__all__ = ["HardwareModel", "ScalarCpuModel", "MulticoreCpuModel", "GpuModel"]
+
+
+class HardwareModel(ABC):
+    """Base class: accumulates per-phase modeled seconds and counters."""
+
+    def __init__(self) -> None:
+        self.counter = WorkCounter()
+        self.phase_seconds: dict[str, float] = {}
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Human-readable name of the modeled hardware."""
+
+    @property
+    def total_seconds(self) -> float:
+        """Total modeled seconds accumulated so far."""
+        return sum(self.phase_seconds.values())
+
+    def _accrue(self, phase: str, seconds: float) -> None:
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+
+class ScalarCpuModel(HardwareModel):
+    """Sequential single-core CPU model."""
+
+    def __init__(self, spec: CpuSpec) -> None:
+        super().__init__()
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.name} (1 core)"
+
+    def work(
+        self,
+        phase: str,
+        scalar_ops: float = 0.0,
+        vector_ops: float = 0.0,
+    ) -> float:
+        """Account a block of sequential work; returns its modeled seconds.
+
+        ``vector_ops`` are operations in contiguous inner loops that a
+        C++ compiler auto-vectorizes; ``scalar_ops`` everything else
+        (branches, gathers, bookkeeping).
+        """
+        self.counter.add("cpu.scalar_ops", scalar_ops)
+        self.counter.add("cpu.vector_ops", vector_ops)
+        seconds = (
+            scalar_ops / self.spec.scalar_ops_per_s
+            + vector_ops / self.spec.vector_ops_per_s
+        )
+        self._accrue(phase, seconds)
+        return seconds
+
+
+class MulticoreCpuModel(HardwareModel):
+    """OpenMP-style multi-core CPU model (same counters, shared cores)."""
+
+    def __init__(self, spec: CpuSpec) -> None:
+        super().__init__()
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.name} ({self.spec.cores} cores)"
+
+    def work(
+        self,
+        phase: str,
+        scalar_ops: float = 0.0,
+        vector_ops: float = 0.0,
+        regions: int = 1,
+        serial_fraction: float = 0.02,
+    ) -> float:
+        """Account one or more parallel regions of work.
+
+        ``serial_fraction`` is the Amdahl share that cannot be
+        parallelized (reductions, critical sections).
+        """
+        self.counter.add("cpu.scalar_ops", scalar_ops)
+        self.counter.add("cpu.vector_ops", vector_ops)
+        self.counter.add("cpu.parallel_regions", regions)
+        serial = (
+            scalar_ops * serial_fraction / self.spec.scalar_ops_per_s
+            + vector_ops * serial_fraction / self.spec.vector_ops_per_s
+        )
+        speed = self.spec.cores * self.spec.parallel_efficiency
+        parallel = (
+            scalar_ops * (1 - serial_fraction) / (self.spec.scalar_ops_per_s * speed)
+            + vector_ops * (1 - serial_fraction) / (self.spec.vector_ops_per_s * speed)
+        )
+        seconds = serial + parallel + regions * self.spec.fork_join_overhead_s
+        self._accrue(phase, seconds)
+        return seconds
+
+
+class GpuModel(HardwareModel):
+    """Per-kernel roofline model of a CUDA GPU."""
+
+    #: Resident warps per SM needed to saturate memory bandwidth.
+    _SATURATION_WARPS_PER_SM = 8
+    #: Threads per core needed to hide arithmetic latency.
+    _LATENCY_HIDING_THREADS_PER_CORE = 4
+
+    def __init__(self, spec: GpuSpec) -> None:
+        super().__init__()
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def resident_blocks_per_sm(self, launch: KernelLaunch) -> int:
+        """Blocks of this launch that fit concurrently on one SM."""
+        spec = self.spec
+        warps = math.ceil(launch.threads_per_block / spec.warp_size)
+        threads_rounded = warps * spec.warp_size
+        limits = [
+            spec.max_blocks_per_sm,
+            max(1, spec.max_threads_per_sm // max(threads_rounded, 1)),
+        ]
+        if launch.smem_bytes_per_block > 0:
+            limits.append(
+                max(1, spec.shared_mem_per_sm // launch.smem_bytes_per_block)
+            )
+        regs_per_block = launch.registers_per_thread * threads_rounded
+        if regs_per_block > 0:
+            limits.append(max(1, spec.registers_per_sm // regs_per_block))
+        return max(1, min(limits))
+
+    def _utilization(self, launch: KernelLaunch) -> tuple[float, float]:
+        """Return ``(mem_util, compute_util)`` in ``(0, 1]`` for a launch."""
+        spec = self.spec
+        warps_per_block = math.ceil(launch.threads_per_block / spec.warp_size)
+        resident_blocks = min(
+            launch.grid_blocks,
+            self.resident_blocks_per_sm(launch) * spec.sm_count,
+        )
+        active_warps = max(1, resident_blocks * warps_per_block)
+        mem_util = min(
+            1.0, active_warps / (self._SATURATION_WARPS_PER_SM * spec.sm_count)
+        )
+        active_threads = max(
+            launch.threads_per_block,
+            resident_blocks * warps_per_block * spec.warp_size,
+        )
+        compute_util = min(
+            1.0,
+            active_threads
+            / (self._LATENCY_HIDING_THREADS_PER_CORE * spec.core_count),
+        )
+        return mem_util, compute_util
+
+    def launch_time(self, launch: KernelLaunch) -> float:
+        """Modeled seconds for one kernel launch (without accruing it)."""
+        spec = self.spec
+        mem_util, compute_util = self._utilization(launch)
+        t_mem = launch.gmem_bytes / (spec.effective_bandwidth * mem_util)
+        # Plain FP adds/abs run at one op per core-cycle, not the FMA
+        # peak, hence core_count * clock rather than peak_flops; the
+        # kernel's ipc factor derates dependent accumulation chains.
+        t_compute = launch.flops / (
+            spec.core_count * spec.clock_hz * launch.ipc * compute_util
+        )
+        t_atomic = launch.atomic_ops / spec.atomic_ops_per_s
+        return spec.kernel_launch_overhead_s + max(t_mem, t_compute, t_atomic)
+
+    def launch(self, launch: KernelLaunch) -> float:
+        """Account one kernel launch; returns its modeled seconds."""
+        self.counter.record_launch(launch)
+        seconds = self.launch_time(launch)
+        self._accrue(launch.phase, seconds)
+        return seconds

@@ -1,0 +1,180 @@
+"""Algorithm parameters for PROCLUS and its variants.
+
+The parameter names follow the paper's notation (Table 1):
+
+===============  =====================================================
+paper            here
+===============  =====================================================
+``k``            :attr:`ProclusParams.k`
+``l``            :attr:`ProclusParams.l`
+``A``            :attr:`ProclusParams.a`
+``B``            :attr:`ProclusParams.b`
+``minDev``       :attr:`ProclusParams.min_deviation`
+``itrPat``       :attr:`ProclusParams.patience`
+===============  =====================================================
+
+The defaults are the paper's experimental defaults (Section 5):
+``k=10, l=5, A=100, B=10, minDev=0.7, itrPat=5``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from .exceptions import ParameterError
+
+__all__ = ["ProclusParams", "ParameterGrid"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProclusParams:
+    """Validated PROCLUS parameter set.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters to find.
+    l:
+        Average number of dimensions per cluster subspace.  Must be at
+        least 2 because PROCLUS assigns every medoid two dimensions
+        before distributing the remaining ``k*l - 2k`` greedily.
+    a:
+        Sample-size constant *A*; the initialization phase draws a
+        random sample ``Data'`` of size ``A*k``.
+    b:
+        Potential-medoid constant *B*; ``B*k`` points are greedily
+        selected from ``Data'``.  Must satisfy ``1 <= b <= a``.
+    min_deviation:
+        *minDev*; a medoid is "bad" when its cluster holds fewer than
+        ``n/k * min_deviation`` points.
+    patience:
+        *itrPat*; the iterative phase stops after this many consecutive
+        iterations without improvement of the best cost.
+    max_iterations:
+        Safety bound on the total number of iterations of the iterative
+        phase (not part of the original algorithm; generous default).
+    """
+
+    k: int = 10
+    l: int = 5
+    a: int = 100
+    b: int = 10
+    min_deviation: float = 0.7
+    patience: int = 5
+    max_iterations: int = 500
+    #: Which medoids count as "bad" each iteration.  ``"paper"`` follows
+    #: this paper's description (clusters below the ``n/k * minDev``
+    #: threshold, or the single smallest when none is); ``"original"``
+    #: follows Aggarwal et al. 1999, where the smallest cluster's medoid
+    #: is *always* bad in addition to the below-threshold ones.
+    bad_medoid_rule: str = "paper"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ParameterError(f"k must be >= 1, got {self.k}")
+        if self.l < 2:
+            raise ParameterError(f"l must be >= 2, got {self.l}")
+        if self.b < 1:
+            raise ParameterError(f"B must be >= 1, got {self.b}")
+        if self.a < self.b:
+            raise ParameterError(
+                f"A must be >= B so the greedy pick fits in the sample; "
+                f"got A={self.a}, B={self.b}"
+            )
+        if not 0.0 < self.min_deviation <= 1.0:
+            raise ParameterError(
+                f"min_deviation must be in (0, 1], got {self.min_deviation}"
+            )
+        if self.patience < 1:
+            raise ParameterError(f"patience must be >= 1, got {self.patience}")
+        if self.max_iterations < 1:
+            raise ParameterError(
+                f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+        if self.bad_medoid_rule not in ("paper", "original"):
+            raise ParameterError(
+                f"bad_medoid_rule must be 'paper' or 'original', "
+                f"got {self.bad_medoid_rule!r}"
+            )
+
+    @property
+    def sample_size(self) -> int:
+        """Size ``A*k`` of the random sample ``Data'``."""
+        return self.a * self.k
+
+    @property
+    def num_potential_medoids(self) -> int:
+        """Size ``B*k`` of the greedily selected potential medoid set ``M``."""
+        return self.b * self.k
+
+    @property
+    def total_dimensions(self) -> int:
+        """Total number ``k*l`` of dimensions distributed among clusters."""
+        return self.k * self.l
+
+    def effective_sample_size(self, n: int) -> int:
+        """Size of ``Data'`` for an ``n``-point dataset: ``min(A*k, n)``.
+
+        The paper's sweeps include datasets smaller than ``A*k`` (e.g.
+        n = 2^9 with A*k = 1000), in which case the sample is the whole
+        dataset.
+        """
+        return min(self.sample_size, n)
+
+    def effective_num_potential(self, n: int) -> int:
+        """Number of potential medoids: ``min(B*k, |Data'|)``."""
+        return min(self.num_potential_medoids, self.effective_sample_size(n))
+
+    def validate_against_data(self, n: int, d: int) -> None:
+        """Check that this parameter set is feasible for an ``n x d`` dataset."""
+        if self.k > self.effective_num_potential(n):
+            raise ParameterError(
+                f"k = {self.k} exceeds the number of potential medoids "
+                f"{self.effective_num_potential(n)} available for n = {n}"
+            )
+        if self.l > d:
+            raise ParameterError(
+                f"l = {self.l} exceeds data dimensionality d = {d}"
+            )
+
+    def with_(self, **changes: object) -> "ProclusParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True, slots=True)
+class ParameterGrid:
+    """A grid of ``(k, l)`` combinations for multi-parameter studies.
+
+    The paper's Section 5.3 evaluates 9 combinations of ``k`` and ``l``.
+    The grid is ordered with the *largest* ``k`` first because the
+    multi-parameter strategies pick the potential medoids once for the
+    largest ``k`` and reuse them for smaller settings.
+    """
+
+    ks: tuple[int, ...] = (12, 10, 8)
+    ls: tuple[int, ...] = (7, 5, 3)
+    base: ProclusParams = ProclusParams()
+
+    def __post_init__(self) -> None:
+        if not self.ks or not self.ls:
+            raise ParameterError("parameter grid must contain at least one k and one l")
+        if any(k < 1 for k in self.ks):
+            raise ParameterError(f"all k values must be >= 1, got {self.ks}")
+        if any(l < 2 for l in self.ls):
+            raise ParameterError(f"all l values must be >= 2, got {self.ls}")
+
+    @property
+    def max_k(self) -> int:
+        """The largest ``k`` in the grid (drives the shared medoid pick)."""
+        return max(self.ks)
+
+    def __len__(self) -> int:
+        return len(self.ks) * len(self.ls)
+
+    def __iter__(self) -> Iterator[ProclusParams]:
+        """Yield parameter sets, largest ``k`` first, then each ``l``."""
+        for k in sorted(self.ks, reverse=True):
+            for l in sorted(self.ls, reverse=True):
+                yield self.base.with_(k=k, l=l)

@@ -1,0 +1,84 @@
+"""Shared randomness protocol for all PROCLUS variants.
+
+PROCLUS takes four kinds of random decisions:
+
+1. drawing the random sample ``Data'`` of size ``A*k``;
+2. picking the greedy seed (the first potential medoid);
+3. picking the initial set of current medoids ``MCur`` from ``M``;
+4. replacing bad medoids with random points from ``M``.
+
+The paper claims that *"GPU-PROCLUS and all the algorithmic strategies
+produce the same clustering as PROCLUS"*.  To make this claim testable,
+every variant in this library draws randomness through a
+:class:`RandomSource` using the **same named draws in the same order**.
+Two runs constructed with the same seed therefore make identical random
+decisions regardless of which variant executes them, and the property
+tests assert that the resulting clusterings are byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["RandomSource"]
+
+
+class RandomSource:
+    """Seeded source of the random decisions PROCLUS makes.
+
+    Wraps a :class:`numpy.random.Generator`, exposing exactly the draws
+    the algorithm needs.  The wrapper also counts draws so tests can
+    verify that two variants consumed the same amount of randomness
+    (a cheap proxy for "took the same decisions").
+    """
+
+    def __init__(self, seed: int | np.random.Generator | None = None) -> None:
+        if isinstance(seed, np.random.Generator):
+            self._rng = seed
+        else:
+            self._rng = np.random.default_rng(seed)
+        self.draw_count = 0
+
+    def spawn(self) -> "RandomSource":
+        """Return an independent child source (for data generation etc.)."""
+        return RandomSource(self._rng.spawn(1)[0])
+
+    # ------------------------------------------------------------------
+    # The four PROCLUS decisions
+    # ------------------------------------------------------------------
+    def sample_indices(self, n: int, size: int) -> np.ndarray:
+        """Draw ``size`` distinct indices from ``range(n)`` (``Data'``)."""
+        self.draw_count += 1
+        return self._rng.choice(n, size=size, replace=False)
+
+    def greedy_seed(self, sample_size: int) -> int:
+        """Pick the index (into ``Data'``) of the first potential medoid."""
+        self.draw_count += 1
+        return int(self._rng.integers(sample_size))
+
+    def initial_medoids(self, num_potential: int, k: int) -> np.ndarray:
+        """Pick ``k`` distinct indices into ``M`` for the initial ``MCur``."""
+        self.draw_count += 1
+        return self._rng.choice(num_potential, size=k, replace=False)
+
+    def replacement_medoids(
+        self, candidates: Sequence[int] | np.ndarray, count: int
+    ) -> np.ndarray:
+        """Pick ``count`` distinct replacement medoids from ``candidates``.
+
+        ``candidates`` are indices into ``M`` that are not currently in
+        use; the returned indices replace the bad medoids.
+        """
+        self.draw_count += 1
+        candidates = np.asarray(candidates)
+        return self._rng.choice(candidates, size=count, replace=False)
+
+    # ------------------------------------------------------------------
+    # General-purpose draws (data generation, workloads)
+    # ------------------------------------------------------------------
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying numpy generator, for data-generation code."""
+        return self._rng

@@ -1,0 +1,5 @@
+"""Terminal visualization: ASCII charts for benchmark series and traces."""
+
+from .ascii import bar_chart, line_chart, log_line_chart, sparkline
+
+__all__ = ["bar_chart", "line_chart", "log_line_chart", "sparkline"]

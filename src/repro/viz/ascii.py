@@ -1,0 +1,149 @@
+"""ASCII charts: render benchmark series without a plotting stack.
+
+The paper's figures are log-log running-time plots; this module renders
+the same series legibly in a terminal, which is all the benchmark
+harness needs (`python -m repro bench fig2ab --plot`).  Pure functions
+from data to strings — easy to test, nothing to configure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["sparkline", "bar_chart", "line_chart", "log_line_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line chart: each value becomes one block character."""
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return _SPARK_LEVELS[0] * len(values)
+    out = []
+    for v in values:
+        level = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    labels = [str(x) for x in labels]
+    values = list(values)
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels for {len(values)} values"
+        )
+    if not values:
+        return "(no data)"
+    peak = max(values)
+    label_width = max(len(x) for x in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * (round(value / peak * width) if peak > 0 else 0)
+        lines.append(
+            f"{label.rjust(label_width)} |{bar.ljust(width)}| "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def _render_grid(
+    xs: list[float],
+    series: dict[str, list[float]],
+    width: int,
+    height: int,
+    x_label: str,
+    y_format,
+) -> str:
+    markers = "*o+x@%&"
+    all_y = [y for ys in series.values() for y in ys]
+    lo, hi = min(all_y), max(all_y)
+    span = (hi - lo) or 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height + 1)]
+    for index, (name, ys) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, ys):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - round((y - lo) / span * height)
+            grid[row][col] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        value = hi - (row_index / height) * span
+        lines.append(f"{y_format(value):>12} |{''.join(row)}")
+    lines.append(" " * 13 + "+" + "-" * width)
+    lines.append(" " * 14 + x_label)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "x",
+) -> str:
+    """Multi-series scatter/line chart on linear axes."""
+    xs = [float(x) for x in xs]
+    series = {name: [float(v) for v in ys] for name, ys in series.items()}
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} x values"
+            )
+    if not xs or not series:
+        return "(no data)"
+    return _render_grid(xs, series, width, height, x_label, lambda v: f"{v:.4g}")
+
+
+def log_line_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "x (log)",
+) -> str:
+    """Multi-series chart on log-log axes (the paper's figure style).
+
+    All values must be positive.
+    """
+    xs = [float(x) for x in xs]
+    if any(x <= 0 for x in xs):
+        raise ValueError("log chart requires positive x values")
+    log_series = {}
+    for name, ys in series.items():
+        ys = [float(v) for v in ys]
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} x values"
+            )
+        if any(v <= 0 for v in ys):
+            raise ValueError(f"log chart requires positive values in {name!r}")
+        log_series[name] = [math.log10(v) for v in ys]
+    if not xs or not series:
+        return "(no data)"
+    log_xs = [math.log10(x) for x in xs]
+    return _render_grid(
+        log_xs, log_series, width, height, x_label,
+        lambda v: f"{10 ** v:.3g}",
+    )

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.normalize import minmax_normalize
+from repro.data.synthetic import generate_subspace_data
+from repro.params import ProclusParams
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small, well-separated projected-cluster dataset (normalized)."""
+    dataset = generate_subspace_data(
+        n=600, d=8, n_clusters=4, subspace_dims=4, std=2.0, seed=7
+    )
+    return minmax_normalize(dataset.data), dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A tiny dataset for emulator-scale tests (normalized)."""
+    dataset = generate_subspace_data(
+        n=150, d=6, n_clusters=3, subspace_dims=3, std=3.0, seed=11
+    )
+    return minmax_normalize(dataset.data), dataset
+
+
+@pytest.fixture(scope="session")
+def medium_dataset():
+    """The default-style workload, scaled down (normalized)."""
+    dataset = generate_subspace_data(n=4000, d=12, n_clusters=6, seed=3)
+    return minmax_normalize(dataset.data), dataset
+
+
+@pytest.fixture
+def small_params():
+    """Parameters sized for the small fixtures."""
+    return ProclusParams(k=4, l=3, a=30, b=5)
+
+
+@pytest.fixture
+def tiny_params():
+    return ProclusParams(k=3, l=3, a=20, b=4)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,80 @@
+"""Tests for the public API (repro.proclus / repro.run_parameter_study)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import BACKENDS, proclus, run_parameter_study
+from repro.exceptions import ParameterError
+from repro.params import ProclusParams
+
+
+class TestProclusFunction:
+    def test_default_backend_is_gpu_fast(self, small_dataset):
+        data, _ = small_dataset
+        r = proclus(data, k=4, l=3, seed=0)
+        assert r.stats.backend == "gpu-fast-proclus"
+
+    def test_unknown_backend_lists_options(self, small_dataset):
+        data, _ = small_dataset
+        with pytest.raises(ParameterError) as err:
+            proclus(data, backend="quantum")
+        assert "gpu-fast" in str(err.value)
+
+    def test_k_l_shortcut_matches_params_object(self, small_dataset):
+        data, _ = small_dataset
+        a = proclus(data, k=4, l=3, backend="proclus", seed=1)
+        b = proclus(
+            data, params=ProclusParams(k=4, l=3), backend="proclus", seed=1
+        )
+        assert a.same_clustering(b)
+
+    def test_explicit_params_override_k_l(self, small_dataset):
+        data, _ = small_dataset
+        r = proclus(
+            data, k=9, l=7, params=ProclusParams(k=4, l=3, a=30, b=5),
+            backend="proclus", seed=0,
+        )
+        assert r.k == 4
+
+    def test_normalize_flag(self):
+        rng = np.random.default_rng(0)
+        raw = (rng.random((600, 6)) * 50.0 + 10.0).astype(np.float32)
+        r = proclus(raw, k=3, l=3, backend="proclus", seed=0, normalize=True)
+        assert r.k == 3
+
+    def test_all_backends_registered(self):
+        assert set(BACKENDS) == {
+            "proclus", "fast", "fast-star",
+            "gpu", "gpu-fast", "gpu-fast-star",
+            "multicore", "multicore-fast", "multicore-fast-star",
+            "fast-dist-only", "fast-h-only",
+            "gpu-fast-dist-only", "gpu-fast-h-only",
+        }
+
+    def test_backend_names_match_engine_backend_name(self, small_dataset):
+        data, _ = small_dataset
+        for name, cls in BACKENDS.items():
+            assert cls.backend_name  # every engine declares its name
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_symbols_importable(self):
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol), symbol
+
+    def test_run_parameter_study_normalize_flag(self):
+        rng = np.random.default_rng(1)
+        raw = (rng.random((800, 6)) * 9.0).astype(np.float32)
+        from repro.params import ParameterGrid
+
+        grid = ParameterGrid(ks=(3,), ls=(2,), base=ProclusParams(a=20, b=4))
+        study = run_parameter_study(
+            raw, grid=grid, backend="fast", level=0, seed=0, normalize=True
+        )
+        assert study.num_settings == 1

@@ -1,0 +1,138 @@
+"""Tests for the full-dimensional baselines (CLARANS, k-means)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import clarans, kmeans
+from repro.data.normalize import minmax_normalize
+from repro.data.synthetic import generate_subspace_data
+from repro.eval.metrics import adjusted_rand_index
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def fulldim_blobs():
+    """Well-separated full-dimensional blobs (easy for both baselines)."""
+    rng = np.random.default_rng(0)
+    centers = np.array([[0.2] * 5, [0.8] * 5, [0.2, 0.8, 0.2, 0.8, 0.2]])
+    data = np.vstack(
+        [rng.normal(c, 0.03, size=(150, 5)) for c in centers]
+    ).astype(np.float32)
+    labels = np.repeat([0, 1, 2], 150)
+    order = rng.permutation(len(data))
+    return np.clip(data[order], 0, 1), labels[order]
+
+
+class TestClarans:
+    def test_recovers_separated_blobs(self, fulldim_blobs):
+        data, truth = fulldim_blobs
+        result = clarans(data, k=3, num_local=2, max_neighbor=200, seed=0)
+        assert adjusted_rand_index(truth, result.labels) > 0.95
+
+    def test_result_shape(self, fulldim_blobs):
+        data, _ = fulldim_blobs
+        result = clarans(data, k=3, seed=0)
+        assert result.k == 3
+        assert result.labels.shape == (data.shape[0],)
+        assert len(np.unique(result.medoids)) == 3
+        assert result.cost > 0
+        assert result.nodes_examined > 0
+
+    def test_deterministic(self, fulldim_blobs):
+        data, _ = fulldim_blobs
+        a = clarans(data, k=3, max_neighbor=100, seed=7)
+        b = clarans(data, k=3, max_neighbor=100, seed=7)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.cost == b.cost
+
+    def test_labels_point_to_nearest_medoid(self, fulldim_blobs):
+        data, _ = fulldim_blobs
+        result = clarans(data, k=3, max_neighbor=100, seed=0)
+        for i, mid in enumerate(result.medoids):
+            assert result.labels[mid] == i
+
+    def test_more_restarts_never_worse(self, fulldim_blobs):
+        data, _ = fulldim_blobs
+        one = clarans(data, k=3, num_local=1, max_neighbor=50, seed=3)
+        many = clarans(data, k=3, num_local=4, max_neighbor=50, seed=3)
+        assert many.cost <= one.cost
+
+    @pytest.mark.parametrize("kwargs", [
+        {"k": 0}, {"k": 10_000}, {"num_local": 0}, {"max_neighbor": 0},
+    ])
+    def test_validation(self, fulldim_blobs, kwargs):
+        data, _ = fulldim_blobs
+        base = dict(k=3, seed=0)
+        base.update(kwargs)
+        with pytest.raises(ParameterError):
+            clarans(data, **base)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, fulldim_blobs):
+        data, truth = fulldim_blobs
+        result = kmeans(data, k=3, seed=0)
+        assert adjusted_rand_index(truth, result.labels) > 0.95
+
+    def test_inertia_decreases_with_more_clusters(self, fulldim_blobs):
+        data, _ = fulldim_blobs
+        i2 = kmeans(data, k=2, seed=0).inertia
+        i6 = kmeans(data, k=6, seed=0).inertia
+        assert i6 < i2
+
+    def test_centroid_is_cluster_mean(self, fulldim_blobs):
+        data, _ = fulldim_blobs
+        result = kmeans(data, k=3, seed=0)
+        for i in range(3):
+            members = data[result.labels == i]
+            assert np.allclose(result.centroids[i], members.mean(axis=0), atol=1e-5)
+
+    def test_deterministic(self, fulldim_blobs):
+        data, _ = fulldim_blobs
+        a = kmeans(data, k=3, seed=5)
+        b = kmeans(data, k=3, seed=5)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_k_equals_n_degenerate(self):
+        data = np.random.default_rng(0).random((10, 3)).astype(np.float32)
+        result = kmeans(data, k=10, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_duplicate_points_handled(self):
+        data = np.zeros((20, 3), dtype=np.float32)
+        result = kmeans(data, k=3, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("kwargs", [{"k": 0}, {"max_iterations": 0}])
+    def test_validation(self, fulldim_blobs, kwargs):
+        data, _ = fulldim_blobs
+        base = dict(k=3, seed=0)
+        base.update(kwargs)
+        with pytest.raises(ParameterError):
+            kmeans(data, **base)
+
+
+class TestMotivatingClaim:
+    """The paper's premise: full-dim methods fail on subspace clusters."""
+
+    def test_proclus_beats_fulldim_on_subspace_data(self):
+        from repro import proclus
+        from repro.params import ProclusParams
+
+        ds = generate_subspace_data(
+            n=2000, d=30, n_clusters=4, subspace_dims=4, std=2.0, seed=13
+        )
+        data = minmax_normalize(ds.data)
+        km_ari = adjusted_rand_index(
+            ds.labels, kmeans(data, k=4, seed=0).labels
+        )
+        params = ProclusParams(k=4, l=4, a=40, b=6)
+        pr = min(
+            (proclus(data, backend="fast", params=params, seed=s)
+             for s in range(4)),
+            key=lambda r: r.cost,
+        )
+        pr_ari = adjusted_rand_index(ds.labels, pr.labels)
+        assert pr_ari > km_ari + 0.3

@@ -1,0 +1,93 @@
+"""Structural tests for the figure experiment functions.
+
+The full sweeps run in the benchmark suite; here the workload module is
+monkeypatched down to tiny sizes so every experiment function's
+*structure* (rows, columns, key numbers, paper references) is exercised
+inside the unit-test budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import figures, workloads
+
+
+@pytest.fixture(autouse=True)
+def tiny_scales(monkeypatch):
+    monkeypatch.setattr(workloads, "default_n", lambda: 1_024)
+    monkeypatch.setattr(workloads, "repeats", lambda: 1)
+    monkeypatch.setattr(workloads, "n_sweep", lambda: [512, 1_024])
+    monkeypatch.setattr(workloads, "multiparam_n_sweep", lambda: [2_048])
+    monkeypatch.setattr(workloads, "d_sweep", lambda: [6, 10])
+    monkeypatch.setattr(workloads, "data_cluster_sweep", lambda: [2, 4])
+    monkeypatch.setattr(workloads, "stddev_sweep", lambda: [2.0, 8.0])
+    monkeypatch.setattr(workloads, "realworld_names", lambda: ["glass"])
+
+
+class TestFigureStructure:
+    def test_fig1_rows_per_size(self):
+        report = figures.fig1_strategy_speedup()
+        assert report.experiment_id == "fig1"
+        assert len(report.rows) == 2
+        assert "gpu_fast_vs_gpu" in report.key_numbers
+
+    def test_fig2ab_all_variants_and_series(self):
+        report = figures.fig2ab_scale_n()
+        assert len(report.rows) == 2
+        assert len(report.columns) == len(figures.ALL_VARIANTS) + 2
+        assert "max_speedup" in report.key_numbers
+        assert "proclus" in report.series and "gpu-fast" in report.series
+
+    def test_fig2cd_rows_per_dimension(self):
+        report = figures.fig2cd_scale_d()
+        assert [row[0] for row in report.rows] == [6, 10]
+
+    def test_fig2e_rows_per_cluster_count(self):
+        report = figures.fig2e_data_clusters()
+        assert [row[0] for row in report.rows] == [2, 4]
+
+    def test_fig2f_rows_per_std(self):
+        report = figures.fig2f_stddev()
+        assert [row[0] for row in report.rows] == [2.0, 8.0]
+
+    def test_fig2gk_covers_all_five_parameters(self):
+        report = figures.fig2gk_params()
+        figures_seen = {row[0] for row in report.rows}
+        assert figures_seen == {"fig2g", "fig2h", "fig2i", "fig2j", "fig2k"}
+
+    def test_fig3ae_includes_footprint_note(self):
+        report = figures.fig3ae_multiparam_scale()
+        assert "gpu_fast_bytes_at_8M" in report.key_numbers
+        assert "out of memory" in report.paper_reference
+        assert "gpu-fast mp3" in report.series
+
+    def test_fig3f_ratio_column(self):
+        report = figures.fig3f_space()
+        assert report.key_numbers["fast_over_fast_star"] > 1.5
+
+    def test_fig3g_runs_on_standins(self):
+        report = figures.fig3g_realworld()
+        assert [row[0] for row in report.rows] == ["glass"]
+        assert "best_realworld_speedup" in report.key_numbers
+
+    def test_sec53_four_levels(self):
+        report = figures.sec53_multiparam_levels()
+        assert [row[0] for row in report.rows] == [0, 1, 2, 3]
+        assert report.key_numbers["level0_speedup"] == 1.0
+
+    def test_ablation_columns(self):
+        report = figures.ablation_strategies()
+        assert len(report.rows) == 2
+        assert "dist-cache only" in report.columns
+
+    def test_every_report_renders(self):
+        for fn in (
+            figures.fig1_strategy_speedup,
+            figures.fig3f_space,
+            figures.sec54_utilization,
+        ):
+            report = fn()
+            text = report.render()
+            assert report.experiment_id in text
+            assert "paper:" in text

@@ -1,0 +1,53 @@
+"""Tests for dataset persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_saved_dataset, save_dataset
+from repro.data.synthetic import generate_subspace_data
+from repro.exceptions import DataValidationError
+
+
+@pytest.fixture
+def dataset():
+    return generate_subspace_data(n=120, d=5, n_clusters=3, subspace_dims=2, seed=0)
+
+
+def test_round_trip(tmp_path, dataset):
+    path = save_dataset(dataset, tmp_path / "ds.npz")
+    loaded = load_saved_dataset(path)
+    assert np.array_equal(loaded.data, dataset.data)
+    assert np.array_equal(loaded.labels, dataset.labels)
+    assert loaded.subspaces == dataset.subspaces
+    assert loaded.name == dataset.name
+
+
+def test_extension_appended(tmp_path, dataset):
+    path = save_dataset(dataset, tmp_path / "plain")
+    assert path.suffix == ".npz"
+    assert path.exists()
+
+
+def test_parent_directories_created(tmp_path, dataset):
+    path = save_dataset(dataset, tmp_path / "a" / "b" / "ds.npz")
+    assert path.exists()
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(DataValidationError, match="not found"):
+        load_saved_dataset(tmp_path / "nope.npz")
+
+
+def test_foreign_npz_rejected(tmp_path):
+    path = tmp_path / "foreign.npz"
+    np.savez(path, other=np.arange(3))
+    with pytest.raises(DataValidationError, match="not a saved dataset"):
+        load_saved_dataset(path)
+
+
+def test_subspace_tuples_are_ints(tmp_path, dataset):
+    loaded = load_saved_dataset(save_dataset(dataset, tmp_path / "x.npz"))
+    for dims in loaded.subspaces:
+        assert all(isinstance(j, int) for j in dims)

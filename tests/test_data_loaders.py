@@ -1,0 +1,135 @@
+"""Tests for the delimited-file loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import load_delimited
+from repro.exceptions import DataValidationError
+
+
+def write(tmp_path, text, name="data.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestBasicParsing:
+    def test_headerless_numeric(self, tmp_path):
+        path = write(tmp_path, "1,2,3\n4,5,6\n")
+        table = load_delimited(path)
+        assert table.data.shape == (2, 3)
+        assert table.labels is None
+        assert table.feature_names == ("f0", "f1", "f2")
+
+    def test_header_detected(self, tmp_path):
+        path = write(tmp_path, "a,b\n1,2\n3,4\n")
+        table = load_delimited(path)
+        assert table.feature_names == ("a", "b")
+        assert table.n == 2
+
+    def test_header_forced_off(self, tmp_path):
+        path = write(tmp_path, "1,2\n3,4\n")
+        table = load_delimited(path, has_header=False)
+        assert table.n == 2
+
+    def test_custom_delimiter(self, tmp_path):
+        path = write(tmp_path, "1;2\n3;4\n")
+        table = load_delimited(path, delimiter=";")
+        assert table.data.shape == (2, 2)
+
+    def test_float32_output(self, tmp_path):
+        path = write(tmp_path, "1.5,2.5\n")
+        assert load_delimited(path).data.dtype == np.float32
+
+
+class TestLabels:
+    def test_label_by_index(self, tmp_path):
+        path = write(tmp_path, "1,2,red\n3,4,blue\n5,6,red\n")
+        table = load_delimited(path, label_column=-1)
+        assert table.data.shape == (3, 2)
+        assert table.labels.tolist() == [0, 1, 0]
+        assert table.label_mapping == {"red": 0, "blue": 1}
+
+    def test_label_by_name(self, tmp_path):
+        path = write(tmp_path, "x,y,class\n1,2,a\n3,4,b\n")
+        table = load_delimited(path, label_column="class")
+        assert table.feature_names == ("x", "y")
+        assert table.labels.tolist() == [0, 1]
+
+    def test_named_label_without_header_rejected(self, tmp_path):
+        path = write(tmp_path, "1,2,a\n")
+        with pytest.raises(DataValidationError, match="no header"):
+            load_delimited(path, has_header=False, label_column="class")
+
+    def test_unknown_label_name_rejected(self, tmp_path):
+        path = write(tmp_path, "x,y\n1,2\n")
+        with pytest.raises(DataValidationError, match="not in header"):
+            load_delimited(path, label_column="class")
+
+    def test_label_index_out_of_range(self, tmp_path):
+        path = write(tmp_path, "1,2\n")
+        with pytest.raises(DataValidationError, match="out of range"):
+            load_delimited(path, label_column=5)
+
+
+class TestMissingValues:
+    def test_rows_with_missing_dropped(self, tmp_path):
+        path = write(tmp_path, "1,2\n?,4\n5,6\n")
+        table = load_delimited(path)
+        assert table.n == 2
+
+    def test_missing_raises_when_not_dropping(self, tmp_path):
+        path = write(tmp_path, "1,2\n?,4\n")
+        with pytest.raises(DataValidationError, match="missing"):
+            load_delimited(path, drop_missing=False)
+
+    def test_all_rows_missing_rejected(self, tmp_path):
+        path = write(tmp_path, "?,1\n2,?\n")
+        with pytest.raises(DataValidationError, match="every row"):
+            load_delimited(path)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataValidationError, match="not found"):
+            load_delimited(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        with pytest.raises(DataValidationError, match="no data"):
+            load_delimited(write(tmp_path, ""))
+
+    def test_header_only(self, tmp_path):
+        with pytest.raises(DataValidationError, match="no data rows"):
+            load_delimited(write(tmp_path, "a,b\n"))
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        with pytest.raises(DataValidationError, match="differing width"):
+            load_delimited(write(tmp_path, "1,2\n3,4,5\n"))
+
+    def test_non_numeric_feature_rejected(self, tmp_path):
+        with pytest.raises(DataValidationError, match="non-numeric"):
+            load_delimited(write(tmp_path, "1,2\n3,oops\n"), has_header=False)
+
+
+class TestEndToEnd:
+    def test_loaded_table_clusters(self, tmp_path):
+        """A loaded CSV flows straight into proclus()."""
+        rng = np.random.default_rng(0)
+        rows = ["x,y,z,class"]
+        for c, center in enumerate((0.2, 0.8)):
+            for _ in range(120):
+                p = rng.normal(center, 0.03, 3)
+                rows.append(",".join(f"{v:.4f}" for v in p) + f",c{c}")
+        path = write(tmp_path, "\n".join(rows) + "\n")
+        table = load_delimited(path, label_column="class")
+
+        from repro import proclus
+        from repro.data import minmax_normalize
+        from repro.eval.metrics import purity
+
+        result = proclus(
+            minmax_normalize(table.data), k=2, l=2, backend="fast", seed=0,
+        )
+        assert purity(table.labels, result.labels) > 0.95

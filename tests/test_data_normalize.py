@@ -1,0 +1,96 @@
+"""Tests for min-max normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.normalize import minmax_normalize
+from repro.exceptions import DataValidationError
+
+
+class TestBasic:
+    def test_output_in_unit_interval(self):
+        data = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        out = minmax_normalize(data)
+        assert out.min() == 0.0
+        assert out.max() == 1.0
+
+    def test_column_wise(self):
+        data = np.array([[0.0, 100.0], [10.0, 200.0]])
+        out = minmax_normalize(data)
+        assert np.allclose(out, [[0.0, 0.0], [1.0, 1.0]])
+
+    def test_constant_dimension_maps_to_zero(self):
+        data = np.array([[5.0, 1.0], [5.0, 2.0]])
+        out = minmax_normalize(data)
+        assert np.all(out[:, 0] == 0.0)
+        assert np.allclose(out[:, 1], [0.0, 1.0])
+
+    def test_input_not_modified(self):
+        data = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+        copy = data.copy()
+        minmax_normalize(data)
+        assert np.array_equal(data, copy)
+
+    def test_returns_float32(self):
+        out = minmax_normalize(np.array([[1, 2], [3, 4]], dtype=np.int64))
+        assert out.dtype == np.float32
+
+    def test_single_row(self):
+        out = minmax_normalize(np.array([[3.0, 4.0]]))
+        assert np.all(out == 0.0)
+
+    def test_negative_values(self):
+        out = minmax_normalize(np.array([[-10.0], [0.0], [10.0]]))
+        assert np.allclose(out.ravel(), [0.0, 0.5, 1.0])
+
+
+class TestValidation:
+    def test_rejects_1d(self):
+        with pytest.raises(DataValidationError):
+            minmax_normalize(np.array([1.0, 2.0]))
+
+    def test_rejects_3d(self):
+        with pytest.raises(DataValidationError):
+            minmax_normalize(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataValidationError):
+            minmax_normalize(np.zeros((0, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataValidationError, match="NaN"):
+            minmax_normalize(np.array([[1.0, np.nan]]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(DataValidationError, match="NaN or infinite"):
+            minmax_normalize(np.array([[1.0, np.inf]]))
+
+    def test_rejects_strings(self):
+        with pytest.raises(DataValidationError):
+            minmax_normalize(np.array([["a", "b"]]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float32,
+        shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=30),
+        elements=st.floats(-1e6, 1e6, width=32),
+    )
+)
+def test_property_output_bounded(data):
+    out = minmax_normalize(data)
+    assert out.shape == data.shape
+    assert np.all(out >= 0.0)
+    assert np.all(out <= 1.0)
+    # Each non-constant column attains both 0 and 1.
+    for j in range(data.shape[1]):
+        col = data[:, j]
+        if col.max() > col.min():
+            assert out[:, j].min() == 0.0
+            assert out[:, j].max() == 1.0

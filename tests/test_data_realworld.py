@@ -1,0 +1,70 @@
+"""Tests for the real-world stand-in datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.realworld import REAL_WORLD_SIZES, dataset_names, load_dataset
+from repro.exceptions import DataValidationError
+
+SMALL = ["glass", "vowel", "pendigits"]
+
+
+class TestCatalog:
+    def test_published_sizes(self):
+        assert REAL_WORLD_SIZES["glass"] == (214, 9)
+        assert REAL_WORLD_SIZES["vowel"] == (990, 10)
+        assert REAL_WORLD_SIZES["pendigits"] == (7_494, 16)
+        assert REAL_WORLD_SIZES["sky-1x1"] == (30_390, 17)
+        assert REAL_WORLD_SIZES["sky-2x2"] == (133_095, 17)
+        assert REAL_WORLD_SIZES["sky-5x5"] == (934_073, 17)
+
+    def test_names_sorted_by_size(self):
+        names = dataset_names()
+        sizes = [REAL_WORLD_SIZES[n][0] for n in names]
+        assert sizes == sorted(sizes)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DataValidationError, match="unknown dataset"):
+            load_dataset("mnist")
+
+
+class TestStandins:
+    @pytest.mark.parametrize("name", SMALL)
+    def test_shape_matches_catalog(self, name):
+        ds = load_dataset(name, seed=0)
+        assert (ds.n, ds.d) == REAL_WORLD_SIZES[name]
+        assert ds.name == name
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_deterministic(self, name):
+        a = load_dataset(name, seed=1)
+        b = load_dataset(name, seed=1)
+        assert np.array_equal(a.data, b.data)
+
+    def test_seed_changes_data(self):
+        a = load_dataset("glass", seed=1)
+        b = load_dataset("glass", seed=2)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_sky_shape_and_coordinates(self):
+        ds = load_dataset("sky-1x1", seed=0)
+        assert (ds.n, ds.d) == (30_390, 17)
+        # First two features are the sky coordinates; subspaces refer to
+        # the photometric features only (offset by 2).
+        for dims in ds.subspaces:
+            assert all(j >= 2 for j in dims)
+
+    def test_sky_contains_noise_tail(self):
+        ds = load_dataset("sky-1x1", seed=0)
+        assert np.count_nonzero(ds.labels == -1) > 0
+
+    def test_uci_standins_have_classes(self):
+        ds = load_dataset("glass", seed=0)
+        classes = set(np.unique(ds.labels)) - {-1}
+        assert len(classes) == 6
+
+    def test_data_finite(self):
+        ds = load_dataset("vowel", seed=0)
+        assert np.all(np.isfinite(ds.data))

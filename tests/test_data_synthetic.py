@@ -1,0 +1,143 @@
+"""Tests for the synthetic subspace-cluster generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.synthetic import SyntheticDataset, default_dataset, generate_subspace_data
+from repro.exceptions import DataValidationError
+
+
+class TestShapes:
+    def test_shapes_and_dtypes(self):
+        ds = generate_subspace_data(n=500, d=10, n_clusters=4, seed=0)
+        assert ds.data.shape == (500, 10)
+        assert ds.data.dtype == np.float32
+        assert ds.labels.shape == (500,)
+        assert len(ds.subspaces) == 4
+
+    def test_properties(self):
+        ds = generate_subspace_data(n=200, d=7, n_clusters=3, subspace_dims=2, seed=0)
+        assert ds.n == 200
+        assert ds.d == 7
+        assert ds.n_clusters == 3
+
+    def test_every_point_labeled(self):
+        ds = generate_subspace_data(n=300, d=5, n_clusters=5, subspace_dims=3, seed=1)
+        assert set(np.unique(ds.labels)) == set(range(5))
+
+    def test_values_within_range(self):
+        ds = generate_subspace_data(n=400, d=6, seed=2, n_clusters=4,
+                                    subspace_dims=3, value_range=(0.0, 100.0))
+        assert ds.data.min() >= 0.0
+        assert ds.data.max() <= 100.0
+
+    def test_subspaces_sorted_unique_in_range(self):
+        ds = generate_subspace_data(n=300, d=9, n_clusters=5, subspace_dims=4, seed=3)
+        for dims in ds.subspaces:
+            assert list(dims) == sorted(set(dims))
+            assert all(0 <= j < 9 for j in dims)
+            assert len(dims) == 4
+
+
+class TestStructure:
+    def test_clusters_concentrated_in_their_subspace(self):
+        """Within the true subspace the per-cluster std must be ~std,
+        far below the uniform-noise std in other dimensions."""
+        ds = generate_subspace_data(
+            n=2000, d=10, n_clusters=3, subspace_dims=4, std=2.0, seed=4
+        )
+        for i, dims in enumerate(ds.subspaces):
+            members = ds.data[ds.labels == i]
+            in_std = members[:, list(dims)].std(axis=0).mean()
+            other = [j for j in range(10) if j not in dims]
+            out_std = members[:, other].std(axis=0).mean()
+            assert in_std < 6.0
+            assert out_std > 20.0  # uniform over [0, 100] has std ~28.9
+
+    def test_noise_fraction_produces_outlier_labels(self):
+        ds = generate_subspace_data(
+            n=1000, d=6, n_clusters=3, subspace_dims=3, noise_fraction=0.2, seed=5
+        )
+        n_noise = int(np.count_nonzero(ds.labels == -1))
+        assert n_noise == 200
+
+    def test_point_order_shuffled(self):
+        ds = generate_subspace_data(n=500, d=5, n_clusters=2, subspace_dims=2, seed=6)
+        # Labels must not be sorted (a sorted layout would leak the truth).
+        assert not np.all(np.diff(ds.labels) >= 0)
+
+    def test_deterministic_given_seed(self):
+        a = generate_subspace_data(n=200, d=5, seed=42, n_clusters=3, subspace_dims=2)
+        b = generate_subspace_data(n=200, d=5, seed=42, n_clusters=3, subspace_dims=2)
+        assert np.array_equal(a.data, b.data)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.subspaces == b.subspaces
+
+    def test_different_seeds_differ(self):
+        a = generate_subspace_data(n=200, d=5, seed=1, n_clusters=3, subspace_dims=2)
+        b = generate_subspace_data(n=200, d=5, seed=2, n_clusters=3, subspace_dims=2)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_accepts_generator_instance(self):
+        gen = np.random.default_rng(0)
+        ds = generate_subspace_data(n=100, d=4, n_clusters=2, subspace_dims=2, seed=gen)
+        assert ds.n == 100
+
+    def test_default_dataset_matches_paper_shape(self):
+        ds = default_dataset(n=1000, seed=0)
+        assert ds.d == 15
+        assert ds.n_clusters == 10
+        assert all(len(dims) == 5 for dims in ds.subspaces)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0},
+            {"d": 0},
+            {"n_clusters": 0},
+            {"n": 10, "n_clusters": 11},
+            {"subspace_dims": 0},
+            {"d": 5, "subspace_dims": 6},
+            {"std": 0.0},
+            {"std": -1.0},
+            {"noise_fraction": -0.1},
+            {"noise_fraction": 1.0},
+            {"value_range": (5.0, 5.0)},
+            {"value_range": (10.0, 1.0)},
+        ],
+    )
+    def test_rejects_invalid_arguments(self, kwargs):
+        base = dict(n=100, d=5, n_clusters=3, subspace_dims=2, seed=0)
+        base.update(kwargs)
+        with pytest.raises(DataValidationError):
+            generate_subspace_data(**base)
+
+    def test_rejects_excessive_noise(self):
+        with pytest.raises(DataValidationError, match="too much noise"):
+            generate_subspace_data(
+                n=10, d=4, n_clusters=8, subspace_dims=2,
+                noise_fraction=0.5, seed=0,
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(10, 400),
+        d=st.integers(2, 12),
+        clusters=st.integers(1, 5),
+    )
+    def test_sizes_always_sum_to_n(self, n, d, clusters):
+        if clusters > n:
+            return
+        sub = min(2, d)
+        ds = generate_subspace_data(
+            n=n, d=d, n_clusters=clusters, subspace_dims=sub, seed=0
+        )
+        assert ds.data.shape == (n, d)
+        sizes = np.bincount(ds.labels, minlength=clusters)
+        assert sizes.sum() == n
+        assert (sizes >= 1).all()

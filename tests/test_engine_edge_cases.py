@@ -1,0 +1,151 @@
+"""Edge cases of the engine loop: degenerate parameters and datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro import proclus
+from repro.core.state import NEVER_USED_DELTA
+from repro.params import ProclusParams
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.data.normalize import minmax_normalize
+    from repro.data.synthetic import generate_subspace_data
+
+    ds = generate_subspace_data(n=600, d=6, n_clusters=3, subspace_dims=3, seed=1)
+    return minmax_normalize(ds.data)
+
+
+class TestDegenerateParameters:
+    def test_b_equals_one_no_replacement_candidates(self, data):
+        """With B=1 there are exactly k potential medoids: nothing can be
+        replaced and the search must still terminate cleanly."""
+        params = ProclusParams(k=3, l=3, a=10, b=1)
+        for backend in ("proclus", "fast", "gpu-fast"):
+            result = proclus(data, backend=backend, params=params, seed=0)
+            # With a frozen medoid set, after the first (improving)
+            # iteration every further one repeats the same clustering.
+            assert result.iterations == 1 + params.patience
+            assert result.best_iteration == 0
+
+    def test_k_equals_one(self, data):
+        """A single cluster: delta_i has no other medoid (infinite sphere),
+        everything is assigned to it, no outliers exist."""
+        params = ProclusParams(k=1, l=3, a=30, b=5)
+        result = proclus(data, backend="proclus", params=params, seed=0)
+        assert result.k == 1
+        assert result.n_outliers == 0
+        assert np.all(result.labels == 0)
+        assert len(result.dimensions[0]) == 3
+
+    def test_k_equals_one_identical_across_variants(self, data):
+        params = ProclusParams(k=1, l=2, a=20, b=4)
+        base = proclus(data, backend="proclus", params=params, seed=2)
+        for backend in ("fast", "fast-star", "gpu", "gpu-fast"):
+            assert proclus(data, backend=backend, params=params, seed=2).same_clustering(base)
+
+    def test_max_iterations_caps_runaway(self, data):
+        params = ProclusParams(k=3, l=3, a=20, b=4, patience=50, max_iterations=4)
+        result = proclus(data, backend="fast", params=params, seed=0)
+        assert result.iterations == 4
+
+    def test_patience_one_minimal_search(self, data):
+        params = ProclusParams(k=3, l=3, a=20, b=4, patience=1)
+        result = proclus(data, backend="proclus", params=params, seed=0)
+        assert result.iterations >= 2  # first improves, one stale ends it
+
+    def test_l_equals_d_full_space(self, data):
+        params = ProclusParams(k=3, l=6, a=20, b=4)  # d = 6
+        result = proclus(data, backend="fast", params=params, seed=0)
+        for dims in result.dimensions:
+            assert dims == tuple(range(6))
+
+    def test_min_deviation_one(self, data):
+        params = ProclusParams(k=3, l=3, a=20, b=4, min_deviation=1.0)
+        result = proclus(data, backend="proclus", params=params, seed=0)
+        assert result.k == 3
+
+
+class TestDegenerateData:
+    def test_all_identical_points(self):
+        data = np.full((200, 5), 0.5, dtype=np.float32)
+        params = ProclusParams(k=2, l=2, a=10, b=3)
+        base = proclus(data, backend="proclus", params=params, seed=0)
+        fast = proclus(data, backend="fast", params=params, seed=0)
+        assert base.same_clustering(fast)
+        assert base.cost == 0.0
+
+    def test_single_informative_dimension(self):
+        rng = np.random.default_rng(0)
+        data = np.zeros((400, 5), dtype=np.float32)
+        data[:, 2] = rng.random(400)
+        params = ProclusParams(k=2, l=2, a=15, b=3)
+        result = proclus(data, backend="fast", params=params, seed=0)
+        assert result.k == 2
+
+    def test_two_points_two_clusters(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0]], dtype=np.float32)
+        params = ProclusParams(k=2, l=2, a=1, b=1)
+        result = proclus(data, backend="proclus", params=params, seed=0)
+        assert sorted(result.labels.tolist()) in ([0, 1], [-1, -1], [-1, 0], [-1, 1])
+
+    def test_d_equals_two_minimum(self):
+        rng = np.random.default_rng(1)
+        data = rng.random((300, 2), dtype=np.float32)
+        result = proclus(data, k=3, l=2, backend="fast", seed=0,
+                         params=ProclusParams(k=3, l=2, a=15, b=3))
+        assert all(dims == (0, 1) for dims in result.dimensions)
+
+
+class HIncrementalMachine(RuleBasedStateMachine):
+    """Stateful check of Theorem 3.2: arbitrary radius walks keep the
+    incrementally maintained H equal to the recomputed sum."""
+
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(1234)
+        self.data = rng.random((300, 4), dtype=np.float32)
+        self.medoid = self.data[7]
+        from repro.core.distance import euclidean_to_point
+
+        self.dist = euclidean_to_point(self.data, self.medoid)
+        self.h = np.zeros(4, dtype=np.float64)
+        self.size = 0
+        self.prev = np.float32(NEVER_USED_DELTA)
+
+    @rule(radius=st.floats(0.0, 1.5, width=32))
+    def update_radius(self, radius):
+        from repro.core.distance import abs_diff_dim_sums
+
+        radius = np.float32(radius)
+        if radius >= self.prev:
+            mask = (self.dist > self.prev) & (self.dist <= radius)
+            lam = 1
+        else:
+            mask = (self.dist > radius) & (self.dist <= self.prev)
+            lam = -1
+        if mask.any():
+            self.h += lam * abs_diff_dim_sums(self.data[mask], self.medoid)
+            self.size += lam * int(mask.sum())
+        self.prev = radius
+
+    @invariant()
+    def h_equals_recompute(self):
+        from repro.core.distance import abs_diff_dim_sums
+
+        mask = self.dist <= self.prev
+        expected = abs_diff_dim_sums(self.data[mask], self.medoid)
+        assert self.size == int(mask.sum())
+        assert np.array_equal(self.h, expected)
+
+
+TestHIncrementalMachine = HIncrementalMachine.TestCase
+TestHIncrementalMachine.settings = settings(
+    max_examples=20, stateful_step_count=20, deadline=None
+)

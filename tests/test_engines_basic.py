@@ -1,0 +1,160 @@
+"""Behavioral tests for the engine variants (validity invariants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BACKENDS, proclus
+from repro.exceptions import DataValidationError
+from repro.params import ProclusParams
+from repro.result import OUTLIER_LABEL
+
+CPU_BACKENDS = ["proclus", "fast", "fast-star"]
+
+
+def run(small_dataset, small_params, backend="proclus", seed=0, **kw):
+    data, _ = small_dataset
+    return proclus(data, backend=backend, params=small_params, seed=seed, **kw)
+
+
+class TestResultValidity:
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_labels_in_range(self, small_dataset, small_params, backend):
+        r = run(small_dataset, small_params, backend)
+        assert r.labels.shape == (small_dataset[0].shape[0],)
+        assert r.labels.min() >= OUTLIER_LABEL
+        assert r.labels.max() < small_params.k
+
+    def test_medoids_distinct_points(self, small_dataset, small_params):
+        r = run(small_dataset, small_params)
+        assert len(np.unique(r.medoids)) == small_params.k
+        assert r.medoids.min() >= 0
+        assert r.medoids.max() < small_dataset[0].shape[0]
+
+    def test_dimension_budget(self, small_dataset, small_params):
+        r = run(small_dataset, small_params)
+        assert len(r.dimensions) == small_params.k
+        assert sum(len(d) for d in r.dimensions) == small_params.total_dimensions
+        for dims in r.dimensions:
+            assert len(dims) >= 2
+            assert list(dims) == sorted(set(dims))
+
+    def test_costs_nonnegative(self, small_dataset, small_params):
+        r = run(small_dataset, small_params)
+        assert r.cost >= 0.0
+        assert r.refined_cost >= 0.0
+
+    def test_iteration_accounting(self, small_dataset, small_params):
+        r = run(small_dataset, small_params)
+        assert 1 <= r.iterations <= small_params.max_iterations
+        assert 0 <= r.best_iteration < r.iterations
+
+    def test_stats_populated(self, small_dataset, small_params):
+        r = run(small_dataset, small_params)
+        s = r.stats
+        assert s.backend == "proclus"
+        assert s.modeled_seconds > 0
+        assert s.wall_seconds > 0
+        assert s.peak_device_bytes > 0
+        assert s.counters
+        assert s.phase_seconds
+
+    def test_patience_bounds_tail_iterations(self, small_dataset):
+        params = ProclusParams(k=4, l=3, a=30, b=5, patience=2)
+        data, _ = small_dataset
+        r = proclus(data, backend="proclus", params=params, seed=0)
+        # After the best iteration, at most `patience` more iterations run
+        # in a row without improvement before stopping.
+        assert r.iterations <= r.best_iteration + 1 + 2 * params.patience + 1
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("backend", CPU_BACKENDS)
+    def test_same_seed_same_result(self, small_dataset, small_params, backend):
+        a = run(small_dataset, small_params, backend, seed=5)
+        b = run(small_dataset, small_params, backend, seed=5)
+        assert a.same_clustering(b)
+        assert a.cost == b.cost
+
+    def test_different_seeds_generally_differ(self, small_dataset, small_params):
+        results = [run(small_dataset, small_params, seed=s) for s in range(4)]
+        medoid_sets = {tuple(sorted(r.medoids.tolist())) for r in results}
+        assert len(medoid_sets) > 1
+
+
+class TestEngineLifecycle:
+    def test_engine_single_use(self, small_dataset, small_params):
+        from repro.core.proclus import ProclusEngine
+
+        data, _ = small_dataset
+        engine = ProclusEngine(params=small_params, seed=0)
+        engine.fit(data)
+        with pytest.raises(RuntimeError, match="single-use"):
+            engine.fit(data)
+
+    def test_best_positions_exposed(self, small_dataset, small_params):
+        from repro.core.proclus import ProclusEngine
+
+        data, _ = small_dataset
+        engine = ProclusEngine(params=small_params, seed=0)
+        result = engine.fit(data)
+        positions = engine.best_positions_
+        assert len(positions) == small_params.k
+        m = small_params.effective_num_potential(data.shape[0])
+        assert positions.min() >= 0 and positions.max() < m
+
+    def test_bad_initial_medoids_rejected(self, small_dataset, small_params):
+        from repro.core.proclus import ProclusEngine
+
+        data, _ = small_dataset
+        engine = ProclusEngine(
+            params=small_params, seed=0, initial_medoids=np.array([0, 0, 1, 2])
+        )
+        with pytest.raises(DataValidationError, match="distinct"):
+            engine.fit(data)
+
+
+class TestDataValidation:
+    def test_rejects_1d(self, small_params):
+        with pytest.raises(DataValidationError):
+            proclus(np.zeros(10), params=small_params)
+
+    def test_rejects_nan(self, small_params):
+        data = np.random.default_rng(0).random((200, 5)).astype(np.float32)
+        data[3, 2] = np.nan
+        with pytest.raises(DataValidationError):
+            proclus(data, params=small_params)
+
+    def test_rejects_non_numeric(self, small_params):
+        with pytest.raises(DataValidationError):
+            proclus(np.array([["a", "b"]]), params=small_params)
+
+    def test_accepts_float64_input(self, small_dataset, small_params):
+        data, _ = small_dataset
+        r = proclus(data.astype(np.float64), params=small_params, seed=0)
+        assert r.k == small_params.k
+
+    def test_l_larger_than_d_rejected(self, small_dataset):
+        data, _ = small_dataset  # d = 8
+        with pytest.raises(Exception, match="dimensionality"):
+            proclus(data, k=4, l=9, backend="proclus", seed=0)
+
+
+class TestSmallDatasets:
+    """The paper's sweeps include n < A*k; the sample caps at n."""
+
+    @pytest.mark.parametrize("backend", ["proclus", "fast", "gpu-fast"])
+    def test_tiny_n_with_default_a(self, backend):
+        from repro.data.synthetic import generate_subspace_data
+        from repro.data.normalize import minmax_normalize
+
+        ds = generate_subspace_data(n=60, d=6, n_clusters=3, subspace_dims=3, seed=0)
+        data = minmax_normalize(ds.data)
+        r = proclus(data, k=3, l=3, backend=backend, seed=0)
+        assert r.k == 3
+
+    def test_k_exceeding_n_rejected(self):
+        data = np.random.default_rng(0).random((5, 6)).astype(np.float32)
+        with pytest.raises(Exception):
+            proclus(data, k=10, l=3, backend="proclus", seed=0)

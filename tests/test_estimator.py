@@ -1,0 +1,131 @@
+"""Tests for the sklearn-style PROCLUS estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimator import PROCLUS
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def raw_data():
+    """Unnormalized data (the estimator normalizes internally)."""
+    from repro.data.synthetic import generate_subspace_data
+
+    ds = generate_subspace_data(
+        n=1500, d=8, n_clusters=4, subspace_dims=4, std=2.0, seed=0
+    )
+    return ds.data, ds
+
+
+def make(**kw):
+    defaults = dict(n_clusters=4, n_dimensions=3, a=25, b=5,
+                    backend="fast", random_state=0)
+    defaults.update(kw)
+    return PROCLUS(**defaults)
+
+
+class TestFit:
+    def test_fit_exposes_attributes(self, raw_data):
+        x, _ = raw_data
+        model = make().fit(x)
+        assert model.labels_.shape == (1500,)
+        assert len(model.medoid_indices_) == 4
+        assert len(model.cluster_subspaces_) == 4
+        assert model.cost_ > 0
+        assert model.n_iter_ >= 1
+        assert model.n_outliers_ >= 0
+
+    def test_fit_predict_equals_labels(self, raw_data):
+        x, _ = raw_data
+        model = make()
+        labels = model.fit_predict(x)
+        assert np.array_equal(labels, model.labels_)
+
+    def test_fit_returns_self(self, raw_data):
+        x, _ = raw_data
+        model = make()
+        assert model.fit(x) is model
+
+    def test_multiple_runs_never_worse(self, raw_data):
+        x, _ = raw_data
+        single = make(n_runs=1).fit(x)
+        multi = make(n_runs=4).fit(x)
+        assert multi.cost_ <= single.cost_
+
+    def test_deterministic_given_random_state(self, raw_data):
+        x, _ = raw_data
+        a = make(random_state=3).fit(x)
+        b = make(random_state=3).fit(x)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    def test_quality_on_planted_structure(self, raw_data):
+        from repro.eval.metrics import adjusted_rand_index
+
+        x, ds = raw_data
+        model = make(n_runs=4, n_dimensions=4).fit(x)
+        assert adjusted_rand_index(ds.labels, model.labels_) > 0.7
+
+
+class TestPredict:
+    def test_predict_training_points_consistent(self, raw_data):
+        x, _ = raw_data
+        model = make().fit(x)
+        relabeled = model.predict(x)
+        mask = model.labels_ >= 0
+        assert np.mean(relabeled[mask] == model.labels_[mask]) > 0.99
+
+    def test_predict_uses_fit_normalization(self, raw_data):
+        """New points outside the training range get clipped, not
+        renormalized — the feature space stays the fitted one."""
+        x, _ = raw_data
+        model = make().fit(x)
+        out_of_range = x[:5] * 1000.0
+        labels = model.predict(out_of_range)
+        assert labels.shape == (5,)
+
+    def test_predict_before_fit_raises(self, raw_data):
+        x, _ = raw_data
+        with pytest.raises(ParameterError, match="not fitted"):
+            make().predict(x)
+
+
+class TestSklearnProtocol:
+    def test_get_params_round_trip(self):
+        model = make(n_clusters=7, backend="gpu-fast")
+        params = model.get_params()
+        clone = PROCLUS(**params)
+        assert clone.get_params() == params
+
+    def test_set_params_chains(self):
+        model = make()
+        assert model.set_params(n_clusters=3).n_clusters == 3
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ParameterError, match="unknown parameter"):
+            make().set_params(gamma=1.0)
+
+    def test_repr_lists_hyperparameters(self):
+        text = repr(make(n_clusters=6))
+        assert "n_clusters=6" in text
+        assert "backend='fast'" in text
+
+    def test_invalid_backend_at_fit(self, raw_data):
+        x, _ = raw_data
+        with pytest.raises(ParameterError, match="unknown backend"):
+            make(backend="tpu").fit(x)
+
+    def test_invalid_n_runs(self, raw_data):
+        x, _ = raw_data
+        with pytest.raises(ParameterError, match="n_runs"):
+            make(n_runs=0).fit(x)
+
+    def test_normalize_false_expects_prenormalized(self, raw_data):
+        x, _ = raw_data
+        from repro.data.normalize import minmax_normalize
+
+        model = make(normalize=False)
+        model.fit(minmax_normalize(x))
+        assert model.labels_.shape == (1500,)

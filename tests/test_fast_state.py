@@ -1,0 +1,118 @@
+"""Tests for the FAST cache state and the incremental-H machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distance import abs_diff_dim_sums, euclidean_to_point
+from repro.core.state import NEVER_USED_DELTA, MedoidCache, SharedStudyState
+
+
+class TestMedoidCache:
+    def test_create_shapes(self):
+        cache = MedoidCache.create(m=12, n=100, d=7)
+        assert cache.dist.shape == (12, 100)
+        assert cache.dist_found.shape == (12,)
+        assert cache.h.shape == (12, 7)
+        assert cache.prev_delta.shape == (12,)
+        assert cache.size_l.shape == (12,)
+        assert cache.m == 12
+
+    def test_initial_state(self):
+        cache = MedoidCache.create(m=3, n=10, d=2)
+        assert not cache.dist_found.any()
+        assert np.all(cache.prev_delta == NEVER_USED_DELTA)
+        assert np.all(cache.size_l == 0)
+        assert np.all(cache.h == 0)
+
+    def test_reset_row(self):
+        cache = MedoidCache.create(m=3, n=10, d=2)
+        cache.dist_found[1] = True
+        cache.h[1] = 5.0
+        cache.prev_delta[1] = 0.7
+        cache.size_l[1] = 4
+        cache.reset_row(1)
+        assert not cache.dist_found[1]
+        assert np.all(cache.h[1] == 0)
+        assert cache.prev_delta[1] == NEVER_USED_DELTA
+        assert cache.size_l[1] == 0
+
+    def test_reset_row_leaves_others(self):
+        cache = MedoidCache.create(m=3, n=10, d=2)
+        cache.h[0] = 1.0
+        cache.reset_row(1)
+        assert np.all(cache.h[0] == 1.0)
+
+    def test_nbytes_positive_and_scales(self):
+        small = MedoidCache.create(m=2, n=10, d=2).nbytes()
+        big = MedoidCache.create(m=20, n=10, d=2).nbytes()
+        assert big > small > 0
+
+    def test_never_used_sentinel_below_any_radius(self):
+        assert NEVER_USED_DELTA < 0.0
+
+
+class TestSharedStudyState:
+    def test_holds_sample_and_medoids(self):
+        state = SharedStudyState(
+            sample_indices=np.arange(50),
+            medoid_ids=np.arange(10),
+            cache=MedoidCache.create(10, 100, 4),
+        )
+        assert state.num_potential_medoids == 10
+        assert not state.data_uploaded
+
+
+class TestIncrementalHInvariant:
+    """Theorem 3.2: H maintained via DeltaL equals the full recomputation."""
+
+    @pytest.fixture
+    def setting(self):
+        rng = np.random.default_rng(0)
+        data = rng.random((400, 6), dtype=np.float32)
+        medoid = data[7]
+        dist = euclidean_to_point(data, medoid)
+        return data, medoid, dist
+
+    def simulate(self, data, medoid, dist, radii):
+        """Update H through a radius sequence and compare to recompute."""
+        h = np.zeros(data.shape[1], dtype=np.float64)
+        size = 0
+        prev = np.float32(NEVER_USED_DELTA)
+        for radius in radii:
+            radius = np.float32(radius)
+            if radius >= prev:
+                mask = (dist > prev) & (dist <= radius)
+                lam = 1
+            else:
+                mask = (dist > radius) & (dist <= prev)
+                lam = -1
+            if mask.any():
+                h += lam * abs_diff_dim_sums(data[mask], medoid)
+                size += lam * int(mask.sum())
+            prev = radius
+            # Full recomputation for comparison.
+            full_mask = dist <= radius
+            expected_h = abs_diff_dim_sums(data[full_mask], medoid)
+            assert size == int(full_mask.sum())
+            assert np.array_equal(h, expected_h), f"radius {radius}"
+
+    def test_growing_radii(self, setting):
+        self.simulate(*setting, radii=[0.1, 0.3, 0.5, 0.9])
+
+    def test_shrinking_radii(self, setting):
+        self.simulate(*setting, radii=[0.9, 0.5, 0.3, 0.1])
+
+    def test_oscillating_radii(self, setting):
+        self.simulate(*setting, radii=[0.4, 0.8, 0.2, 0.6, 0.1, 0.9, 0.5])
+
+    def test_repeated_radius_is_noop(self, setting):
+        self.simulate(*setting, radii=[0.5, 0.5, 0.5])
+
+    def test_zero_radius_keeps_self(self, setting):
+        data, medoid, dist = setting
+        # radius 0 keeps exactly the points at distance 0 (the medoid).
+        mask = dist <= np.float32(0.0)
+        assert mask.sum() >= 1
+        self.simulate(data, medoid, dist, radii=[0.0, 0.7, 0.0])

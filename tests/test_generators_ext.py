@@ -1,0 +1,132 @@
+"""Tests for the extended synthetic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import proclus
+from repro.data import (
+    generate_correlated_subspace_data,
+    generate_imbalanced_subspace_data,
+    generate_overlapping_subspace_data,
+    minmax_normalize,
+)
+from repro.eval.metrics import adjusted_rand_index
+from repro.exceptions import DataValidationError
+from repro.params import ProclusParams
+
+
+class TestOverlapping:
+    def test_shared_dimensions_present_in_every_subspace(self):
+        ds = generate_overlapping_subspace_data(
+            n=600, d=10, n_clusters=4, subspace_dims=4, shared_dims=2, seed=0
+        )
+        common = set(ds.subspaces[0])
+        for dims in ds.subspaces[1:]:
+            common &= set(dims)
+        assert len(common) >= 2
+
+    def test_private_dimensions_differ(self):
+        ds = generate_overlapping_subspace_data(
+            n=600, d=12, n_clusters=4, subspace_dims=5, shared_dims=2, seed=1
+        )
+        assert len(set(ds.subspaces)) > 1
+
+    def test_shapes(self):
+        ds = generate_overlapping_subspace_data(n=500, d=8, n_clusters=3,
+                                                subspace_dims=4, seed=2)
+        assert ds.data.shape == (500, 8)
+        assert ds.data.dtype == np.float32
+        assert set(np.unique(ds.labels)) == {0, 1, 2}
+
+    def test_zero_shared_dims_allowed(self):
+        ds = generate_overlapping_subspace_data(
+            n=300, d=10, n_clusters=3, subspace_dims=3, shared_dims=0, seed=0
+        )
+        assert ds.n_clusters == 3
+
+    def test_validation(self):
+        with pytest.raises(DataValidationError):
+            generate_overlapping_subspace_data(shared_dims=6, subspace_dims=5)
+        with pytest.raises(DataValidationError):
+            generate_overlapping_subspace_data(d=4, subspace_dims=5)
+
+    def test_proclus_still_recovers_clusters(self):
+        ds = generate_overlapping_subspace_data(
+            n=2500, d=12, n_clusters=4, subspace_dims=5, shared_dims=2,
+            std=2.0, seed=3,
+        )
+        data = minmax_normalize(ds.data)
+        params = ProclusParams(k=4, l=5, a=40, b=6)
+        best = min(
+            (proclus(data, backend="fast", params=params, seed=s) for s in range(4)),
+            key=lambda r: r.cost,
+        )
+        assert adjusted_rand_index(ds.labels, best.labels) > 0.7
+
+
+class TestCorrelated:
+    def test_points_spread_along_manifold(self):
+        ds = generate_correlated_subspace_data(
+            n=2000, d=8, n_clusters=2, subspace_dims=3, std=1.0,
+            extent=40.0, seed=4,
+        )
+        for i, dims in enumerate(ds.subspaces):
+            members = ds.data[ds.labels == i][:, list(dims)]
+            # Along the manifold the spread is ~extent, across it ~std:
+            # the covariance must be strongly anisotropic.
+            cov = np.cov(members.T)
+            eigvals = np.sort(np.linalg.eigvalsh(cov))
+            assert eigvals[-1] > 10 * eigvals[0]
+
+    def test_shapes_and_truth(self):
+        ds = generate_correlated_subspace_data(n=400, d=6, n_clusters=3,
+                                               subspace_dims=3, seed=5)
+        assert ds.data.shape == (400, 6)
+        assert len(ds.subspaces) == 3
+
+    def test_validation(self):
+        with pytest.raises(DataValidationError):
+            generate_correlated_subspace_data(d=3, subspace_dims=5)
+
+
+class TestImbalanced:
+    def test_power_law_sizes(self):
+        ds = generate_imbalanced_subspace_data(
+            n=3000, d=8, n_clusters=5, subspace_dims=3, imbalance=2.0, seed=6
+        )
+        sizes = np.bincount(ds.labels, minlength=5)
+        assert sizes.sum() == 3000
+        assert sizes[0] > 4 * sizes[-1]
+
+    def test_zero_imbalance_is_uniform(self):
+        ds = generate_imbalanced_subspace_data(
+            n=1000, d=6, n_clusters=4, subspace_dims=3, imbalance=0.0, seed=7
+        )
+        sizes = np.bincount(ds.labels, minlength=4)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_small_cluster_triggers_bad_medoid_machinery(self):
+        """With heavy imbalance the tiny clusters fall below minDev."""
+        ds = generate_imbalanced_subspace_data(
+            n=3000, d=8, n_clusters=5, subspace_dims=4, std=2.0,
+            imbalance=2.0, seed=8,
+        )
+        data = minmax_normalize(ds.data)
+        from repro.core.fast import FastProclusEngine
+
+        engine = FastProclusEngine(
+            params=ProclusParams(k=5, l=4, a=30, b=6), seed=0,
+            collect_trace=True,
+        )
+        engine.fit(data)
+        # At least one iteration must have replaced >1 medoid (several
+        # clusters below the threshold at once).
+        assert any(len(r.bad_medoids) > 1 for r in engine.trace_)
+
+    def test_validation(self):
+        with pytest.raises(DataValidationError):
+            generate_imbalanced_subspace_data(imbalance=-1.0)
+        with pytest.raises(DataValidationError):
+            generate_imbalanced_subspace_data(d=3, subspace_dims=4)

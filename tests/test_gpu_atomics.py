@@ -1,0 +1,72 @@
+"""Tests for CUDA-semantics atomic operations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.atomics import atomic_add, atomic_cas, atomic_inc, atomic_max, atomic_min
+
+
+def test_atomic_add_returns_old():
+    a = np.array([5.0])
+    old = atomic_add(a, 0, 2.0)
+    assert old == 5.0
+    assert a[0] == 7.0
+
+
+def test_atomic_min_updates_when_smaller():
+    a = np.array([5.0])
+    assert atomic_min(a, 0, 3.0) == 5.0
+    assert a[0] == 3.0
+
+
+def test_atomic_min_keeps_when_larger():
+    a = np.array([5.0])
+    atomic_min(a, 0, 9.0)
+    assert a[0] == 5.0
+
+
+def test_atomic_max_updates_when_larger():
+    a = np.array([5.0])
+    atomic_max(a, 0, 9.0)
+    assert a[0] == 9.0
+
+
+def test_atomic_max_keeps_when_smaller():
+    a = np.array([5.0])
+    atomic_max(a, 0, 1.0)
+    assert a[0] == 5.0
+
+
+def test_atomic_inc_returns_slot_sequence():
+    a = np.zeros(1, dtype=np.int64)
+    slots = [atomic_inc(a, 0) for _ in range(5)]
+    assert slots == [0, 1, 2, 3, 4]
+    assert a[0] == 5
+
+
+def test_atomic_inc_multi_index():
+    a = np.zeros((2, 2), dtype=np.int64)
+    atomic_inc(a, (1, 0))
+    assert a[1, 0] == 1
+
+
+def test_atomic_cas_swaps_on_match():
+    a = np.array([3.0])
+    old = atomic_cas(a, 0, 3.0, 8.0)
+    assert old == 3.0
+    assert a[0] == 8.0
+
+
+def test_atomic_cas_keeps_on_mismatch():
+    a = np.array([3.0])
+    atomic_cas(a, 0, 4.0, 8.0)
+    assert a[0] == 3.0
+
+
+def test_atomics_on_2d_indices():
+    a = np.zeros((3, 3))
+    atomic_add(a, (2, 1), 4.0)
+    atomic_max(a, (2, 1), 9.0)
+    atomic_min(a, (2, 1), 1.0)
+    assert a[2, 1] == 1.0

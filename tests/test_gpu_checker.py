@@ -1,0 +1,84 @@
+"""Tests for the schedule-independence checker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.atomics import atomic_add, atomic_inc, atomic_min
+from repro.gpu.checker import check_schedule_independence
+
+
+def independent_kernel(ctx, data, out):
+    for i in ctx.grid_stride(len(data)):
+        out[i] = data[i] * 2.0
+
+
+def racy_kernel(ctx, out):
+    """Last writer wins — the classic race."""
+    out[0] = ctx.global_id
+
+
+def order_sensitive_float_kernel(ctx, out):
+    """f64 += of values spanning magnitudes: order shows in the ulps."""
+    atomic_add(out, 0, 10.0 ** (-(ctx.global_id % 13)) * 1.0000000001)
+
+
+class TestChecker:
+    def test_independent_kernel_passes(self):
+        data = np.random.default_rng(0).random(64).astype(np.float32)
+        out = np.zeros(64, dtype=np.float32)
+        result = check_schedule_independence(
+            independent_kernel, 4, 16, data, out
+        )
+        assert result.independent
+        assert result.schedules_tried == 4
+
+    def test_racy_kernel_detected(self):
+        out = np.zeros(1, dtype=np.int64)
+        result = check_schedule_independence(racy_kernel, 4, 8, out)
+        assert not result.independent
+        assert result.divergent_arguments == [0]
+        assert result.max_differences[0] > 0
+
+    def test_tolerance_mode_accepts_ulp_noise(self):
+        out = np.zeros(1, dtype=np.float64)
+        strict = check_schedule_independence(
+            order_sensitive_float_kernel, 4, 16, out, exact=True,
+            schedules=6,
+        )
+        lenient = check_schedule_independence(
+            order_sensitive_float_kernel, 4, 16, out, exact=False,
+            tolerance=1e-9, schedules=6,
+        )
+        assert not strict.independent
+        assert lenient.independent
+
+    def test_initial_contents_restored_per_trial(self):
+        """Each schedule starts from the pristine buffer."""
+        def incrementing(ctx, out):
+            atomic_inc(out, ctx.tx)
+
+        out = np.zeros(4, dtype=np.int64)
+        result = check_schedule_independence(incrementing, 1, 4, out)
+        assert result.independent  # would fail if trials accumulated
+
+    def test_requires_two_schedules(self):
+        with pytest.raises(ValueError):
+            check_schedule_independence(racy_kernel, 1, 1,
+                                        np.zeros(1), schedules=1)
+
+    def test_project_kernels_are_schedule_independent(self):
+        """The repository's own append-free kernels pass the checker."""
+        from repro.gpu_impl.kernels.compute_l import _delta_kernel
+        from repro.core.distance import euclidean_distances
+
+        rng = np.random.default_rng(1)
+        data = rng.random((40, 4), dtype=np.float32)
+        mids = np.array([0, 5, 9])
+        dist = euclidean_distances(data, data[mids])
+        delta = np.full(3, np.inf, dtype=np.float32)
+        result = check_schedule_independence(
+            _delta_kernel, 3, 3, mids, dist, delta
+        )
+        assert result.independent

@@ -1,0 +1,188 @@
+"""Tests for the cooperative SIMT emulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmulationError, KernelLaunchError
+from repro.gpu.atomics import atomic_add, atomic_inc
+from repro.gpu.emulator import SimtEmulator, ThreadContext
+
+
+class TestPlainKernels:
+    def test_every_thread_runs_once(self):
+        hits = np.zeros(24, dtype=np.int64)
+
+        def kernel(ctx, out):
+            out[ctx.global_id] += 1
+
+        SimtEmulator().launch(kernel, 4, 6, hits)
+        assert np.all(hits == 1)
+
+    def test_grid_stride_covers_all_items(self):
+        out = np.zeros(100, dtype=np.int64)
+
+        def kernel(ctx, out):
+            for i in ctx.grid_stride(100):
+                out[i] += 1
+
+        SimtEmulator().launch(kernel, 3, 8, out)
+        assert np.all(out == 1)
+
+    def test_grid_stride_x_partitions_per_y_block(self):
+        out = np.zeros((3, 50), dtype=np.int64)
+
+        def kernel(ctx, out):
+            for i in ctx.grid_stride_x(50):
+                out[ctx.by, i] += 1
+
+        SimtEmulator().launch(kernel, (4, 3), 8, out)
+        assert np.all(out == 1)
+
+    def test_block_stride_partitions_within_block(self):
+        out = np.zeros(17, dtype=np.int64)
+
+        def kernel(ctx, out):
+            if ctx.bx == 0:
+                for i in ctx.block_stride(17):
+                    out[i] += 1
+
+        SimtEmulator().launch(kernel, 2, 4, out)
+        assert np.all(out == 1)
+
+    def test_2d_block_indices(self):
+        seen = []
+
+        def kernel(ctx):
+            seen.append((ctx.block_idx, ctx.thread_idx))
+
+        SimtEmulator().launch(kernel, (2, 3), (2,))
+        assert len(seen) == 2 * 3 * 2
+
+    def test_launch_count(self):
+        em = SimtEmulator()
+
+        def kernel(ctx):
+            pass
+
+        em.launch(kernel, 1, 1)
+        em.launch(kernel, 2, 2)
+        assert em.launches == 2
+
+
+class TestBarriers:
+    def test_syncthreads_orders_phases(self):
+        """All threads must observe phase-1 writes after the barrier."""
+        n = 8
+        stage = np.zeros(n, dtype=np.int64)
+        ok = np.zeros(n, dtype=bool)
+
+        def kernel(ctx, stage, ok):
+            stage[ctx.tx] = 1
+            yield
+            ok[ctx.tx] = bool(np.all(stage == 1))
+
+        SimtEmulator().launch(kernel, 1, n, stage, ok)
+        assert ok.all()
+
+    def test_multiple_barriers(self):
+        counter = np.zeros(1, dtype=np.int64)
+        records = []
+
+        def kernel(ctx, counter):
+            atomic_inc(counter, 0)
+            yield
+            records.append(int(counter[0]))
+            yield
+            atomic_inc(counter, 0)
+
+        SimtEmulator().launch(kernel, 1, 5, counter)
+        assert records == [5] * 5
+        assert counter[0] == 10
+
+    def test_divergent_sync_detected(self):
+        def kernel(ctx):
+            if ctx.tx == 0:
+                yield  # only thread 0 reaches the barrier
+
+        with pytest.raises(EmulationError, match="divergent"):
+            SimtEmulator().launch(kernel, 1, 4)
+
+    def test_early_uniform_exit_allowed(self):
+        """All threads returning before any barrier is legal."""
+
+        def kernel(ctx):
+            if False:
+                yield
+            return
+
+        SimtEmulator().launch(kernel, 2, 4)
+
+
+class TestSharedMemory:
+    def test_shared_array_visible_within_block(self):
+        result = np.zeros(3, dtype=np.float64)
+
+        def kernel(ctx, result):
+            acc = ctx.shared.array("acc", 1, np.float64, fill=0.0)
+            atomic_add(acc, 0, 1.0)
+            yield
+            if ctx.tx == 0:
+                result[ctx.bx] = acc[0]
+
+        SimtEmulator().launch(kernel, 3, 7, result)
+        assert np.all(result == 7.0)
+
+    def test_shared_memory_not_shared_across_blocks(self):
+        seen = []
+
+        def kernel(ctx):
+            marker = ctx.shared.array("m", 1, np.int64, fill=-1)
+            if ctx.tx == 0:
+                marker[0] = ctx.bx
+            yield
+            seen.append((ctx.bx, int(marker[0])))
+
+        SimtEmulator().launch(kernel, 4, 2)
+        for bx, value in seen:
+            assert value == bx
+
+    def test_fill_applied_once(self):
+        def kernel(ctx, out):
+            acc = ctx.shared.array("acc", 1, np.float64, fill=0.0)
+            atomic_add(acc, 0, 1.0)
+            # Re-request must return the same array, not re-fill it.
+            again = ctx.shared.array("acc", 1, np.float64, fill=0.0)
+            assert again is acc
+            yield
+            if ctx.tx == 0:
+                out[ctx.bx] = acc[0]
+
+        out = np.zeros(1)
+        SimtEmulator().launch(kernel, 1, 4, out)
+        assert out[0] == 4.0
+
+
+class TestScheduling:
+    def test_shuffled_schedule_same_result_for_order_free_kernel(self):
+        data = np.random.default_rng(0).random(64).astype(np.float32)
+
+        def kernel(ctx, data, out):
+            for i in ctx.grid_stride(64):
+                out[i] = data[i] * 2.0
+
+        out_a = np.zeros(64, dtype=np.float32)
+        out_b = np.zeros(64, dtype=np.float32)
+        SimtEmulator().launch(kernel, 4, 8, data, out_a)
+        SimtEmulator(schedule_seed=123).launch(kernel, 4, 8, data, out_b)
+        assert np.array_equal(out_a, out_b)
+
+    def test_invalid_launch_configuration(self):
+        def kernel(ctx):
+            pass
+
+        with pytest.raises(KernelLaunchError):
+            SimtEmulator().launch(kernel, 0, 4)
+        with pytest.raises(KernelLaunchError):
+            SimtEmulator().launch(kernel, 4, 0)

@@ -1,0 +1,102 @@
+"""Tests for the simulated device memory manager."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DeviceError, DeviceOutOfMemoryError
+from repro.gpu.memory import MemoryManager
+
+
+@pytest.fixture
+def manager():
+    return MemoryManager(capacity_bytes=1024)
+
+
+class TestAllocation:
+    def test_alloc_returns_array_of_shape(self, manager):
+        a = manager.alloc((4, 8), np.float32, "x")
+        assert a.shape == (4, 8)
+        assert a.dtype == np.float32
+        assert a.nbytes == 128
+
+    def test_scalar_shape_promoted(self, manager):
+        a = manager.alloc(16, np.float32, "x")
+        assert a.shape == (16,)
+
+    def test_fill_value(self, manager):
+        a = manager.alloc(4, np.float32, "x", fill=3.5)
+        assert np.all(a.data == 3.5)
+
+    def test_accounting(self, manager):
+        manager.alloc(64, np.float32, "a")  # 256 B
+        assert manager.allocated_bytes == 256
+        assert manager.free_bytes == 768
+        manager.alloc(64, np.float32, "b")
+        assert manager.allocated_bytes == 512
+
+    def test_peak_tracks_maximum(self, manager):
+        a = manager.alloc(128, np.float32, "a")  # 512
+        b = manager.alloc(64, np.float32, "b")  # 256
+        a.free()
+        manager.alloc(32, np.float32, "c")
+        assert manager.peak_bytes == 768
+
+    def test_out_of_memory_raises(self, manager):
+        with pytest.raises(DeviceOutOfMemoryError) as err:
+            manager.alloc(1024, np.float32, "big")  # 4096 B > 1024
+        assert err.value.requested == 4096
+        assert err.value.total == 1024
+
+    def test_oom_after_partial_fill(self, manager):
+        manager.alloc(200, np.float32, "a")  # 800 B
+        with pytest.raises(DeviceOutOfMemoryError):
+            manager.alloc(100, np.float32, "b")  # 400 B > 224 free
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MemoryManager(0)
+
+
+class TestFree:
+    def test_free_returns_bytes(self, manager):
+        a = manager.alloc(64, np.float32, "a")
+        a.free()
+        assert manager.allocated_bytes == 0
+        assert a.freed
+
+    def test_use_after_free_raises(self, manager):
+        a = manager.alloc(4, np.float32, "a")
+        a.free()
+        with pytest.raises(DeviceError, match="use after free"):
+            _ = a.data
+
+    def test_double_free_is_noop(self, manager):
+        a = manager.alloc(4, np.float32, "a")
+        a.free()
+        a.free()  # DeviceArray.free guards; no error, no double release
+        assert manager.allocated_bytes == 0
+
+    def test_free_all(self, manager):
+        manager.alloc(4, np.float32, "a")
+        manager.alloc(4, np.float32, "b")
+        manager.free_all()
+        assert manager.allocated_bytes == 0
+        assert list(manager.live_arrays()) == []
+
+    def test_footprint_by_name_groups(self, manager):
+        manager.alloc(4, np.float32, "dist")
+        manager.alloc(4, np.float32, "dist")
+        manager.alloc(8, np.float32, "data")
+        fp = manager.footprint_by_name()
+        assert fp["dist"] == 32
+        assert fp["data"] == 32
+
+    def test_fill_and_copy_roundtrip(self, manager):
+        a = manager.alloc((2, 2), np.float32, "x")
+        a.fill(7.0)
+        host = a.copy_to_host()
+        assert np.all(host == 7.0)
+        host[0, 0] = 0.0  # copy, not a view
+        assert a.data[0, 0] == 7.0

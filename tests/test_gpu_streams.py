@@ -1,0 +1,66 @@
+"""Tests for the stream-overlap what-if model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.streams import overlap_analysis
+from repro.hardware.counters import KernelLaunch
+from repro.hardware.specs import GTX_1660_TI
+
+
+def launch(name="k", blocks=10, threads=10, **kw):
+    return KernelLaunch(name=name, phase="p", grid_blocks=blocks,
+                        threads_per_block=threads, **kw)
+
+
+class TestOverlap:
+    def test_single_kernel_groups_unchanged(self):
+        plan = overlap_analysis(GTX_1660_TI, [[launch()], [launch()]])
+        assert plan.overlapped_seconds == pytest.approx(plan.serial_seconds)
+        assert plan.concurrent_groups == 0
+        assert plan.speedup == pytest.approx(1.0)
+
+    def test_two_small_kernels_overlap_fully(self):
+        """Two k x k kernels (3% occupancy each) fit side by side."""
+        plan = overlap_analysis(GTX_1660_TI, [[launch(), launch()]])
+        # Overlapped: one group at the max of the two times.
+        assert plan.overlapped_seconds < plan.serial_seconds
+        assert plan.overlapped_seconds == pytest.approx(plan.serial_seconds / 2)
+        assert plan.concurrent_groups == 1
+
+    def test_saturating_kernels_serialize(self):
+        """Two device-filling kernels cannot hide behind each other."""
+        big = launch(blocks=100_000, threads=1024, gmem_bytes=1e9)
+        plan = overlap_analysis(GTX_1660_TI, [[big, big]])
+        # Demand is 2x the device: the group stretches back toward serial.
+        assert plan.overlapped_seconds == pytest.approx(
+            plan.serial_seconds, rel=0.01
+        )
+
+    def test_overlap_bounded_by_slowest_member(self):
+        slow = launch(blocks=4096, threads=256, gmem_bytes=1e8)
+        tiny = launch(blocks=1, threads=32)
+        plan = overlap_analysis(GTX_1660_TI, [[slow, tiny]])
+        model_serial = plan.serial_seconds
+        assert plan.overlapped_seconds < model_serial
+        assert plan.overlapped_seconds >= model_serial / 2
+
+    def test_empty_groups_skipped(self):
+        plan = overlap_analysis(GTX_1660_TI, [[], [launch()]])
+        assert plan.serial_seconds > 0
+
+    def test_saved_seconds_consistency(self):
+        plan = overlap_analysis(GTX_1660_TI, [[launch(), launch(), launch()]])
+        assert plan.saved_seconds == pytest.approx(
+            plan.serial_seconds - plan.overlapped_seconds
+        )
+
+    def test_paper_scenario_delta_kernel_overlap(self):
+        """Overlapping the low-occupancy delta kernel with an
+        independent small kernel saves nearly a full launch."""
+        delta = launch(name="compute_l.medoid_delta", blocks=10, threads=10,
+                       gmem_bytes=400, atomic_ops=100)
+        other = launch(name="bookkeeping", blocks=1, threads=32)
+        plan = overlap_analysis(GTX_1660_TI, [[delta, other]])
+        assert plan.speedup > 1.5

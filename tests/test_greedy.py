@@ -1,0 +1,88 @@
+"""Tests for the greedy potential-medoid selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distance import euclidean_distances
+from repro.core.greedy import greedy_select
+
+
+@pytest.fixture
+def sample():
+    return np.random.default_rng(0).random((80, 5), dtype=np.float32)
+
+
+class TestBasic:
+    def test_first_pick_is_seed(self, sample):
+        chosen = greedy_select(sample, 10, seed_index=17)
+        assert chosen[0] == 17
+
+    def test_picks_are_distinct(self, sample):
+        chosen = greedy_select(sample, 20, seed_index=0)
+        assert len(np.unique(chosen)) == 20
+
+    def test_count_equal_sample_size_selects_all(self, sample):
+        chosen = greedy_select(sample, 80, seed_index=3)
+        assert sorted(chosen.tolist()) == list(range(80))
+
+    def test_single_pick(self, sample):
+        assert greedy_select(sample, 1, seed_index=5).tolist() == [5]
+
+    def test_deterministic(self, sample):
+        a = greedy_select(sample, 15, 2)
+        b = greedy_select(sample, 15, 2)
+        assert np.array_equal(a, b)
+
+
+class TestMaximinProperty:
+    def test_each_pick_maximizes_min_distance(self, sample):
+        """Pick i must be the argmax of the min-distance to picks < i."""
+        chosen = greedy_select(sample, 12, seed_index=4)
+        dist = euclidean_distances(sample, sample[chosen])
+        for i in range(1, 12):
+            min_to_chosen = dist[:i].min(axis=0)
+            assert min_to_chosen[chosen[i]] == min_to_chosen.max()
+
+    def test_far_corner_selected_second(self):
+        sample = np.zeros((5, 2), dtype=np.float32)
+        sample[3] = [1.0, 1.0]  # the single distant point
+        chosen = greedy_select(sample, 2, seed_index=0)
+        assert chosen[1] == 3
+
+    def test_tie_breaks_to_lowest_index(self):
+        # Three identical distant points: the first one must win.
+        sample = np.zeros((6, 2), dtype=np.float32)
+        sample[2] = sample[4] = sample[5] = [1.0, 0.0]
+        chosen = greedy_select(sample, 2, seed_index=0)
+        assert chosen[1] == 2
+
+    def test_spread_better_than_random(self, sample):
+        """Greedy picks must be farther apart than a random subset."""
+        chosen = greedy_select(sample, 10, seed_index=0)
+        rng = np.random.default_rng(1)
+        random_pick = rng.choice(80, 10, replace=False)
+
+        def min_pairwise(ids):
+            d = euclidean_distances(sample[ids], sample[ids]).astype(np.float64)
+            np.fill_diagonal(d, np.inf)
+            return d.min()
+
+        assert min_pairwise(chosen) >= min_pairwise(random_pick)
+
+
+class TestValidation:
+    def test_rejects_zero_count(self, sample):
+        with pytest.raises(ValueError):
+            greedy_select(sample, 0, 0)
+
+    def test_rejects_count_beyond_sample(self, sample):
+        with pytest.raises(ValueError):
+            greedy_select(sample, 81, 0)
+
+    def test_rejects_seed_out_of_range(self, sample):
+        with pytest.raises(ValueError):
+            greedy_select(sample, 5, 80)
+        with pytest.raises(ValueError):
+            greedy_select(sample, 5, -1)

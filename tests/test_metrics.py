@@ -1,0 +1,128 @@
+"""Tests for the external clustering quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.metrics import (
+    adjusted_rand_index,
+    confusion_matrix,
+    normalized_mutual_information,
+    purity,
+    subspace_recovery,
+)
+
+labels_strategy = st.lists(st.integers(0, 4), min_size=2, max_size=60)
+
+
+class TestConfusionMatrix:
+    def test_identity(self):
+        table = confusion_matrix([0, 0, 1, 1], [0, 0, 1, 1])
+        assert np.array_equal(table, [[2, 0], [0, 2]])
+
+    def test_outliers_excluded(self):
+        table = confusion_matrix([0, 0, -1], [0, -1, 0])
+        assert table.sum() == 1
+
+    def test_label_values_irrelevant(self):
+        a = confusion_matrix([5, 5, 9], [1, 1, 3])
+        assert np.array_equal(a, [[2, 0], [0, 1]])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0, 1, 2])
+
+
+class TestAri:
+    def test_perfect_agreement(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == pytest.approx(1.0)
+
+    def test_worst_case_split(self):
+        # Completely mixed clustering -> ARI near 0 (chance level).
+        truth = [0] * 10 + [1] * 10
+        pred = [0, 1] * 10
+        assert abs(adjusted_rand_index(truth, pred)) < 0.2
+
+    def test_single_point_degenerate(self):
+        assert adjusted_rand_index([0], [0]) == 1.0
+
+    def test_all_same_cluster(self):
+        assert adjusted_rand_index([0, 0, 0], [0, 0, 0]) == 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(labels_strategy)
+    def test_self_agreement_is_one(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(labels_strategy, st.integers(0, 100))
+    def test_bounded(self, labels, seed):
+        pred = np.random.default_rng(seed).integers(0, 3, len(labels))
+        value = adjusted_rand_index(labels, pred)
+        assert -1.0 <= value <= 1.0
+
+
+class TestNmi:
+    def test_perfect(self):
+        assert normalized_mutual_information([0, 0, 1, 1], [1, 1, 0, 0]) == pytest.approx(1.0)
+
+    def test_independent_labelings_low(self):
+        rng = np.random.default_rng(0)
+        truth = rng.integers(0, 4, 4000)
+        pred = rng.integers(0, 4, 4000)
+        assert normalized_mutual_information(truth, pred) < 0.05
+
+    @settings(max_examples=40, deadline=None)
+    @given(labels_strategy)
+    def test_bounded_unit_interval(self, labels):
+        pred = np.roll(labels, 1)
+        v = normalized_mutual_information(labels, pred)
+        assert 0.0 <= v <= 1.0
+
+    def test_empty_after_outlier_filter(self):
+        assert normalized_mutual_information([-1, -1], [0, 1]) == 0.0
+
+
+class TestPurity:
+    def test_pure_clusters(self):
+        assert purity([0, 0, 1, 1], [0, 0, 1, 1]) == 1.0
+
+    def test_mixed_cluster(self):
+        assert purity([0, 1], [0, 0]) == 0.5
+
+    def test_merging_keeps_majority(self):
+        assert purity([0, 0, 0, 1], [0, 0, 0, 0]) == 0.75
+
+    def test_empty(self):
+        assert purity([-1], [-1]) == 0.0
+
+
+class TestSubspaceRecovery:
+    def test_exact_recovery(self):
+        truth = ((0, 1), (2, 3))
+        labels = np.array([0, 0, 1, 1])
+        found = ((0, 1), (2, 3))
+        assert subspace_recovery(truth, labels, found, labels) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        truth = ((0, 1),)
+        labels = np.zeros(4, dtype=int)
+        found = ((0, 2),)
+        # Jaccard({0,1}, {0,2}) = 1/3
+        assert subspace_recovery(truth, labels, found, labels) == pytest.approx(1 / 3)
+
+    def test_weighted_by_cluster_size(self):
+        truth = ((0,), (1,))
+        labels = np.array([0, 0, 0, 1])
+        found = ((0,), (2,))  # cluster 0 perfect, cluster 1 disjoint
+        value = subspace_recovery(truth, labels, found, labels)
+        assert value == pytest.approx(3 / 4)
+
+    def test_empty_found_cluster_ignored(self):
+        truth = ((0,),)
+        labels_true = np.array([0, 0])
+        found = ((0,), (1,))
+        labels_pred = np.array([0, 0])  # cluster 1 empty
+        assert subspace_recovery(truth, labels_true, found, labels_pred) == 1.0

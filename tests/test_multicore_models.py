@@ -1,0 +1,92 @@
+"""Focused tests for the multi-core CPU variants (the OpenMP analog)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import proclus
+from repro.cpu_parallel import (
+    MulticoreFastProclusEngine,
+    MulticoreFastStarProclusEngine,
+    MulticoreProclusEngine,
+)
+from repro.hardware.specs import INTEL_I7_9750H, INTEL_I9_10940X
+from repro.params import ProclusParams
+
+ENGINES = {
+    "multicore": MulticoreProclusEngine,
+    "multicore-fast": MulticoreFastProclusEngine,
+    "multicore-fast-star": MulticoreFastStarProclusEngine,
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    from repro.data.normalize import minmax_normalize
+    from repro.data.synthetic import generate_subspace_data
+
+    ds = generate_subspace_data(n=6000, d=10, n_clusters=5, subspace_dims=4, seed=0)
+    return minmax_normalize(ds.data), ProclusParams(k=5, l=4, a=40, b=6)
+
+
+class TestSpeedupEnvelope:
+    def test_speedup_within_amdahl_bounds(self, workload):
+        """Multicore speedup must exceed 3x but never the core count."""
+        data, params = workload
+        scalar = proclus(data, backend="proclus", params=params, seed=0)
+        multi = proclus(data, backend="multicore", params=params, seed=0)
+        speedup = scalar.stats.modeled_seconds / multi.stats.modeled_seconds
+        assert 3.0 < speedup <= INTEL_I7_9750H.cores
+
+    def test_paper_band_up_to_6x(self, workload):
+        data, params = workload
+        scalar = proclus(data, backend="proclus", params=params, seed=0)
+        multi = proclus(data, backend="multicore", params=params, seed=0)
+        speedup = scalar.stats.modeled_seconds / multi.stats.modeled_seconds
+        assert speedup <= 6.0
+
+    def test_more_cores_faster(self, workload):
+        data, params = workload
+        small = proclus(
+            data, backend="multicore", params=params, seed=0,
+            cpu_spec=INTEL_I7_9750H,
+        )
+        big = proclus(
+            data, backend="multicore", params=params, seed=0,
+            cpu_spec=INTEL_I9_10940X,
+        )
+        assert big.stats.modeled_seconds < small.stats.modeled_seconds
+
+    def test_fast_variant_faster_than_plain_multicore(self, workload):
+        data, params = workload
+        plain = proclus(data, backend="multicore", params=params, seed=0)
+        fast = proclus(data, backend="multicore-fast", params=params, seed=0)
+        assert fast.stats.modeled_seconds < plain.stats.modeled_seconds
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", sorted(ENGINES))
+    def test_identical_to_sequential(self, workload, name):
+        data, params = workload
+        seq = proclus(data, backend="proclus", params=params, seed=3)
+        multi = proclus(data, backend=name, params=params, seed=3)
+        assert multi.same_clustering(seq)
+
+    def test_hardware_name_reports_cores(self, workload):
+        data, params = workload
+        result = proclus(data, backend="multicore", params=params, seed=0)
+        assert "6 cores" in result.stats.hardware
+
+    def test_same_op_counts_as_sequential(self, workload):
+        """The parallel version performs the same work, just spread out."""
+        data, params = workload
+        seq = proclus(data, backend="proclus", params=params, seed=1)
+        multi = proclus(data, backend="multicore", params=params, seed=1)
+        assert (
+            multi.stats.counters["cpu.scalar_ops"]
+            == seq.stats.counters["cpu.scalar_ops"]
+        )
+        assert (
+            multi.stats.counters["cpu.vector_ops"]
+            == seq.stats.counters["cpu.vector_ops"]
+        )

@@ -1,0 +1,47 @@
+"""Execute the machine-checkable paper-claim registry.
+
+The full registry (including the million-point real-time check) runs in
+the benchmark suite; here the structural and mid-scale claims keep the
+test suite quick while still pinning the reproduction's headline
+behaviours.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.claims import CLAIMS, ClaimResult, check_all, format_results
+
+#: Claims cheap enough for the unit-test suite.
+_FAST_IDS = {
+    "occupancy",
+    "oom-8m",
+    "space-hierarchy",
+    "identical-clusterings",
+}
+
+_FAST_CLAIMS = tuple(c for c in CLAIMS if c.claim_id in _FAST_IDS)
+
+
+@pytest.mark.parametrize("claim", _FAST_CLAIMS, ids=lambda c: c.claim_id)
+def test_fast_claims(claim):
+    passed, measured = claim.check()
+    assert passed, f"{claim.claim_id}: {measured}"
+
+
+def test_registry_covers_the_headline_sections():
+    sources = " ".join(c.source for c in CLAIMS)
+    for section in ("5.1", "5.3", "5.4", "Fig. 1", "Fig. 3f", "Abstract"):
+        assert section in sources
+
+
+def test_every_claim_has_distinct_id():
+    ids = [c.claim_id for c in CLAIMS]
+    assert len(ids) == len(set(ids))
+
+
+def test_format_results_renders_status():
+    results = check_all(_FAST_CLAIMS[:1])
+    text = format_results(results)
+    assert "PASS" in text or "FAIL" in text
+    assert _FAST_CLAIMS[0].claim_id in text

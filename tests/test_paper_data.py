@@ -1,0 +1,86 @@
+"""Tests for the structured paper-number registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.paper_data import (
+    DEFAULT_PARAMETERS,
+    DEFAULT_SYNTHETIC,
+    HARDWARE,
+    PAPER_NUMBERS,
+    REAL_WORLD_DATASETS,
+    lookup,
+)
+from repro.data.realworld import REAL_WORLD_SIZES
+from repro.params import ProclusParams
+
+
+def test_default_parameters_match_library_defaults():
+    p = ProclusParams()
+    assert DEFAULT_PARAMETERS == {
+        "k": p.k, "l": p.l, "A": p.a, "B": p.b,
+        "minDev": p.min_deviation, "itrPat": p.patience,
+    }
+
+
+def test_real_world_sizes_consistent_with_standins():
+    assert REAL_WORLD_DATASETS == REAL_WORLD_SIZES
+
+
+def test_default_synthetic_matches_generator_defaults():
+    from inspect import signature
+
+    from repro.data.synthetic import generate_subspace_data
+
+    params = signature(generate_subspace_data).parameters
+    assert params["n"].default == DEFAULT_SYNTHETIC["n"]
+    assert params["d"].default == DEFAULT_SYNTHETIC["d"]
+    assert params["n_clusters"].default == DEFAULT_SYNTHETIC["clusters"]
+    assert params["subspace_dims"].default == DEFAULT_SYNTHETIC["subspace_dims"]
+    assert params["std"].default == DEFAULT_SYNTHETIC["std"]
+
+
+def test_hardware_matches_spec_names():
+    from repro.hardware.specs import GTX_1660_TI, INTEL_I7_9750H, RTX_3090
+
+    assert INTEL_I7_9750H.name in HARDWARE["small"][0]
+    assert GTX_1660_TI.name.replace("GeForce ", "") in HARDWARE["small"][1]
+    assert RTX_3090.name.replace("GeForce ", "") in HARDWARE["large"][1]
+
+
+def test_every_number_has_provenance():
+    for number in PAPER_NUMBERS:
+        assert number.source
+        assert number.quote
+        assert number.unit
+
+
+def test_keys_unique_and_lookup_works():
+    keys = [n.key for n in PAPER_NUMBERS]
+    assert len(keys) == len(set(keys))
+    assert lookup("overall-speedup").value == 1000.0
+
+
+def test_unknown_key_lists_alternatives():
+    with pytest.raises(KeyError, match="overall-speedup"):
+        lookup("nope")
+
+
+def test_occupancy_numbers_match_calculator():
+    """The transcribed Sec. 5.4 occupancies agree with our calculator."""
+    from repro.gpu.occupancy import occupancy_report
+    from repro.hardware.specs import GTX_1660_TI
+
+    theo, achieved, _ = lookup("evaluate-occupancy-4m").value
+    occ = occupancy_report(GTX_1660_TI, 50, 1024).as_percentages()
+    assert occ[0] == theo
+    theo8k, _, _ = lookup("evaluate-occupancy-8k").value
+    assert occupancy_report(GTX_1660_TI, 50, 800).as_percentages()[0] == theo8k
+
+
+def test_oom_free_memory_matches_spec_reserve():
+    from repro.hardware.specs import GTX_1660_TI
+
+    free_gb = GTX_1660_TI.usable_bytes / 1024**3
+    assert free_gb == pytest.approx(lookup("oom-free-memory").value, abs=0.01)

@@ -1,0 +1,84 @@
+"""Integration at the paper's default workload scale (n = 64,000).
+
+Slower than unit tests (a few seconds each) but exactly the regime the
+paper's default experiments run in — the numbers here are the ones the
+abstract summarizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import proclus
+from repro.data.normalize import minmax_normalize
+from repro.data.synthetic import generate_subspace_data
+from repro.params import ProclusParams
+
+
+@pytest.fixture(scope="module")
+def paper_default():
+    """The paper's default synthetic workload."""
+    ds = generate_subspace_data(n=64_000, d=15, n_clusters=10,
+                                subspace_dims=5, std=5.0, seed=0)
+    return minmax_normalize(ds.data), ds
+
+
+class TestPaperDefaultWorkload:
+    @pytest.fixture(scope="class")
+    def runs(self, paper_default):
+        data, _ = paper_default
+        return {
+            name: proclus(data, k=10, l=5, backend=name, seed=0)
+            for name in ("proclus", "fast", "gpu", "gpu-fast")
+        }
+
+    def test_identical_at_scale(self, runs):
+        base = runs["proclus"]
+        for name, r in runs.items():
+            assert r.same_clustering(base), name
+
+    def test_gpu_speedup_in_paper_band(self, runs):
+        speedup = (
+            runs["proclus"].stats.modeled_seconds
+            / runs["gpu"].stats.modeled_seconds
+        )
+        # Paper: three orders of magnitude overall, ~2000x peak for the
+        # parallelization alone; our model sits inside [500, 2500] here.
+        assert 500 <= speedup <= 2500, f"gpu speedup {speedup:.0f}x"
+
+    def test_fast_speedup_in_paper_band(self, runs):
+        ratio = (
+            runs["proclus"].stats.modeled_seconds
+            / runs["fast"].stats.modeled_seconds
+        )
+        assert 1.1 <= ratio <= 1.6, f"fast ratio {ratio:.2f}"
+
+    def test_gpu_fast_ratio_in_paper_band(self, runs):
+        ratio = (
+            runs["gpu"].stats.modeled_seconds
+            / runs["gpu-fast"].stats.modeled_seconds
+        )
+        assert 1.15 <= ratio <= 1.6, f"gpu-fast ratio {ratio:.2f}"
+
+    def test_gpu_run_is_milliseconds(self, runs):
+        assert runs["gpu-fast"].stats.modeled_seconds < 0.05
+
+    def test_quality_at_scale(self, paper_default, runs):
+        from repro.eval.metrics import adjusted_rand_index
+
+        _, ds = paper_default
+        ari = adjusted_rand_index(ds.labels, runs["gpu-fast"].labels)
+        assert ari > 0.5  # single seed; the planted k=10 structure shows
+
+    def test_fast_cache_hit_rate_at_scale(self, paper_default):
+        """Most iterations reuse cached rows: far fewer distance rows
+        are computed than k x iterations."""
+        from repro.core.fast import FastProclusEngine
+
+        data, _ = paper_default
+        engine = FastProclusEngine(params=ProclusParams(), seed=0)
+        result = engine.fit(data)
+        rows_computed = int(engine._cache.dist_found.sum())
+        assert rows_computed < 10 * result.iterations
+        assert rows_computed <= 100  # at most the B*k pool

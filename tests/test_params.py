@@ -1,0 +1,155 @@
+"""Unit tests for ProclusParams and ParameterGrid validation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ParameterError
+from repro.params import ParameterGrid, ProclusParams
+
+
+class TestProclusParamsDefaults:
+    def test_paper_defaults(self):
+        p = ProclusParams()
+        assert (p.k, p.l, p.a, p.b) == (10, 5, 100, 10)
+        assert p.min_deviation == 0.7
+        assert p.patience == 5
+
+    def test_sample_size_is_a_times_k(self):
+        assert ProclusParams(k=7, a=50).sample_size == 350
+
+    def test_num_potential_medoids_is_b_times_k(self):
+        assert ProclusParams(k=7, b=4).num_potential_medoids == 28
+
+    def test_total_dimensions_is_k_times_l(self):
+        assert ProclusParams(k=6, l=4).total_dimensions == 24
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ProclusParams().k = 3  # type: ignore[misc]
+
+
+class TestProclusParamsValidation:
+    @pytest.mark.parametrize("k", [0, -1, -100])
+    def test_rejects_nonpositive_k(self, k):
+        with pytest.raises(ParameterError, match="k must be"):
+            ProclusParams(k=k)
+
+    @pytest.mark.parametrize("l", [0, 1, -5])
+    def test_rejects_l_below_two(self, l):
+        with pytest.raises(ParameterError, match="l must be"):
+            ProclusParams(l=l)
+
+    def test_rejects_b_below_one(self):
+        with pytest.raises(ParameterError, match="B must be"):
+            ProclusParams(b=0)
+
+    def test_rejects_a_smaller_than_b(self):
+        with pytest.raises(ParameterError, match="A must be >= B"):
+            ProclusParams(a=5, b=10)
+
+    @pytest.mark.parametrize("dev", [0.0, -0.1, 1.5])
+    def test_rejects_bad_min_deviation(self, dev):
+        with pytest.raises(ParameterError, match="min_deviation"):
+            ProclusParams(min_deviation=dev)
+
+    def test_rejects_nonpositive_patience(self):
+        with pytest.raises(ParameterError, match="patience"):
+            ProclusParams(patience=0)
+
+    def test_rejects_nonpositive_max_iterations(self):
+        with pytest.raises(ParameterError, match="max_iterations"):
+            ProclusParams(max_iterations=0)
+
+    def test_a_equal_b_allowed(self):
+        assert ProclusParams(a=10, b=10).a == 10
+
+    def test_min_deviation_one_allowed(self):
+        assert ProclusParams(min_deviation=1.0).min_deviation == 1.0
+
+
+class TestEffectiveSizes:
+    def test_sample_capped_at_n(self):
+        p = ProclusParams(k=10, a=100)
+        assert p.effective_sample_size(512) == 512
+        assert p.effective_sample_size(10_000) == 1000
+
+    def test_potential_medoids_capped_at_sample(self):
+        p = ProclusParams(k=10, b=10)
+        assert p.effective_num_potential(50) == 50
+        assert p.effective_num_potential(10_000) == 100
+
+    def test_validate_rejects_k_exceeding_potential(self):
+        p = ProclusParams(k=10)
+        with pytest.raises(ParameterError, match="exceeds the number"):
+            p.validate_against_data(n=5, d=20)
+
+    def test_validate_rejects_l_exceeding_d(self):
+        with pytest.raises(ParameterError, match="exceeds data dimensionality"):
+            ProclusParams(l=5).validate_against_data(n=1000, d=3)
+
+    def test_validate_accepts_feasible(self):
+        ProclusParams().validate_against_data(n=10_000, d=15)
+
+    @given(
+        k=st.integers(1, 20),
+        a=st.integers(1, 200),
+        n=st.integers(1, 100_000),
+    )
+    def test_effective_sample_never_exceeds_n_or_ak(self, k, a, n):
+        p = ProclusParams(k=k, l=2, a=a, b=1)
+        eff = p.effective_sample_size(n)
+        assert eff <= n
+        assert eff <= a * k
+        assert eff == min(n, a * k)
+
+    def test_with_replaces_fields(self):
+        p = ProclusParams().with_(k=3, l=2)
+        assert (p.k, p.l) == (3, 2)
+        assert p.a == 100  # untouched
+
+    def test_with_validates(self):
+        with pytest.raises(ParameterError):
+            ProclusParams().with_(k=0)
+
+
+class TestParameterGrid:
+    def test_default_grid_has_nine_combinations(self):
+        assert len(ParameterGrid()) == 9
+
+    def test_iterates_largest_k_first(self):
+        ks = [p.k for p in ParameterGrid(ks=(4, 8, 6), ls=(3,))]
+        assert ks == [8, 6, 4]
+
+    def test_max_k(self):
+        assert ParameterGrid(ks=(4, 12, 8)).max_k == 12
+
+    def test_all_settings_carry_base_fields(self):
+        base = ProclusParams(a=40, b=4, min_deviation=0.5)
+        for p in ParameterGrid(ks=(4,), ls=(3, 2), base=base):
+            assert p.a == 40
+            assert p.b == 4
+            assert p.min_deviation == 0.5
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ParameterError):
+            ParameterGrid(ks=(), ls=(3,))
+        with pytest.raises(ParameterError):
+            ParameterGrid(ks=(4,), ls=())
+
+    def test_rejects_invalid_k_values(self):
+        with pytest.raises(ParameterError):
+            ParameterGrid(ks=(0, 4), ls=(3,))
+
+    def test_rejects_invalid_l_values(self):
+        with pytest.raises(ParameterError):
+            ParameterGrid(ks=(4,), ls=(1,))
+
+    @given(
+        ks=st.lists(st.integers(1, 30), min_size=1, max_size=4, unique=True),
+        ls=st.lists(st.integers(2, 10), min_size=1, max_size=4, unique=True),
+    )
+    def test_length_is_product(self, ks, ls):
+        grid = ParameterGrid(ks=tuple(ks), ls=tuple(ls))
+        assert len(list(grid)) == len(ks) * len(ls) == len(grid)

@@ -1,0 +1,222 @@
+"""Tests for the shared phase math (FindDimensions, AssignPoints, ...)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.phases import (
+    assign_points,
+    cluster_sizes_from_labels,
+    compute_bad_medoids,
+    evaluate_clusters,
+    find_dimensions,
+    find_outliers,
+)
+
+
+class TestFindDimensions:
+    def test_total_dimension_count_is_k_times_l(self):
+        x = np.random.default_rng(0).random((4, 10))
+        dims = find_dimensions(x, l=3)
+        assert sum(len(d) for d in dims) == 12
+
+    def test_every_medoid_gets_at_least_two(self):
+        x = np.random.default_rng(1).random((5, 8))
+        for d in find_dimensions(x, l=2):
+            assert len(d) >= 2
+
+    def test_l_equals_two_gives_exactly_two_each(self):
+        x = np.random.default_rng(2).random((5, 8))
+        for d in find_dimensions(x, l=2):
+            assert len(d) == 2
+
+    def test_dimensions_sorted_and_unique(self):
+        x = np.random.default_rng(3).random((3, 9))
+        for d in find_dimensions(x, l=4):
+            assert list(d) == sorted(set(d))
+
+    def test_picks_low_spread_dimensions(self):
+        """Dimensions with much lower X (average distance) must be picked."""
+        x = np.full((2, 6), 10.0)
+        x[0, [1, 4]] = 0.1  # cluster 0 is tight in dims 1, 4
+        x[1, [0, 2]] = 0.1
+        dims = find_dimensions(x, l=2)
+        assert dims[0] == (1, 4)
+        assert dims[1] == (0, 2)
+
+    def test_greedy_extra_dimensions_go_to_lowest_z(self):
+        x = np.full((2, 5), 10.0)
+        x[0, 0] = x[0, 1] = 0.0
+        x[0, 2] = 1.0  # the third-lowest Z overall lives in medoid 0
+        x[1, 3] = x[1, 4] = 5.0
+        dims = find_dimensions(x, l=3)  # 6 picks: 2+2 mandatory, 2 greedy
+        assert 2 in dims[0]
+
+    def test_constant_row_yields_zero_z(self):
+        """A medoid with identical X in all dims must not crash (sigma=0)."""
+        x = np.vstack([np.full(6, 3.0), np.random.default_rng(4).random(6)])
+        dims = find_dimensions(x, l=2)
+        assert len(dims) == 2
+        # ties broken toward lowest dimension index
+        assert dims[0] == (0, 1)
+
+    def test_deterministic_tie_breaking(self):
+        x = np.zeros((2, 4))
+        a = find_dimensions(x, l=2)
+        b = find_dimensions(x, l=2)
+        assert a == b == ((0, 1), (0, 1))
+
+
+class TestAssignPoints:
+    def test_assigns_to_closest_in_subspace(self):
+        data = np.array(
+            [[0.0, 0.0], [1.0, 1.0], [0.1, 0.9]], dtype=np.float32
+        )
+        medoids = data[:2]
+        labels, seg = assign_points(data, medoids, ((0,), (1,)))
+        # point 2: dist to m0 in dim0 = 0.1; to m1 in dim1 = 0.1 -> tie -> 0
+        assert labels[0] == 0
+        assert labels[1] == 0 or labels[1] == 1
+        assert labels[2] == 0
+
+    def test_medoids_belong_to_their_own_cluster(self):
+        rng = np.random.default_rng(5)
+        data = rng.random((50, 4), dtype=np.float32)
+        medoids = data[[7, 21]]
+        labels, _ = assign_points(data, medoids, ((0, 1), (2, 3)))
+        assert labels[7] == 0
+        assert labels[21] == 1
+
+    def test_seg_matrix_shape(self):
+        data = np.random.default_rng(6).random((30, 5), dtype=np.float32)
+        _, seg = assign_points(data, data[:3], ((0, 1), (1, 2), (3, 4)))
+        assert seg.shape == (30, 3)
+
+    def test_tie_breaks_to_lowest_cluster(self):
+        data = np.array([[0.5, 0.5]], dtype=np.float32)
+        medoids = np.array([[0.0, 0.0], [1.0, 1.0]], dtype=np.float32)
+        labels, _ = assign_points(data, medoids, ((0, 1), (0, 1)))
+        assert labels[0] == 0
+
+
+class TestClusterSizes:
+    def test_counts(self):
+        sizes = cluster_sizes_from_labels(np.array([0, 1, 1, 2, -1]), 3)
+        assert sizes.tolist() == [1, 2, 1]
+
+    def test_empty_cluster_counts_zero(self):
+        sizes = cluster_sizes_from_labels(np.array([0, 0]), 3)
+        assert sizes.tolist() == [2, 0, 0]
+
+
+class TestEvaluateClusters:
+    def test_zero_for_identical_points(self):
+        data = np.ones((10, 3), dtype=np.float32)
+        labels = np.zeros(10, dtype=np.int64)
+        assert evaluate_clusters(data, labels, ((0, 1),)) == 0.0
+
+    def test_hand_computed_cost(self):
+        # Cluster of two points at 0 and 1 in a single dimension:
+        # centroid 0.5, mean |p - mu| = 0.5, weight |C|=2, n=2 -> cost 0.5
+        data = np.array([[0.0], [1.0]], dtype=np.float32)
+        labels = np.zeros(2, dtype=np.int64)
+        assert evaluate_clusters(data, labels, ((0,),)) == pytest.approx(0.5)
+
+    def test_size_weighting(self):
+        # Two clusters with equal per-point deviation: cost is the mean.
+        data = np.array([[0.0], [1.0], [0.0], [1.0]], dtype=np.float32)
+        labels = np.array([0, 0, 1, 1])
+        cost = evaluate_clusters(data, labels, ((0,), (0,)))
+        assert cost == pytest.approx(0.5)
+
+    def test_empty_cluster_contributes_zero(self):
+        data = np.array([[0.0], [1.0]], dtype=np.float32)
+        labels = np.zeros(2, dtype=np.int64)
+        cost = evaluate_clusters(data, labels, ((0,), (0,)))
+        assert cost == pytest.approx(0.5)
+
+    def test_outliers_excluded_but_n_total_kept(self):
+        data = np.array([[0.0], [1.0], [0.5]], dtype=np.float32)
+        labels = np.array([0, 0, -1])
+        # sum = 2 * 0.5 / (1 dim) = 1.0, divided by |Data| = 3
+        cost = evaluate_clusters(data, labels, ((0,),))
+        assert cost == pytest.approx(1.0 / 3.0)
+
+    def test_tighter_clustering_costs_less(self):
+        rng = np.random.default_rng(7)
+        data = np.vstack(
+            [rng.normal(0.2, 0.01, (50, 3)), rng.normal(0.8, 0.01, (50, 3))]
+        ).astype(np.float32)
+        good = np.repeat([0, 1], 50)
+        bad = np.tile([0, 1], 50)
+        dims = ((0, 1, 2), (0, 1, 2))
+        assert evaluate_clusters(data, good, dims) < evaluate_clusters(data, bad, dims)
+
+
+class TestBadMedoids:
+    def test_small_clusters_flagged(self):
+        sizes = np.array([100, 2, 100, 3])
+        bad = compute_bad_medoids(sizes, n=205, min_deviation=0.7)
+        assert set(bad.tolist()) == {1, 3}
+
+    def test_smallest_flagged_when_none_below_threshold(self):
+        sizes = np.array([100, 90, 110])
+        bad = compute_bad_medoids(sizes, n=300, min_deviation=0.7)
+        assert bad.tolist() == [1]
+
+    def test_smallest_tie_breaks_to_lowest_index(self):
+        sizes = np.array([100, 100, 100])
+        bad = compute_bad_medoids(sizes, n=300, min_deviation=0.7)
+        assert bad.tolist() == [0]
+
+    def test_min_deviation_one_flags_below_average(self):
+        sizes = np.array([50, 150])
+        bad = compute_bad_medoids(sizes, n=200, min_deviation=1.0)
+        assert bad.tolist() == [0]
+
+
+class TestFindOutliers:
+    def test_point_near_medoid_not_outlier(self):
+        medoids = np.array([[0.0, 0.0], [1.0, 1.0]], dtype=np.float32)
+        data = np.array([[0.01, 0.01], [0.5, 0.5]], dtype=np.float32)
+        dims = ((0, 1), (0, 1))
+        from repro.core.distance import segmental_distances
+
+        seg = segmental_distances(data, medoids, dims)
+        out = find_outliers(seg, medoids, dims)
+        assert not out[0]
+
+    def test_far_point_is_outlier(self):
+        # Medoids 0.1 apart -> sphere radius 0.1; a point at 0.9 is out.
+        medoids = np.array([[0.0], [0.1]], dtype=np.float32)
+        data = np.array([[0.0], [0.9]], dtype=np.float32)
+        dims = ((0,), (0,))
+        from repro.core.distance import segmental_distances
+
+        seg = segmental_distances(data, medoids, dims)
+        out = find_outliers(seg, medoids, dims)
+        assert not out[0]
+        assert out[1]
+
+    def test_single_cluster_has_no_outliers(self):
+        medoids = np.array([[0.5, 0.5]], dtype=np.float32)
+        data = np.random.default_rng(8).random((20, 2), dtype=np.float32)
+        dims = ((0, 1),)
+        from repro.core.distance import segmental_distances
+
+        seg = segmental_distances(data, medoids, dims)
+        out = find_outliers(seg, medoids, dims)
+        assert not out.any()
+
+    def test_radius_uses_each_medoids_own_subspace(self):
+        # m0 and m1 coincide in dim 0 (radius 0 there) but differ in dim 1.
+        medoids = np.array([[0.0, 0.0], [0.0, 1.0]], dtype=np.float32)
+        data = np.array([[0.0, 0.5]], dtype=np.float32)
+        dims = ((0,), (1,))
+        from repro.core.distance import segmental_distances
+
+        seg = segmental_distances(data, medoids, dims)
+        out = find_outliers(seg, medoids, dims)
+        # sphere 0 has radius 0 in dim 0 and the point sits at 0 -> inside
+        assert not out[0]

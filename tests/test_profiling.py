@@ -1,0 +1,71 @@
+"""Tests for the phase-profiling helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import proclus
+from repro.eval.profiling import (
+    PhaseBreakdown,
+    compare_breakdowns,
+    phase_breakdown,
+)
+from repro.params import ProclusParams
+
+
+@pytest.fixture(scope="module")
+def results(request):
+    from repro.data.normalize import minmax_normalize
+    from repro.data.synthetic import generate_subspace_data
+
+    ds = generate_subspace_data(n=2000, d=8, n_clusters=4, subspace_dims=4, seed=0)
+    data = minmax_normalize(ds.data)
+    params = ProclusParams(k=4, l=3, a=25, b=5)
+    return {
+        name: proclus(data, backend=name, params=params, seed=1)
+        for name in ("proclus", "fast", "gpu-fast")
+    }
+
+
+class TestPhaseBreakdown:
+    def test_fractions_sum_to_one(self, results):
+        b = phase_breakdown(results["proclus"])
+        total_fraction = sum(f for _, _, f in b.as_rows())
+        assert total_fraction == pytest.approx(1.0)
+
+    def test_total_matches_stats(self, results):
+        r = results["fast"]
+        b = phase_breakdown(r)
+        assert b.total_seconds == pytest.approx(r.stats.modeled_seconds)
+
+    def test_dominant_phase_for_baseline_is_a_heavy_step(self, results):
+        b = phase_breakdown(results["proclus"])
+        assert b.dominant_phase() in ("assign_points", "compute_l")
+
+    def test_fast_reduces_compute_l_share(self, results):
+        base = phase_breakdown(results["proclus"])
+        fast = phase_breakdown(results["fast"])
+        assert fast.phase_seconds["compute_l"] < base.phase_seconds["compute_l"]
+
+    def test_fraction_of_missing_phase_is_zero(self):
+        b = PhaseBreakdown(backend="x", total_seconds=1.0, phase_seconds={"a": 1.0})
+        assert b.fraction("nope") == 0.0
+
+    def test_zero_total_fraction(self):
+        b = PhaseBreakdown(backend="x", total_seconds=0.0)
+        assert b.fraction("a") == 0.0
+        assert b.dominant_phase() == ""
+
+
+class TestCompare:
+    def test_table_mentions_all_backends_and_phases(self, results):
+        table = compare_breakdowns(
+            [phase_breakdown(r) for r in results.values()]
+        )
+        for name in ("proclus", "fast-proclus", "gpu-fast-proclus"):
+            assert name in table
+        assert "compute_l" in table
+        assert "total" in table
+
+    def test_empty_input(self):
+        assert compare_breakdowns([]) == "(no runs)"

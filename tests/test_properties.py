@@ -1,0 +1,226 @@
+"""Metamorphic and property-based invariants across the pipeline.
+
+These tests state *relations between runs* rather than expected values:
+permutation equivariance, translation invariance, monotonicity, and
+structural invariants that must hold for any input.  They are the
+deepest correctness net the suite has — a bug that preserves all of
+them and the cross-variant equivalence is very hard to write.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.distance import euclidean_to_point, segmental_distances
+from repro.core.greedy import greedy_select
+from repro.core.phases import (
+    assign_points,
+    compute_bad_medoids,
+    evaluate_clusters,
+    find_dimensions,
+)
+
+unit = st.floats(0.0, 1.0, width=32)
+
+
+def matrices(min_n=4, max_n=40, min_d=2, max_d=6):
+    return hnp.arrays(
+        dtype=np.float32,
+        shape=st.tuples(st.integers(min_n, max_n), st.integers(min_d, max_d)),
+        elements=unit,
+    )
+
+
+class TestPermutationEquivariance:
+    """Relabeling the points must relabel the outputs and nothing else."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(matrices(), st.integers(0, 2**31 - 1))
+    def test_assignment_is_permutation_equivariant(self, data, seed):
+        k = min(3, data.shape[0])
+        medoids = data[:k]
+        dims = tuple(tuple(range(data.shape[1])) for _ in range(k))
+        labels, _ = assign_points(data, medoids, dims)
+        perm = np.random.default_rng(seed).permutation(data.shape[0])
+        labels_perm, _ = assign_points(data[perm], medoids, dims)
+        assert np.array_equal(labels_perm, labels[perm])
+
+    @settings(max_examples=20, deadline=None)
+    @given(matrices(min_n=6), st.integers(0, 2**31 - 1))
+    def test_cost_is_permutation_invariant(self, data, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, data.shape[0])
+        dims = ((0, 1), (0, 1))
+        cost = evaluate_clusters(data, labels, dims)
+        perm = rng.permutation(data.shape[0])
+        cost_perm = evaluate_clusters(data[perm], labels[perm], dims)
+        assert cost_perm == pytest.approx(cost, rel=1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(matrices(min_n=8))
+    def test_distance_is_permutation_equivariant(self, data):
+        point = data[0]
+        d = euclidean_to_point(data, point)
+        perm = np.random.default_rng(0).permutation(data.shape[0])
+        assert np.array_equal(euclidean_to_point(data[perm], point), d[perm])
+
+
+class TestGeometricInvariance:
+    """Distances depend only on differences: translation must not matter."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(matrices(), st.floats(0.0, 0.25, width=32))
+    def test_segmental_translation_invariance(self, data, shift):
+        """Exactly representable shifts leave segmental distances unchanged."""
+        shift = np.float32(np.round(shift * 16) / 16)  # power-of-two grid
+        medoids = data[: min(2, data.shape[0])]
+        dims = tuple(
+            tuple(range(data.shape[1])) for _ in range(len(medoids))
+        )
+        seg = segmental_distances(data, medoids, dims)
+        seg_shifted = segmental_distances(data + shift, medoids + shift, dims)
+        assert np.allclose(seg, seg_shifted, atol=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(matrices(min_n=6))
+    def test_triangle_inequality_full_space(self, data):
+        a, b = data[0], data[1]
+        d_via_b = float(euclidean_to_point(data[1:2], a)[0])
+        dist_from_a = euclidean_to_point(data, a).astype(np.float64)
+        dist_from_b = euclidean_to_point(data, b).astype(np.float64)
+        assert np.all(dist_from_a <= dist_from_b + d_via_b + 1e-5)
+
+
+class TestGreedyProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(matrices(min_n=8, max_n=30), st.integers(2, 6))
+    def test_greedy_prefix_property(self, data, count):
+        """The first m picks of a greedy-(m+1) run equal a greedy-m run."""
+        count = min(count, data.shape[0] - 1)
+        longer = greedy_select(data, count + 1, 0)
+        shorter = greedy_select(data, count, 0)
+        assert np.array_equal(longer[:count], shorter)
+
+    @settings(max_examples=20, deadline=None)
+    @given(matrices(min_n=8, max_n=30))
+    def test_greedy_min_separation_non_increasing(self, data):
+        """Each pick's maximin distance can only shrink as picks accrue."""
+        count = min(6, data.shape[0])
+        chosen = greedy_select(data, count, 0)
+        gaps = []
+        for i in range(1, count):
+            dist = np.min(
+                [euclidean_to_point(data[chosen[:i]], data[chosen[i]])]
+            )
+            gaps.append(float(dist))
+        assert all(a >= b - 1e-6 for a, b in zip(gaps, gaps[1:]))
+
+
+class TestFindDimensionsProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 6), st.integers(2, 10)),
+            elements=st.floats(0.0, 10.0),
+        ),
+        st.integers(2, 6),
+    )
+    def test_budget_and_structure_always_hold(self, x, l):
+        k, d = x.shape
+        l = min(l, d)
+        dims = find_dimensions(x, l)
+        assert len(dims) == k
+        assert sum(len(t) for t in dims) == k * l
+        for t in dims:
+            assert len(t) >= 2
+            assert list(t) == sorted(set(t))
+            assert all(0 <= j < d for j in t)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 4), st.integers(3, 8)),
+            elements=st.floats(0.1, 10.0),
+        )
+    )
+    def test_scaling_a_row_uniformly_keeps_its_picks(self, x):
+        """Z is scale-free per medoid: scaling a row leaves Z unchanged."""
+        dims = find_dimensions(x, 2)
+        scaled = x.copy()
+        scaled[0] *= 3.0
+        dims_scaled = find_dimensions(scaled, 2)
+        assert dims_scaled[0] == dims[0]
+
+
+class TestBadMedoidProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 10_000), min_size=2, max_size=12),
+        st.floats(0.01, 1.0),
+    )
+    def test_paper_rule_always_flags_at_least_one(self, sizes, min_dev):
+        sizes = np.asarray(sizes)
+        bad = compute_bad_medoids(sizes, int(sizes.sum()) or 1, min_dev)
+        assert len(bad) >= 1
+        assert all(0 <= b < len(sizes) for b in bad)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 10_000), min_size=2, max_size=12),
+        st.floats(0.01, 1.0),
+    )
+    def test_original_rule_superset_of_threshold_flags(self, sizes, min_dev):
+        sizes = np.asarray(sizes)
+        n = int(sizes.sum()) or 1
+        original = set(
+            compute_bad_medoids(sizes, n, min_dev, rule="original").tolist()
+        )
+        threshold = n / len(sizes) * min_dev
+        below = set(np.flatnonzero(sizes < threshold).tolist())
+        assert below <= original
+        assert int(np.argmin(sizes)) in original
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 100), min_size=2, max_size=8))
+    def test_rules_agree_when_smallest_is_below_threshold(self, sizes):
+        sizes = np.asarray(sizes)
+        n = max(int(sizes.sum()), 1)
+        paper = compute_bad_medoids(sizes, n, 0.7, rule="paper")
+        if sizes[int(np.argmin(sizes))] < n / len(sizes) * 0.7:
+            original = compute_bad_medoids(sizes, n, 0.7, rule="original")
+            assert np.array_equal(paper, original)
+
+
+class TestEndToEndMetamorphic:
+    def test_duplicating_dataset_preserves_relative_structure(self):
+        """Running on data ∪ data: every cluster keeps its pairs together."""
+        from repro import proclus
+        from repro.data import generate_subspace_data, minmax_normalize
+        from repro.params import ProclusParams
+
+        ds = generate_subspace_data(n=400, d=6, n_clusters=3, subspace_dims=3, seed=6)
+        data = minmax_normalize(ds.data)
+        doubled = np.vstack([data, data])
+        params = ProclusParams(k=3, l=3, a=15, b=4)
+        result = proclus(doubled, backend="fast", params=params, seed=0)
+        first, second = result.labels[:400], result.labels[400:]
+        # Identical points have identical segmental distances, and ties
+        # break identically -> identical labels.
+        assert np.array_equal(first, second)
+
+    def test_adding_constant_dimension_does_not_break_run(self):
+        from repro import proclus
+        from repro.data import generate_subspace_data, minmax_normalize
+        from repro.params import ProclusParams
+
+        ds = generate_subspace_data(n=500, d=6, n_clusters=3, subspace_dims=3, seed=7)
+        data = minmax_normalize(ds.data)
+        widened = np.hstack([data, np.zeros((500, 1), dtype=np.float32)])
+        params = ProclusParams(k=3, l=3, a=15, b=4)
+        result = proclus(widened, backend="fast", params=params, seed=0)
+        assert result.k == 3

@@ -1,0 +1,117 @@
+"""Unit tests for ProclusResult and RunStats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.result import OUTLIER_LABEL, ProclusResult, RunStats
+
+
+def make_result(labels, medoids=(3, 9), dims=((0, 1), (1, 2))):
+    return ProclusResult(
+        labels=np.asarray(labels),
+        medoids=np.asarray(medoids),
+        dimensions=tuple(tuple(d) for d in dims),
+        cost=0.5,
+        refined_cost=0.4,
+        iterations=7,
+        best_iteration=2,
+        stats=RunStats(backend="test"),
+    )
+
+
+class TestProclusResult:
+    def test_k_from_medoids(self):
+        assert make_result([0, 1, 0, 1]).k == 2
+
+    def test_outlier_count(self):
+        r = make_result([0, -1, 1, -1, -1])
+        assert r.n_outliers == 3
+
+    def test_cluster_sizes_exclude_outliers(self):
+        r = make_result([0, 0, 1, -1])
+        assert r.cluster_sizes().tolist() == [2, 1]
+
+    def test_cluster_sizes_include_empty_clusters(self):
+        r = make_result([0, 0, 0])
+        assert r.cluster_sizes().tolist() == [3, 0]
+
+    def test_cluster_members(self):
+        r = make_result([0, 1, 0, 1])
+        assert r.cluster_members(0).tolist() == [0, 2]
+        assert r.cluster_members(1).tolist() == [1, 3]
+
+    def test_cluster_members_out_of_range(self):
+        r = make_result([0, 1])
+        with pytest.raises(IndexError):
+            r.cluster_members(2)
+        with pytest.raises(IndexError):
+            r.cluster_members(-1)
+
+    def test_same_clustering_true_for_identical(self):
+        a = make_result([0, 1, -1])
+        b = make_result([0, 1, -1])
+        assert a.same_clustering(b)
+
+    def test_same_clustering_detects_label_difference(self):
+        assert not make_result([0, 1, 1]).same_clustering(make_result([0, 1, 0]))
+
+    def test_same_clustering_detects_medoid_difference(self):
+        a = make_result([0, 1], medoids=(3, 9))
+        b = make_result([0, 1], medoids=(3, 8))
+        assert not a.same_clustering(b)
+
+    def test_same_clustering_detects_dimension_difference(self):
+        a = make_result([0, 1], dims=((0, 1), (1, 2)))
+        b = make_result([0, 1], dims=((0, 1), (0, 2)))
+        assert not a.same_clustering(b)
+
+    def test_summary_mentions_every_cluster(self):
+        text = make_result([0, 1, 0]).summary()
+        assert "cluster 0" in text and "cluster 1" in text
+        assert "cost=" in text
+
+    def test_outlier_label_is_minus_one(self):
+        assert OUTLIER_LABEL == -1
+
+
+class TestRunStats:
+    def test_merge_sums_counters(self):
+        a = RunStats(counters={"x": 1.0, "y": 2.0})
+        b = RunStats(counters={"y": 3.0, "z": 4.0})
+        merged = a.merge(b)
+        assert merged.counters == {"x": 1.0, "y": 5.0, "z": 4.0}
+
+    def test_merge_sums_phase_seconds(self):
+        a = RunStats(phase_seconds={"p": 1.0})
+        b = RunStats(phase_seconds={"p": 2.0, "q": 3.0})
+        merged = a.merge(b)
+        assert merged.phase_seconds == {"p": 3.0, "q": 3.0}
+
+    def test_merge_sums_times_and_iterations(self):
+        a = RunStats(modeled_seconds=1.0, wall_seconds=2.0, iterations=5)
+        b = RunStats(modeled_seconds=3.0, wall_seconds=4.0, iterations=7)
+        merged = a.merge(b)
+        assert merged.modeled_seconds == 4.0
+        assert merged.wall_seconds == 6.0
+        assert merged.iterations == 12
+
+    def test_merge_takes_max_peak(self):
+        merged = RunStats(peak_device_bytes=10).merge(RunStats(peak_device_bytes=7))
+        assert merged.peak_device_bytes == 10
+
+    def test_merge_keeps_first_backend_name(self):
+        merged = RunStats(backend="a").merge(RunStats(backend="b"))
+        assert merged.backend == "a"
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = RunStats(counters={"x": 1.0})
+        b = RunStats(counters={"x": 2.0})
+        a.merge(b)
+        assert a.counters == {"x": 1.0}
+        assert b.counters == {"x": 2.0}
+
+    def test_merge_empty_backend_falls_through(self):
+        merged = RunStats().merge(RunStats(backend="b"))
+        assert merged.backend == "b"

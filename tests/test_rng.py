@@ -1,0 +1,90 @@
+"""Unit tests for the shared randomness protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import RandomSource
+
+
+class TestDeterminism:
+    def test_same_seed_same_sample(self):
+        a = RandomSource(42).sample_indices(1000, 50)
+        b = RandomSource(42).sample_indices(1000, 50)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1).sample_indices(1000, 50)
+        b = RandomSource(2).sample_indices(1000, 50)
+        assert not np.array_equal(a, b)
+
+    def test_full_protocol_sequence_reproducible(self):
+        def run(seed):
+            rng = RandomSource(seed)
+            s = rng.sample_indices(500, 40)
+            g = rng.greedy_seed(40)
+            m = rng.initial_medoids(20, 5)
+            r = rng.replacement_medoids(np.arange(15), 2)
+            return s, g, m, r
+
+        for x, y in zip(run(7), run(7)):
+            assert np.array_equal(x, y)
+
+
+class TestDrawProperties:
+    def test_sample_indices_distinct_and_in_range(self):
+        s = RandomSource(0).sample_indices(100, 100)
+        assert sorted(s.tolist()) == list(range(100))
+
+    def test_sample_indices_partial(self):
+        s = RandomSource(0).sample_indices(1000, 10)
+        assert len(np.unique(s)) == 10
+        assert s.min() >= 0 and s.max() < 1000
+
+    def test_greedy_seed_in_range(self):
+        for seed in range(20):
+            g = RandomSource(seed).greedy_seed(17)
+            assert 0 <= g < 17
+
+    def test_initial_medoids_distinct(self):
+        m = RandomSource(0).initial_medoids(30, 30)
+        assert sorted(m.tolist()) == list(range(30))
+
+    def test_replacement_from_candidates_only(self):
+        candidates = np.array([3, 8, 11, 40])
+        r = RandomSource(5).replacement_medoids(candidates, 3)
+        assert set(r.tolist()) <= set(candidates.tolist())
+        assert len(np.unique(r)) == 3
+
+    def test_draw_count_increments(self):
+        rng = RandomSource(0)
+        assert rng.draw_count == 0
+        rng.sample_indices(10, 2)
+        rng.greedy_seed(5)
+        rng.initial_medoids(5, 2)
+        rng.replacement_medoids([1, 2, 3], 1)
+        assert rng.draw_count == 4
+
+
+class TestSpawnAndWrap:
+    def test_spawn_is_independent(self):
+        parent = RandomSource(9)
+        child = parent.spawn()
+        a = child.sample_indices(100, 10)
+        b = parent.sample_indices(100, 10)
+        assert not np.array_equal(a, b)
+
+    def test_spawned_children_deterministic(self):
+        a = RandomSource(9).spawn().sample_indices(100, 10)
+        b = RandomSource(9).spawn().sample_indices(100, 10)
+        assert np.array_equal(a, b)
+
+    def test_wraps_existing_generator(self):
+        gen = np.random.default_rng(3)
+        rng = RandomSource(gen)
+        assert rng.generator is gen
+
+    def test_none_seed_accepted(self):
+        s = RandomSource(None).sample_indices(100, 5)
+        assert len(s) == 5

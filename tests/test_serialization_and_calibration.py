@@ -1,0 +1,128 @@
+"""Tests for result persistence and the calibration solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import proclus
+from repro.core.serialization import load_result, save_result
+from repro.exceptions import DataValidationError
+from repro.hardware.calibration import Anchor, collect_op_counts, solve_rates
+from repro.hardware.cost_model import ScalarCpuModel
+from repro.hardware.specs import INTEL_I7_9750H
+from repro.params import ProclusParams
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    from repro.data.normalize import minmax_normalize
+    from repro.data.synthetic import generate_subspace_data
+
+    ds = generate_subspace_data(n=800, d=8, n_clusters=3, subspace_dims=3, seed=0)
+    data = minmax_normalize(ds.data)
+    return proclus(data, params=ProclusParams(k=3, l=3, a=20, b=4),
+                   backend="gpu-fast", seed=1)
+
+
+class TestResultSerialization:
+    def test_round_trip_clustering(self, result, tmp_path):
+        path = save_result(result, tmp_path / "run.npz")
+        loaded = load_result(path)
+        assert loaded.same_clustering(result)
+        assert loaded.cost == result.cost
+        assert loaded.refined_cost == result.refined_cost
+        assert loaded.iterations == result.iterations
+        assert loaded.best_iteration == result.best_iteration
+
+    def test_round_trip_stats(self, result, tmp_path):
+        loaded = load_result(save_result(result, tmp_path / "r.npz"))
+        assert loaded.stats.backend == result.stats.backend
+        assert loaded.stats.hardware == result.stats.hardware
+        assert loaded.stats.modeled_seconds == result.stats.modeled_seconds
+        assert loaded.stats.counters == result.stats.counters
+        assert loaded.stats.peak_device_bytes == result.stats.peak_device_bytes
+
+    def test_extension_appended(self, result, tmp_path):
+        path = save_result(result, tmp_path / "bare")
+        assert path.suffix == ".npz"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataValidationError, match="not found"):
+            load_result(tmp_path / "nope.npz")
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, other=np.arange(3))
+        with pytest.raises(DataValidationError, match="not a saved result"):
+            load_result(path)
+
+    def test_loaded_result_usable_for_prediction(self, result, tmp_path):
+        from repro import assign_new_points
+        from repro.data.normalize import minmax_normalize
+        from repro.data.synthetic import generate_subspace_data
+
+        ds = generate_subspace_data(n=800, d=8, n_clusters=3, subspace_dims=3, seed=0)
+        data = minmax_normalize(ds.data)
+        loaded = load_result(save_result(result, tmp_path / "p.npz"))
+        labels = assign_new_points(loaded, data, data[:50])
+        assert labels.shape == (50,)
+
+
+class TestCalibration:
+    ANCHOR_PARAMS = ProclusParams(k=3, l=3, a=15, b=3)
+
+    def _modeled_seconds(self, spec, anchor):
+        scalar, vector = collect_op_counts(anchor, spec)
+        return scalar / spec.scalar_ops_per_s + vector / spec.vector_ops_per_s
+
+    def test_single_anchor_exact_match(self):
+        anchor = Anchor(n=600, d=8, seconds=0.5, params=self.ANCHOR_PARAMS)
+        solved = solve_rates([anchor], INTEL_I7_9750H)
+        spec = solved.apply_to(INTEL_I7_9750H)
+        assert self._modeled_seconds(spec, anchor) == pytest.approx(0.5, rel=1e-9)
+        # Ratio preserved.
+        assert spec.vector_ops_per_s / spec.scalar_ops_per_s == pytest.approx(
+            INTEL_I7_9750H.vector_ops_per_s / INTEL_I7_9750H.scalar_ops_per_s
+        )
+
+    def test_two_anchors_recover_planted_rates(self):
+        """Generate anchor times from known rates; the solver recovers them."""
+        import dataclasses
+
+        truth = dataclasses.replace(
+            INTEL_I7_9750H, scalar_ops_per_s=5e7, vector_ops_per_s=3e8
+        )
+        anchors = []
+        for n, d in ((600, 8), (1500, 12)):
+            probe = Anchor(n=n, d=d, seconds=1.0, params=self.ANCHOR_PARAMS)
+            seconds = self._modeled_seconds(truth, probe)
+            anchors.append(
+                Anchor(n=n, d=d, seconds=seconds, params=self.ANCHOR_PARAMS)
+            )
+        solved = solve_rates(anchors, INTEL_I7_9750H)
+        assert solved.scalar_ops_per_s == pytest.approx(5e7, rel=0.02)
+        assert solved.vector_ops_per_s == pytest.approx(3e8, rel=0.02)
+        assert solved.max_relative_error < 0.01
+
+    def test_empty_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            solve_rates([], INTEL_I7_9750H)
+
+    def test_nonpositive_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            solve_rates(
+                [Anchor(n=600, d=8, seconds=0.0, params=self.ANCHOR_PARAMS)],
+                INTEL_I7_9750H,
+            )
+
+    def test_counts_independent_of_rates(self):
+        import dataclasses
+
+        anchor = Anchor(n=600, d=8, seconds=1.0, params=self.ANCHOR_PARAMS)
+        a = collect_op_counts(anchor, INTEL_I7_9750H)
+        other = dataclasses.replace(
+            INTEL_I7_9750H, scalar_ops_per_s=1e9, vector_ops_per_s=1e10
+        )
+        b = collect_op_counts(anchor, other)
+        assert a == b

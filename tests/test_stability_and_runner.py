@@ -1,0 +1,92 @@
+"""Tests for stability analysis and the batch experiment runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import sec54_utilization
+from repro.bench.runner import run_all_experiments, write_summary
+from repro.eval.stability import stability_analysis
+from repro.params import ProclusParams
+
+
+@pytest.fixture(scope="module")
+def workload():
+    from repro.data.normalize import minmax_normalize
+    from repro.data.synthetic import generate_subspace_data
+
+    ds = generate_subspace_data(n=1200, d=8, n_clusters=4, subspace_dims=4, seed=0)
+    return minmax_normalize(ds.data)
+
+
+class TestStability:
+    @pytest.fixture(scope="class")
+    def report(self, workload):
+        return stability_analysis(
+            workload,
+            params=ProclusParams(k=4, l=3, a=20, b=4),
+            seeds=tuple(range(5)),
+        )
+
+    def test_one_run_per_seed(self, report):
+        assert len(report.costs) == 5
+        assert len(report.results) == 5
+
+    def test_cost_statistics_consistent(self, report):
+        assert report.best_cost <= report.mean_cost <= report.worst_cost
+        assert report.std_cost >= 0
+        assert report.relative_spread >= 0
+
+    def test_best_result_has_best_cost(self, report):
+        assert report.best_result().cost == report.best_cost
+
+    def test_pairwise_agreement_bounded(self, report):
+        assert -1.0 <= report.pairwise_agreement() <= 1.0
+
+    def test_seeds_to_reach_monotone_in_tolerance(self, report):
+        loose = report.seeds_to_reach(tolerance=1.0)
+        tight = report.seeds_to_reach(tolerance=0.0)
+        assert 1 <= loose <= tight <= 5
+
+    def test_single_seed_agreement_is_one(self, workload):
+        report = stability_analysis(
+            workload, params=ProclusParams(k=4, l=3, a=20, b=4), seeds=(0,)
+        )
+        assert report.pairwise_agreement() == 1.0
+
+    def test_render_mentions_statistics(self, report):
+        text = report.render()
+        assert "best" in text and "spread" in text
+
+
+class TestRunner:
+    def test_single_experiment_with_artifacts(self, tmp_path):
+        runs = run_all_experiments(
+            out_dir=tmp_path,
+            experiments={"sec54": sec54_utilization},
+        )
+        assert len(runs) == 1
+        run = runs[0]
+        assert run.csv_path.exists()
+        assert run.json_path.exists()
+        assert run.wall_seconds > 0
+        summary = (tmp_path / "SUMMARY.md").read_text()
+        assert "sec54" in summary
+        assert "Nsight" in summary
+
+    def test_no_artifacts_without_out_dir(self):
+        runs = run_all_experiments(experiments={"sec54": sec54_utilization})
+        assert runs[0].csv_path is None
+
+    def test_progress_callback(self, tmp_path):
+        seen = []
+        run_all_experiments(
+            experiments={"sec54": sec54_utilization}, progress=seen.append
+        )
+        assert seen == ["running sec54 ..."]
+
+    def test_write_summary_standalone(self, tmp_path):
+        runs = run_all_experiments(experiments={"sec54": sec54_utilization})
+        path = write_summary(runs, tmp_path / "S.md")
+        assert "Reproduction summary" in path.read_text()

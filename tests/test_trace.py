@@ -1,0 +1,112 @@
+"""Tests for iteration-level tracing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fast import FastProclusEngine
+from repro.core.proclus import ProclusEngine
+from repro.core.trace import RunTrace
+from repro.params import ProclusParams
+
+
+@pytest.fixture(scope="module")
+def traced(request):
+    from repro.data.normalize import minmax_normalize
+    from repro.data.synthetic import generate_subspace_data
+
+    ds = generate_subspace_data(n=1500, d=8, n_clusters=4, subspace_dims=4, seed=2)
+    data = minmax_normalize(ds.data)
+    engine = ProclusEngine(
+        params=ProclusParams(k=4, l=3, a=25, b=5), seed=1, collect_trace=True
+    )
+    result = engine.fit(data)
+    return engine.trace_, result
+
+
+class TestTraceContents:
+    def test_one_record_per_iteration(self, traced):
+        trace, result = traced
+        assert len(trace) == result.iterations
+
+    def test_first_iteration_always_improves(self, traced):
+        trace, _ = traced
+        assert trace.records[0].improved
+
+    def test_best_cost_non_increasing(self, traced):
+        trace, _ = traced
+        best = trace.best_costs
+        assert all(a >= b for a, b in zip(best, best[1:]))
+
+    def test_final_best_matches_result_cost(self, traced):
+        trace, result = traced
+        assert trace.records[-1].best_cost == pytest.approx(result.cost)
+
+    def test_improvements_where_best_cost_drops(self, traced):
+        trace, _ = traced
+        for r in trace.records:
+            if r.improved:
+                assert r.cost == r.best_cost
+
+    def test_best_iteration_is_last_improvement(self, traced):
+        trace, result = traced
+        assert trace.improvements[-1] == result.best_iteration
+
+    def test_cluster_sizes_sum_to_n(self, traced):
+        trace, result = traced
+        n = len(result.labels)
+        for r in trace.records:
+            assert sum(r.cluster_sizes) == n
+
+    def test_medoid_positions_distinct(self, traced):
+        trace, result = traced
+        for r in trace.records:
+            assert len(set(r.medoid_positions)) == result.k
+
+    def test_churn_matches_bad_medoids(self, traced):
+        """Churn at iteration t is at most |bad| of iteration t-1 plus
+        the revert of a non-improving iteration's replacements."""
+        trace, result = traced
+        churn = trace.medoid_churn()
+        assert churn[0] == 0
+        k = result.k
+        assert all(0 <= c <= k for c in churn)
+
+    def test_tracing_off_by_default(self, traced):
+        engine = ProclusEngine(params=ProclusParams(k=4, l=3, a=25, b=5), seed=1)
+        assert engine.trace_ is None
+
+
+class TestTraceUtilities:
+    def test_summary_mentions_iterations(self, traced):
+        trace, result = traced
+        text = trace.summary()
+        assert str(len(trace)) in text
+        assert "improvements" in text
+
+    def test_empty_trace_summary(self):
+        assert RunTrace().summary() == "(empty trace)"
+
+    def test_to_csv_round_trippable(self, traced, tmp_path):
+        trace, _ = traced
+        path = trace.to_csv(tmp_path / "trace.csv")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(trace) + 1
+        assert lines[0].startswith("iteration,cost,improved")
+
+    def test_trace_identical_across_variants(self):
+        from repro.data.normalize import minmax_normalize
+        from repro.data.synthetic import generate_subspace_data
+
+        ds = generate_subspace_data(n=800, d=6, n_clusters=3, subspace_dims=3, seed=3)
+        data = minmax_normalize(ds.data)
+        params = ProclusParams(k=3, l=3, a=20, b=4)
+        base = ProclusEngine(params=params, seed=5, collect_trace=True)
+        base.fit(data)
+        fast = FastProclusEngine(params=params, seed=5, collect_trace=True)
+        fast.fit(data)
+        assert base.trace_.costs == fast.trace_.costs
+        assert [r.medoid_positions for r in base.trace_] == [
+            r.medoid_positions for r in fast.trace_
+        ]
