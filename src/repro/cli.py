@@ -6,6 +6,7 @@ Subcommands::
     python -m repro study     # run a (k, l) parameter study
     python -m repro bench     # regenerate paper experiments ('all' for every one)
     python -m repro profile   # nvprof-style kernel profile of a GPU run
+    python -m repro sanitize  # cuda-memcheck-style sweep of the emulated kernels
     python -m repro validate  # cross-variant clustering equivalence check
     python -m repro claims    # check every quantitative claim of the paper
     python -m repro info      # list backends, datasets, hardware models
@@ -196,6 +197,22 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from .gpu_impl.sanitize import run_sweep
+
+    kernels = None if args.all_kernels or not args.kernel else args.kernel
+    seeds: tuple[int | None, ...] = (None, *range(1, args.schedules))
+    report = run_sweep(kernels=kernels, schedule_seeds=seeds, seed=args.seed)
+    print(report.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_claims(args: argparse.Namespace) -> int:
     results = check_all()
     print(format_results(results))
@@ -281,6 +298,30 @@ def build_parser() -> argparse.ArgumentParser:
         default="gpu-fast",
     )
     profile.set_defaults(func=_cmd_profile)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run every emulated kernel under the memory/race sanitizer",
+    )
+    sanitize.add_argument(
+        "--all-kernels", action="store_true",
+        help="sweep all kernels (the default when no --kernel is given)",
+    )
+    from .gpu_impl.sanitize import KERNELS
+
+    sanitize.add_argument(
+        "--kernel", action="append", metavar="NAME", choices=sorted(KERNELS),
+        help=f"sweep only this kernel (repeatable); one of {', '.join(KERNELS)}",
+    )
+    sanitize.add_argument(
+        "--schedules", type=int, default=2,
+        help="schedule orders per geometry: in-order + N-1 shuffles (default 2)",
+    )
+    sanitize.add_argument("--seed", type=int, default=0,
+                          help="input-generation seed (default 0)")
+    sanitize.add_argument("--json", metavar="PATH",
+                          help="also write the structured report as JSON")
+    sanitize.set_defaults(func=_cmd_sanitize)
 
     claims = sub.add_parser(
         "claims", help="check every quantitative claim of the paper"

@@ -17,6 +17,7 @@ __all__ = [
     "DeviceOutOfMemoryError",
     "KernelLaunchError",
     "EmulationError",
+    "SanitizerError",
     "ConvergenceError",
 ]
 
@@ -61,6 +62,21 @@ class EmulationError(ReproError, RuntimeError):
     barriers (divergent ``syncthreads``), which on real hardware is
     undefined behaviour.
     """
+
+
+class SanitizerError(EmulationError):
+    """The kernel sanitizer detected a fatal memory error.
+
+    Raised for out-of-bounds accesses (including negative indices,
+    which NumPy would silently wrap), where continuing the launch would
+    corrupt unrelated memory.  The triggering
+    :class:`~repro.gpu.sanitizer.Diagnostic` is attached as
+    ``.diagnostic`` and also recorded in the sanitizer's report.
+    """
+
+    def __init__(self, message: str, diagnostic: object | None = None) -> None:
+        super().__init__(message)
+        self.diagnostic = diagnostic
 
 
 class ConvergenceError(ReproError, RuntimeError):

@@ -24,6 +24,13 @@ from .occupancy import OccupancyReport, best_block_size, occupancy_report
 from .streams import StreamPlan, overlap_analysis
 from .profiler import KernelProfile, format_kernel_profile, profile_kernels
 from .checker import ScheduleCheckResult, check_schedule_independence
+from .sanitizer import (
+    Diagnostic,
+    Sanitizer,
+    SanitizerReport,
+    TrackedArray,
+    sanitize_launch,
+)
 from . import atomics
 
 __all__ = [
@@ -42,5 +49,10 @@ __all__ = [
     "format_kernel_profile",
     "ScheduleCheckResult",
     "check_schedule_independence",
+    "Diagnostic",
+    "Sanitizer",
+    "SanitizerReport",
+    "TrackedArray",
+    "sanitize_launch",
     "atomics",
 ]

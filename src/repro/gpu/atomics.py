@@ -22,6 +22,8 @@ __all__ = [
     "atomic_inc",
     "atomic_cas",
     "count_atomics",
+    "in_atomic",
+    "isolated_state",
 ]
 
 Index = Any  # int or tuple of ints
@@ -29,6 +31,35 @@ Index = Any  # int or tuple of ints
 #: Incremented by every atomic operation while a count_atomics() context
 #: is active (None otherwise, keeping the hot path branch-cheap).
 _counter: list[int] | None = None
+
+#: Nonzero while an atomic operation's read-modify-write is executing.
+#: The kernel sanitizer reads this to tell atomic element accesses from
+#: plain ones (an atomic racing a plain write is still a race).
+_atomic_depth: int = 0
+
+
+def in_atomic() -> bool:
+    """True while an atomic operation is accessing its array element."""
+    return _atomic_depth > 0
+
+
+@contextlib.contextmanager
+def isolated_state() -> Iterator[None]:
+    """Run with pristine module state, restoring the caller's afterwards.
+
+    Used by replay tools (e.g. the schedule-independence checker) so
+    their repeated trial launches neither inflate an enclosing
+    :func:`count_atomics` tally nor inherit a stale atomic depth from an
+    aborted launch.
+    """
+    global _counter, _atomic_depth
+    saved = (_counter, _atomic_depth)
+    _counter = None
+    _atomic_depth = 0
+    try:
+        yield
+    finally:
+        _counter, _atomic_depth = saved
 
 
 @contextlib.contextmanager
@@ -58,27 +89,42 @@ def _tick() -> None:
 
 def atomic_add(array: np.ndarray, index: Index, value: float) -> float:
     """``old = array[index]; array[index] += value; return old``."""
+    global _atomic_depth
     _tick()
-    old = array[index]
-    array[index] = old + value
+    _atomic_depth += 1
+    try:
+        old = array[index]
+        array[index] = old + value
+    finally:
+        _atomic_depth -= 1
     return old
 
 
 def atomic_min(array: np.ndarray, index: Index, value: float) -> float:
     """``old = array[index]; array[index] = min(old, value); return old``."""
+    global _atomic_depth
     _tick()
-    old = array[index]
-    if value < old:
-        array[index] = value
+    _atomic_depth += 1
+    try:
+        old = array[index]
+        if value < old:
+            array[index] = value
+    finally:
+        _atomic_depth -= 1
     return old
 
 
 def atomic_max(array: np.ndarray, index: Index, value: float) -> float:
     """``old = array[index]; array[index] = max(old, value); return old``."""
+    global _atomic_depth
     _tick()
-    old = array[index]
-    if value > old:
-        array[index] = value
+    _atomic_depth += 1
+    try:
+        old = array[index]
+        if value > old:
+            array[index] = value
+    finally:
+        _atomic_depth -= 1
     return old
 
 
@@ -88,16 +134,26 @@ def atomic_inc(array: np.ndarray, index: Index) -> int:
     This is how GPU-PROCLUS appends points to the ``L_i`` and ``C_i``
     arrays: the returned old value is the append position.
     """
+    global _atomic_depth
     _tick()
-    old = int(array[index])
-    array[index] = old + 1
+    _atomic_depth += 1
+    try:
+        old = int(array[index])
+        array[index] = old + 1
+    finally:
+        _atomic_depth -= 1
     return old
 
 
 def atomic_cas(array: np.ndarray, index: Index, compare: float, value: float) -> float:
     """Compare-and-swap; returns the old value."""
+    global _atomic_depth
     _tick()
-    old = array[index]
-    if old == compare:
-        array[index] = value
+    _atomic_depth += 1
+    try:
+        old = array[index]
+        if old == compare:
+            array[index] = value
+    finally:
+        _atomic_depth -= 1
     return old

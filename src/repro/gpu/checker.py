@@ -3,22 +3,31 @@
 On real hardware, a kernel whose result depends on warp scheduling is a
 race bug.  The emulator can execute the same launch under different
 deterministic thread orders; this checker runs a kernel several times
-with shuffled schedules and reports whether any output buffer differed
-— a cheap ThreadSanitizer for the kernels in this repository (and for
-user-written ones).
+with shuffled schedules and reports whether any output buffer — or any
+block's final *shared memory* contents, scratch state a pure output
+diff would miss — differed.  Combined with ``sanitize=True`` (which
+runs every trial under the access-level race detector in
+:mod:`repro.gpu.sanitizer`) this is a cheap ThreadSanitizer for the
+kernels in this repository and for user-written ones.
 """
 
 from __future__ import annotations
 
-import copy
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 import numpy as np
 
-from .emulator import SimtEmulator
+from . import atomics
+from .emulator import SimtEmulator, _as_tuple
+from .sanitizer import Sanitizer, SanitizerReport
 
 __all__ = ["ScheduleCheckResult", "check_schedule_independence"]
+
+#: Blocks this small have so few distinct thread permutations that a
+#: handful of shuffles can coincide; the checker grows the trial count.
+_TINY_BLOCK_THREADS = 4
+_TINY_BLOCK_SCHEDULES = 8
 
 
 @dataclass(slots=True)
@@ -31,14 +40,28 @@ class ScheduleCheckResult:
     divergent_arguments: list[int]
     #: Maximum absolute elementwise difference seen per divergent array.
     max_differences: dict[int, float]
+    #: ``"block{idx}/{name}"`` keys of shared arrays whose final
+    #: contents differed between schedules.
+    divergent_shared: list[str] = field(default_factory=list)
+    #: Access-level findings, present when ``sanitize=True`` was passed.
+    sanitizer_report: SanitizerReport | None = None
 
     @property
     def independent(self) -> bool:
-        return not self.divergent_arguments
+        return not self.divergent_arguments and not self.divergent_shared
 
 
 def _snapshot(args: tuple[Any, ...]) -> list[np.ndarray | None]:
     return [a.copy() if isinstance(a, np.ndarray) else None for a in args]
+
+
+def _shared_snapshot(emulator: SimtEmulator) -> dict[str, np.ndarray]:
+    """Final shared-memory contents of the last launch, keyed per block."""
+    snapshot: dict[str, np.ndarray] = {}
+    for block_idx, shared in emulator.last_shared.items():
+        for name, array in shared.items():
+            snapshot[f"block{block_idx}/{name}"] = np.asarray(array).copy()
+    return snapshot
 
 
 def check_schedule_independence(
@@ -49,53 +72,87 @@ def check_schedule_independence(
     schedules: int = 4,
     exact: bool = True,
     tolerance: float = 0.0,
+    sanitize: bool = False,
 ) -> ScheduleCheckResult:
     """Run ``kernel`` under several schedules and diff its outputs.
 
     Array arguments are treated as in/out buffers: each trial starts
     from a pristine copy of the initial contents, and final contents are
-    compared across trials.  With ``exact=False``, differences up to
-    ``tolerance`` are allowed (for kernels whose floating-point
-    accumulation is legitimately order-sensitive in the last bits).
+    compared across trials — as are each block's final shared-memory
+    arrays, so a race confined to scratch state is still caught.  With
+    ``exact=False``, differences up to ``tolerance`` are allowed (for
+    kernels whose floating-point accumulation is legitimately
+    order-sensitive in the last bits; the same policy applies to shared
+    arrays).
+
+    Trials run with the atomics module state isolated, so replaying the
+    kernel ``schedules`` times does not inflate an enclosing
+    :func:`~repro.gpu.atomics.count_atomics` tally.  When the block has
+    :data:`_TINY_BLOCK_THREADS` threads or fewer, the trial count is
+    raised to at least :data:`_TINY_BLOCK_SCHEDULES` — tiny blocks have
+    so few distinct permutations that the default four shuffles can
+    coincide and mask a race.
+
+    With ``sanitize=True`` every trial also runs under the
+    access-logging sanitizer; findings are merged into
+    ``result.sanitizer_report``.  A fatal sanitizer error (out of
+    bounds) propagates as :class:`~repro.exceptions.SanitizerError`.
     """
     if schedules < 2:
         raise ValueError(f"need >= 2 schedules to compare, got {schedules}")
+    block_threads = int(np.prod(_as_tuple(block_dim)))
+    if block_threads <= _TINY_BLOCK_THREADS:
+        schedules = max(schedules, _TINY_BLOCK_SCHEDULES)
     initial = _snapshot(args)
+    sanitizer = Sanitizer() if sanitize else None
 
-    def run(seed: int | None) -> list[np.ndarray | None]:
+    def run(seed: int | None) -> tuple[list[np.ndarray | None], dict[str, np.ndarray]]:
         trial_args = tuple(
             initial[i].copy() if initial[i] is not None else args[i]
             for i in range(len(args))
         )
-        SimtEmulator(schedule_seed=seed).launch(
-            kernel, grid_dim, block_dim, *trial_args
-        )
-        return _snapshot(trial_args)
+        with atomics.isolated_state():
+            emulator = SimtEmulator(schedule_seed=seed, sanitizer=sanitizer)
+            emulator.launch(kernel, grid_dim, block_dim, *trial_args)
+            shared = _shared_snapshot(emulator)
+        return _snapshot(trial_args), shared
 
-    reference = run(None)
+    def same(ref: np.ndarray, got: np.ndarray) -> bool:
+        if exact:
+            return np.array_equal(ref, got)
+        return np.allclose(ref, got, atol=tolerance, rtol=0.0)
+
+    def difference(ref: np.ndarray, got: np.ndarray) -> float:
+        if np.issubdtype(ref.dtype, np.number):
+            return float(
+                np.max(np.abs(ref.astype(np.float64) - got.astype(np.float64)))
+            )
+        return float(np.count_nonzero(ref != got))
+
+    reference, shared_reference = run(None)
     divergent: list[int] = []
     max_diff: dict[int, float] = {}
+    divergent_shared: list[str] = []
     for seed in range(1, schedules):
-        outcome = run(seed)
+        outcome, shared_outcome = run(seed)
         for i, (ref, got) in enumerate(zip(reference, outcome)):
             if ref is None:
                 continue
-            if exact:
-                same = np.array_equal(ref, got)
-            else:
-                same = np.allclose(ref, got, atol=tolerance, rtol=0.0)
-            if not same:
+            if not same(ref, got):
                 if i not in divergent:
                     divergent.append(i)
-                if np.issubdtype(ref.dtype, np.number):
-                    diff = float(
-                        np.max(np.abs(ref.astype(np.float64) - got.astype(np.float64)))
-                    )
-                else:
-                    diff = float(np.count_nonzero(ref != got))
-                max_diff[i] = max(max_diff.get(i, 0.0), diff)
+                max_diff[i] = max(max_diff.get(i, 0.0), difference(ref, got))
+        for key in shared_reference.keys() | shared_outcome.keys():
+            if key in divergent_shared:
+                continue
+            ref = shared_reference.get(key)
+            got = shared_outcome.get(key)
+            if ref is None or got is None or not same(ref, got):
+                divergent_shared.append(key)
     return ScheduleCheckResult(
         schedules_tried=schedules,
         divergent_arguments=sorted(divergent),
         max_differences=max_diff,
+        divergent_shared=sorted(divergent_shared),
+        sanitizer_report=sanitizer.report if sanitizer is not None else None,
     )

@@ -25,6 +25,7 @@ from typing import Any, Callable, Iterable
 import numpy as np
 
 from ..exceptions import EmulationError, KernelLaunchError
+from .sanitizer import Sanitizer
 
 __all__ = ["ThreadContext", "SharedMemory", "SimtEmulator"]
 
@@ -40,8 +41,9 @@ def _as_tuple(dim: Dim) -> tuple[int, ...]:
 class SharedMemory:
     """Per-block shared memory: named arrays visible to all block threads."""
 
-    def __init__(self) -> None:
+    def __init__(self, sanitizer: Sanitizer | None = None) -> None:
         self._arrays: dict[str, np.ndarray] = {}
+        self._sanitizer = sanitizer
 
     def array(
         self,
@@ -54,7 +56,10 @@ class SharedMemory:
 
         All threads of a block receive the same array object; the
         ``fill`` value is applied only by the allocating (first) call,
-        mirroring a single-thread initialization in CUDA.
+        mirroring a single-thread initialization in CUDA.  Without
+        ``fill`` the contents are garbage, exactly as ``__shared__``
+        memory is on hardware — the sanitizer flags reads before any
+        thread has written.
         """
         if name not in self._arrays:
             if isinstance(shape, (int, np.integer)):
@@ -63,8 +68,19 @@ class SharedMemory:
                 data = np.empty(shape, dtype=dtype)
             else:
                 data = np.full(shape, fill, dtype=dtype)
+            if self._sanitizer is not None:
+                data = self._sanitizer.track(
+                    data,
+                    label=f"shared:{name}",
+                    space="shared",
+                    uninitialized=fill is None,
+                )
             self._arrays[name] = data
         return self._arrays[name]
+
+    def items(self) -> Iterable[tuple[str, np.ndarray]]:
+        """The allocated (name, array) pairs — for post-launch inspection."""
+        return self._arrays.items()
 
     @property
     def nbytes(self) -> int:
@@ -143,14 +159,30 @@ class ThreadContext:
 class SimtEmulator:
     """Executes kernels with faithful block/thread/barrier semantics."""
 
-    def __init__(self, schedule_seed: int | None = None) -> None:
+    def __init__(
+        self,
+        schedule_seed: int | None = None,
+        sanitizer: Sanitizer | None = None,
+    ) -> None:
         """``schedule_seed``: when given, thread execution order within
         each lock-step round is shuffled deterministically, exposing any
-        illegal dependence on thread ordering."""
+        illegal dependence on thread ordering.
+
+        ``sanitizer``: when given, every launch runs instrumented — all
+        element accesses are logged and analyzed for out-of-bounds
+        accesses, uninitialized shared reads, and races (see
+        :mod:`repro.gpu.sanitizer`); findings accumulate in
+        ``sanitizer.report``.
+        """
         self._rng = (
             np.random.default_rng(schedule_seed) if schedule_seed is not None else None
         )
         self.launches = 0
+        self.sanitizer = sanitizer
+        #: Per-block shared memory of the most recent launch, keyed by
+        #: block index — lets the schedule-independence checker compare
+        #: scratch state that the outputs alone would not expose.
+        self.last_shared: dict[tuple[int, ...], SharedMemory] = {}
 
     def launch(
         self,
@@ -158,8 +190,14 @@ class SimtEmulator:
         grid_dim: Dim,
         block_dim: Dim,
         *args: Any,
+        sanitize: bool = False,
     ) -> None:
-        """Run ``kernel`` over the launch grid to completion."""
+        """Run ``kernel`` over the launch grid to completion.
+
+        ``sanitize=True`` instruments this launch (creating a
+        :class:`~repro.gpu.sanitizer.Sanitizer` on first use if the
+        emulator was not constructed with one).
+        """
         grid = _as_tuple(grid_dim)
         block = _as_tuple(block_dim)
         if any(g <= 0 for g in grid) or any(b <= 0 for b in block):
@@ -167,17 +205,45 @@ class SimtEmulator:
                 f"invalid launch configuration grid={grid} block={block}"
             )
         self.launches += 1
+        if sanitize and self.sanitizer is None:
+            self.sanitizer = Sanitizer()
+        san = self.sanitizer
+        run_args = args if san is None else self._tracked_args(san, kernel, args)
+        if san is not None:
+            san.begin_launch(getattr(kernel, "__name__", repr(kernel)))
         is_generator = inspect.isgeneratorfunction(kernel)
-        for block_idx in itertools.product(*(range(g) for g in grid)):
-            shared = SharedMemory()
-            contexts = [
-                ThreadContext(block_idx, thread_idx, grid, block, shared)
-                for thread_idx in itertools.product(*(range(b) for b in block))
-            ]
-            if is_generator:
-                self._run_block_with_barriers(kernel, contexts, args)
-            else:
-                self._run_block_plain(kernel, contexts, args)
+        self.last_shared = {}
+        try:
+            for block_idx in itertools.product(*(range(g) for g in grid)):
+                shared = SharedMemory(sanitizer=san)
+                self.last_shared[block_idx] = shared
+                contexts = [
+                    ThreadContext(block_idx, thread_idx, grid, block, shared)
+                    for thread_idx in itertools.product(*(range(b) for b in block))
+                ]
+                if is_generator:
+                    self._run_block_with_barriers(kernel, contexts, run_args, san)
+                else:
+                    self._run_block_plain(kernel, contexts, run_args, san)
+        finally:
+            if san is not None:
+                san.end_launch()
+
+    @staticmethod
+    def _tracked_args(
+        san: Sanitizer, kernel: Callable[..., Any], args: tuple[Any, ...]
+    ) -> tuple[Any, ...]:
+        """Wrap array arguments in sanitizer-instrumented views."""
+        try:
+            names = list(inspect.signature(kernel).parameters)[1:]
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            names = []
+        return tuple(
+            san.track(a, label=names[i] if i < len(names) else f"arg{i}")
+            if isinstance(a, np.ndarray)
+            else a
+            for i, a in enumerate(args)
+        )
 
     def _order(self, items: list[Any]) -> Iterable[Any]:
         if self._rng is None:
@@ -190,29 +256,43 @@ class SimtEmulator:
         kernel: Callable[..., Any],
         contexts: list[ThreadContext],
         args: tuple[Any, ...],
+        san: Sanitizer | None = None,
     ) -> None:
+        # No barriers: every access of the block shares one epoch.
         for ctx in self._order(contexts):
+            if san is not None:
+                san.set_thread(ctx.block_idx, ctx.thread_idx, 0)
             kernel(ctx, *args)
+        if san is not None:
+            san.clear_thread()
 
     def _run_block_with_barriers(
         self,
         kernel: Callable[..., Any],
         contexts: list[ThreadContext],
         args: tuple[Any, ...],
+        san: Sanitizer | None = None,
     ) -> None:
         threads = [kernel(ctx, *args) for ctx in contexts]
         active = list(range(len(threads)))
+        epoch = 0
         while active:
             at_barrier: list[int] = []
             for i in self._order(active):
+                if san is not None:
+                    ctx = contexts[i]
+                    san.set_thread(ctx.block_idx, ctx.thread_idx, epoch)
                 try:
                     next(threads[i])
                 except StopIteration:
                     continue
                 at_barrier.append(i)
+            if san is not None:
+                san.clear_thread()
             if at_barrier and len(at_barrier) != len(active):
                 raise EmulationError(
                     "divergent __syncthreads(): "
                     f"{len(at_barrier)} of {len(active)} threads reached the barrier"
                 )
             active = at_barrier
+            epoch += 1

@@ -63,6 +63,15 @@ class DeviceArray:
         """Return a host copy of the array contents."""
         return self.data.copy()
 
+    def tracked(self, sanitizer) -> np.ndarray:
+        """Sanitizer-instrumented view of the backing store.
+
+        Pass the returned array (instead of ``.data``) into an emulated
+        kernel launch to have the kernel sanitizer attribute accesses —
+        and out-of-bounds diagnostics — to this allocation by name.
+        """
+        return sanitizer.track(self.data, label=self.name)
+
     def free(self) -> None:
         """Release the allocation back to the device."""
         if self._data is not None:

@@ -1,0 +1,503 @@
+"""Kernel sanitizer: a cuda-memcheck / racecheck analog for the emulator.
+
+The schedule-independence checker (:mod:`repro.gpu.checker`) can only
+see races that change a kernel's *output*; a race whose interleavings
+happen to produce identical results — or that corrupts scratch state
+the launch never reads back — passes it silently.  This module instead
+instruments the emulator's memory system: every element access a kernel
+performs is logged with its thread, block, barrier epoch, and whether
+it went through :mod:`repro.gpu.atomics`, and each launch is analyzed
+for four diagnostic classes:
+
+``out-of-bounds``
+    An index outside the array, including *negative* indices (NumPy
+    wraps them silently; CUDA reads unowned memory).  Fatal: recorded
+    in the report and raised as :class:`~repro.exceptions.SanitizerError`.
+``uninitialized-shared-read``
+    A read of a shared-memory cell no thread has written (allocation
+    without ``fill=``) — ``__shared__`` garbage on real hardware.
+``race-write-write`` / ``race-read-write``
+    Two plain accesses to the same element, at least one a write, by
+    different threads with no barrier between them.  Within a block,
+    accesses in different ``__syncthreads`` epochs are ordered
+    (happens-before over the generator ``yield`` rounds); across
+    blocks nothing orders accesses within one launch.
+``atomic-plain-conflict``
+    An atomic operation and a plain access touching the same element
+    concurrently (at least one of the pair writing) — atomicity only
+    protects atomics against *each other*.
+
+The sanitizer is dynamic, like cuda-memcheck: it judges the accesses a
+run actually performs.  Whole-array reads through NumPy ufuncs are
+logged coarsely (the full array); accesses through views obtained from
+a sub-array expression are not tracked — kernels in this repository
+index elements and rows explicitly, which is fully covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import SanitizerError
+from . import atomics
+
+__all__ = [
+    "OUT_OF_BOUNDS",
+    "UNINITIALIZED_SHARED_READ",
+    "RACE_WRITE_WRITE",
+    "RACE_READ_WRITE",
+    "ATOMIC_PLAIN_CONFLICT",
+    "DIAGNOSTIC_KINDS",
+    "Diagnostic",
+    "SanitizerReport",
+    "Sanitizer",
+    "TrackedArray",
+    "sanitize_launch",
+]
+
+OUT_OF_BOUNDS = "out-of-bounds"
+UNINITIALIZED_SHARED_READ = "uninitialized-shared-read"
+RACE_WRITE_WRITE = "race-write-write"
+RACE_READ_WRITE = "race-read-write"
+ATOMIC_PLAIN_CONFLICT = "atomic-plain-conflict"
+
+DIAGNOSTIC_KINDS = (
+    OUT_OF_BOUNDS,
+    UNINITIALIZED_SHARED_READ,
+    RACE_WRITE_WRITE,
+    RACE_READ_WRITE,
+    ATOMIC_PLAIN_CONFLICT,
+)
+
+#: Race classes (any unsynchronized same-element conflict).
+RACE_KINDS = (RACE_WRITE_WRITE, RACE_READ_WRITE, ATOMIC_PLAIN_CONFLICT)
+
+# Analysis caps: one diagnostic per element per launch, bounded pair
+# scans so a hot atomic counter cannot make the analysis quadratic.
+_MAX_WRITES_SCANNED = 64
+_MAX_ACCESSES_SCANNED = 512
+
+
+@dataclass(slots=True)
+class Diagnostic:
+    """One sanitizer finding."""
+
+    kind: str  #: one of :data:`DIAGNOSTIC_KINDS`
+    kernel: str  #: name of the launched kernel function
+    launch: int  #: 1-based launch number within the sanitizer's lifetime
+    array: str  #: label of the offending array (argument or shared name)
+    location: tuple[int, ...] | None  #: element index, unraveled
+    detail: str  #: human-readable specifics (threads, epochs, index)
+
+    @property
+    def message(self) -> str:
+        where = "" if self.location is None else f"[{', '.join(map(str, self.location))}]"
+        return (
+            f"[{self.kind}] launch #{self.launch} {self.kernel}: "
+            f"{self.array}{where} — {self.detail}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "kernel": self.kernel,
+            "launch": self.launch,
+            "array": self.array,
+            "location": list(self.location) if self.location is not None else None,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class SanitizerReport:
+    """Accumulated findings over every sanitized launch."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    launches: int = 0
+    accesses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    @property
+    def kinds(self) -> set[str]:
+        return {d.kind for d in self.diagnostics}
+
+    def by_kind(self, kind: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.kind == kind]
+
+    def render(self) -> str:
+        lines = [
+            f"sanitizer: {self.launches} launches, {self.accesses} accesses "
+            f"logged, {len(self.diagnostics)} diagnostics"
+        ]
+        for diag in self.diagnostics:
+            lines.append("  " + diag.message)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "launches": self.launches,
+            "accesses": self.accesses,
+            "ok": self.ok,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+class _ArrayInfo:
+    """Sanitizer-side record of one tracked array."""
+
+    __slots__ = (
+        "base", "label", "space", "shape", "size", "strides", "init_mask",
+    )
+
+    def __init__(
+        self,
+        base: np.ndarray,
+        label: str,
+        space: str,
+        uninitialized: bool,
+    ) -> None:
+        self.base = base
+        self.label = label
+        self.space = space  # "global" | "shared"
+        self.shape = base.shape
+        self.size = base.size
+        # Row-major element strides, for the scalar-index fast path.
+        strides = []
+        acc = 1
+        for dim in reversed(base.shape):
+            strides.append(acc)
+            acc *= dim
+        self.strides = tuple(reversed(strides))
+        self.init_mask = (
+            np.zeros(base.shape, dtype=bool) if uninitialized else None
+        )
+
+
+class TrackedArray(np.ndarray):
+    """ndarray view that reports element accesses to a :class:`Sanitizer`.
+
+    Created via :meth:`Sanitizer.track`; behaves exactly like the base
+    array otherwise.  Sub-array results (row views, ufunc outputs) are
+    returned untracked, so thread-local temporaries stay cheap.
+    """
+
+    def __array_finalize__(self, obj: Any) -> None:
+        # Views/copies derived from a tracked array are NOT tracked;
+        # only Sanitizer.track attaches a live sanitizer reference.
+        self._san = None
+        self._info = None
+
+    def __getitem__(self, idx: Any) -> Any:
+        san = self._san
+        if san is not None and san.in_kernel:
+            san.on_access(self._info, idx, is_write=False)
+        return np.ndarray.__getitem__(self, idx)
+
+    def __setitem__(self, idx: Any, value: Any) -> None:
+        san = self._san
+        if san is not None and san.in_kernel:
+            san.on_access(self._info, idx, is_write=True)
+        np.ndarray.__setitem__(self, idx, value)
+
+    def __array_ufunc__(self, ufunc, method, *inputs, out=None, **kwargs):
+        # Whole-array arithmetic (e.g. ``np.all(tile == 1)``) bypasses
+        # __getitem__; log it coarsely as a read/write of every element.
+        for operand in inputs:
+            if isinstance(operand, TrackedArray) and operand._san is not None:
+                if operand._san.in_kernel:
+                    operand._san.on_access(operand._info, slice(None), False)
+        plain_inputs = tuple(
+            operand.view(np.ndarray) if isinstance(operand, TrackedArray) else operand
+            for operand in inputs
+        )
+        if out is not None:
+            for operand in out:
+                if isinstance(operand, TrackedArray) and operand._san is not None:
+                    if operand._san.in_kernel:
+                        operand._san.on_access(operand._info, slice(None), True)
+            kwargs["out"] = tuple(
+                operand.view(np.ndarray) if isinstance(operand, TrackedArray) else operand
+                for operand in out
+            )
+        return getattr(ufunc, method)(*plain_inputs, **kwargs)
+
+
+class Sanitizer:
+    """Instruments emulator launches and accumulates a report.
+
+    One instance can observe many launches (pass it to
+    :class:`~repro.gpu.emulator.SimtEmulator` or per-launch via
+    ``launch(..., sanitize=...)``); findings accumulate in
+    :attr:`report`.
+    """
+
+    def __init__(self) -> None:
+        self.report = SanitizerReport()
+        self._infos: dict[int, _ArrayInfo] = {}
+        self._log: dict[tuple[_ArrayInfo, int], list[tuple]] = {}
+        self._uninit_reported: set[tuple[int, int]] = set()
+        self._current: tuple | None = None  # (block, thread, epoch)
+        self._launch_active = False
+        self._kernel = ""
+
+    # -- lifecycle driven by the emulator --------------------------------
+
+    @property
+    def in_kernel(self) -> bool:
+        return self._launch_active and self._current is not None
+
+    def begin_launch(self, kernel_name: str) -> None:
+        self._launch_active = True
+        self._kernel = kernel_name
+        self._log = {}
+        self._uninit_reported = set()
+        self.report.launches += 1
+
+    def end_launch(self) -> None:
+        """Analyze the launch's access log for unsynchronized conflicts."""
+        try:
+            for (info, loc), accesses in self._log.items():
+                self._analyze_location(info, loc, accesses)
+        finally:
+            self._log = {}
+            self._current = None
+            self._launch_active = False
+            # Shared memory dies with the launch; drop those records so
+            # a recycled buffer address cannot alias a stale registration.
+            self._infos = {
+                key: info
+                for key, info in self._infos.items()
+                if info.space != "shared"
+            }
+
+    def set_thread(
+        self, block: tuple[int, ...], thread: tuple[int, ...], epoch: int
+    ) -> None:
+        self._current = (block, thread, epoch)
+
+    def clear_thread(self) -> None:
+        self._current = None
+
+    # -- array registration -----------------------------------------------
+
+    def track(
+        self,
+        array: np.ndarray,
+        label: str,
+        space: str = "global",
+        uninitialized: bool = False,
+    ) -> TrackedArray:
+        """Return an instrumented view of ``array``.
+
+        Re-tracking the same array reuses its registration, so epochs of
+        a multi-launch pipeline all attribute accesses to one record.
+        """
+        if isinstance(array, TrackedArray) and array._san is self:
+            return array
+        base = array.view(np.ndarray)
+        key = base.__array_interface__["data"][0]
+        info = self._infos.get(key)
+        if info is None or info.shape != base.shape:
+            info = _ArrayInfo(base, label, space, uninitialized)
+            self._infos[key] = info
+        tracked = base.view(TrackedArray)
+        tracked._san = self
+        tracked._info = info
+        return tracked
+
+    # -- access recording --------------------------------------------------
+
+    def on_access(self, info: _ArrayInfo, idx: Any, is_write: bool) -> None:
+        """Record one element access by the current thread."""
+        covered = self._covered_locations(info, idx)
+        block, thread, epoch = self._current
+        atomic = atomics.in_atomic()
+        self.report.accesses += len(covered)
+        if info.init_mask is not None:
+            self._check_initialization(info, covered, is_write)
+        record = (block, thread, epoch, is_write, atomic)
+        log = self._log
+        for loc in covered:
+            log.setdefault((info, int(loc)), []).append(record)
+
+    def _covered_locations(self, info: _ArrayInfo, idx: Any) -> Any:
+        """Flat element indices selected by ``idx`` (validating bounds)."""
+        shape = info.shape
+        # Fast path: a scalar index or a tuple of scalar indices.
+        if isinstance(idx, (int, np.integer)):
+            idx = (int(idx),)
+        if isinstance(idx, tuple) and len(idx) <= len(shape) and all(
+            isinstance(component, (int, np.integer)) for component in idx
+        ):
+            flat = 0
+            for axis, component in enumerate(idx):
+                component = int(component)
+                if component < 0 or component >= shape[axis]:
+                    self._oob(info, idx)
+                flat += component * info.strides[axis]
+            if len(idx) < len(shape):
+                # Partial index selects a whole trailing block of rows.
+                span = 1
+                for dim in shape[len(idx):]:
+                    span *= dim
+                return range(flat, flat + span)
+            return (flat,)
+        # General path: let NumPy resolve the selection over an index
+        # map, after rejecting the negative indices it would wrap.
+        self._check_negative(info, idx)
+        index_map = np.arange(info.size).reshape(shape)
+        try:
+            covered = index_map[idx]
+        except IndexError:
+            self._oob(info, idx)
+        return np.atleast_1d(np.asarray(covered)).ravel()
+
+    def _check_negative(self, info: _ArrayInfo, idx: Any) -> None:
+        components = idx if isinstance(idx, tuple) else (idx,)
+        axis = 0
+        for component in components:
+            if component is Ellipsis:
+                return  # conservative: fall through to NumPy's checks
+            if isinstance(component, (int, np.integer)):
+                if int(component) < 0:
+                    self._oob(info, idx)
+                axis += 1
+            elif isinstance(component, np.ndarray) and component.dtype != bool:
+                if component.size and int(component.min()) < 0:
+                    self._oob(info, idx)
+                axis += 1
+            else:
+                axis += 1
+
+    def _oob(self, info: _ArrayInfo, idx: Any) -> None:
+        diag = Diagnostic(
+            kind=OUT_OF_BOUNDS,
+            kernel=self._kernel,
+            launch=self.report.launches,
+            array=info.label,
+            location=None,
+            detail=(
+                f"index {idx!r} outside shape {tuple(info.shape)} "
+                f"by thread {self._thread_name()}"
+            ),
+        )
+        self.report.diagnostics.append(diag)
+        raise SanitizerError(diag.message, diagnostic=diag)
+
+    def _check_initialization(self, info, covered, is_write: bool) -> None:
+        mask = info.init_mask.reshape(-1)
+        if is_write:
+            for loc in covered:
+                mask[loc] = True
+            return
+        for loc in covered:
+            if not mask[loc]:
+                key = (id(info.base), int(loc))
+                if key in self._uninit_reported:
+                    continue
+                self._uninit_reported.add(key)
+                self.report.diagnostics.append(
+                    Diagnostic(
+                        kind=UNINITIALIZED_SHARED_READ,
+                        kernel=self._kernel,
+                        launch=self.report.launches,
+                        array=info.label,
+                        location=tuple(
+                            int(x) for x in np.unravel_index(loc, info.shape)
+                        ),
+                        detail=(
+                            f"read of never-written shared memory by "
+                            f"thread {self._thread_name()}"
+                        ),
+                    )
+                )
+
+    def _thread_name(self) -> str:
+        if self._current is None:
+            return "<host>"
+        block, thread, epoch = self._current
+        return f"block{block}/thread{thread}@epoch{epoch}"
+
+    # -- race analysis -----------------------------------------------------
+
+    def _analyze_location(
+        self, info: _ArrayInfo, loc: int, accesses: list[tuple]
+    ) -> None:
+        if len(accesses) < 2:
+            return
+        # (block, thread, epoch, is_write, atomic)
+        writes = [a for a in accesses if a[3]]
+        if not writes:
+            return
+        if all(a[4] for a in accesses):
+            return  # atomics never conflict with each other
+        shared = info.space == "shared"
+        scanned = accesses[:_MAX_ACCESSES_SCANNED]
+        for write in writes[:_MAX_WRITES_SCANNED]:
+            for other in scanned:
+                if other is write:
+                    continue
+                if (write[0], write[1]) == (other[0], other[1]):
+                    continue  # same thread: program order
+                if write[4] and other[4]:
+                    continue  # both atomic
+                if shared or write[0] == other[0]:
+                    # Same block: ordered iff separated by a barrier.
+                    if write[2] != other[2]:
+                        continue
+                # Different blocks: nothing orders them within a launch.
+                self._emit_race(info, loc, write, other)
+                return
+
+    def _emit_race(self, info: _ArrayInfo, loc: int, a: tuple, b: tuple) -> None:
+        if a[4] != b[4]:
+            kind = ATOMIC_PLAIN_CONFLICT
+        elif a[3] and b[3]:
+            kind = RACE_WRITE_WRITE
+        else:
+            kind = RACE_READ_WRITE
+
+        def name(access: tuple) -> str:
+            op = "atomic" if access[4] else ("write" if access[3] else "read")
+            return f"{op} by block{access[0]}/thread{access[1]}@epoch{access[2]}"
+
+        self.report.diagnostics.append(
+            Diagnostic(
+                kind=kind,
+                kernel=self._kernel,
+                launch=self.report.launches,
+                array=info.label,
+                location=tuple(int(x) for x in np.unravel_index(loc, info.shape)),
+                detail=f"{name(a)} conflicts with {name(b)} (no barrier between)",
+            )
+        )
+
+
+def sanitize_launch(
+    kernel: Any,
+    grid_dim: Any,
+    block_dim: Any,
+    *args: Any,
+    schedule_seed: int | None = None,
+    sanitizer: Sanitizer | None = None,
+) -> SanitizerReport:
+    """Run one launch under the sanitizer and return the report.
+
+    A fatal :class:`~repro.exceptions.SanitizerError` (out-of-bounds)
+    aborts the launch but is captured in the returned report.
+    """
+    from .emulator import SimtEmulator
+
+    san = sanitizer if sanitizer is not None else Sanitizer()
+    emulator = SimtEmulator(schedule_seed=schedule_seed, sanitizer=san)
+    try:
+        emulator.launch(kernel, grid_dim, block_dim, *args)
+    except SanitizerError:
+        pass
+    return san.report

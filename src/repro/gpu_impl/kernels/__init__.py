@@ -21,6 +21,7 @@ from .find_dimensions import find_dimensions_emulated
 from .assign_points import assign_points_emulated
 from .evaluate import evaluate_clusters_emulated
 from .outliers import find_outliers_emulated
+from .fast_compute_l import fast_compute_l_emulated
 
 __all__ = [
     "greedy_select_emulated",
@@ -29,4 +30,5 @@ __all__ = [
     "assign_points_emulated",
     "evaluate_clusters_emulated",
     "find_outliers_emulated",
+    "fast_compute_l_emulated",
 ]

@@ -49,3 +49,24 @@ def tiny_params():
 @pytest.fixture
 def rng():
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(params=[None, 1], ids=["inorder", "shuffled"])
+def sanitized_emulator(request):
+    """A SIMT emulator running under the kernel sanitizer.
+
+    Parametrized over in-order and shuffled thread scheduling.  After
+    the test body, the accumulated report must be clean — any
+    out-of-bounds access, uninitialized shared read, or race in a
+    kernel the test launched fails the test even if its assertions on
+    the outputs passed.
+    """
+    from repro.gpu.emulator import SimtEmulator
+    from repro.gpu.sanitizer import Sanitizer
+
+    emulator = SimtEmulator(
+        schedule_seed=request.param, sanitizer=Sanitizer()
+    )
+    yield emulator
+    report = emulator.sanitizer.report
+    assert report.ok, report.render()

@@ -1,0 +1,73 @@
+"""Deliberately buggy kernels: negative controls for the sanitizer.
+
+Each kernel exhibits exactly one bug class from
+:mod:`repro.gpu.sanitizer`.  They are test fixtures, not examples —
+every pattern here is wrong on real hardware, and the tests assert the
+sanitizer names the specific class (and that the matching *fixed*
+variants stay silent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.atomics import atomic_add
+
+
+def oob_write_kernel(ctx, out):
+    """Classic off-by-one: the last thread writes one past the end."""
+    out[ctx.global_id + 1] = 1.0
+
+
+def oob_negative_read_kernel(ctx, data, out):
+    """Thread 0 reads ``data[-1]`` — NumPy wraps, CUDA reads unowned
+    memory; the sanitizer treats it as out-of-bounds."""
+    out[ctx.global_id] = data[ctx.tx - 1]
+
+
+def missing_sync_kernel(ctx, out):
+    """Reads a neighbour's shared cell with no barrier after the write."""
+    tile = ctx.shared.array("tile", ctx.block_threads, dtype=np.float32,
+                            fill=0.0)
+    tile[ctx.tx] = float(ctx.tx)
+    out[ctx.global_id] = tile[(ctx.tx + 1) % ctx.block_threads]
+    yield  # barrier comes too late: the race already happened
+
+
+def fixed_sync_kernel(ctx, out):
+    """The corrected neighbour exchange: __syncthreads between the
+    write and the read puts them in different epochs."""
+    tile = ctx.shared.array("tile", ctx.block_threads, dtype=np.float32,
+                            fill=0.0)
+    tile[ctx.tx] = float(ctx.tx)
+    yield
+    out[ctx.global_id] = tile[(ctx.tx + 1) % ctx.block_threads]
+
+
+def atomic_plain_conflict_kernel(ctx, out):
+    """One thread updates the accumulator with a plain store while the
+    rest use atomicAdd — atomicity only protects atomics from each
+    other."""
+    if ctx.tx == 0:
+        out[0] = 1.0
+    else:
+        atomic_add(out, 0, 1.0)
+
+
+def atomic_only_kernel(ctx, out):
+    """The corrected accumulator: every thread goes through atomicAdd."""
+    atomic_add(out, 0, 1.0)
+
+
+def uninit_shared_read_kernel(ctx, out):
+    """Reads shared memory allocated without ``fill=`` before any
+    thread has written it — ``__shared__`` garbage on hardware."""
+    tile = ctx.shared.array("tile", ctx.block_threads, dtype=np.float32)
+    out[ctx.global_id] = tile[ctx.tx]
+
+
+def cross_block_race_kernel(ctx, out):
+    """Blocks cannot synchronize within a launch; every block writing
+    the same global cell is a write-write race."""
+    if ctx.tx == 0:
+        out[0] = float(ctx.bx)

@@ -143,6 +143,50 @@ class TestValidate:
         assert "PASS" in out
 
 
+class TestSanitize:
+    def test_single_kernel_clean(self, capsys):
+        code, out = run(capsys, "sanitize", "--kernel", "compute_l")
+        assert code == 0
+        assert "compute_l" in out
+        assert "clean (0 diagnostics)" in out
+
+    def test_all_kernels_json_export(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "sanitize.json"
+        code, out = run(
+            capsys, "sanitize", "--all-kernels", "--json", str(path),
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["ok"] is True
+        assert len(payload["kernels"]) == 7
+        for entry in payload["kernels"]:
+            assert entry["diagnostics"] == []
+            assert entry["accesses"] > 0
+
+    def test_unknown_kernel_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run(capsys, "sanitize", "--kernel", "nope")
+        assert "invalid choice: 'nope'" in capsys.readouterr().err
+
+    def test_diagnostics_fail_exit_code(self, capsys, monkeypatch):
+        """A sweep that finds anything exits nonzero."""
+        import repro.gpu_impl.sanitize as sweep_mod
+
+        def racy(ctx, out):
+            out[0] = ctx.global_id
+
+        def drive_racy(rng, geo, em):
+            em.launch(racy, 2, geo["tpb"], np.zeros(1, dtype=np.int64))
+
+        monkeypatch.setitem(sweep_mod.KERNELS, "racy_demo", drive_racy)
+        code, out = run(capsys, "sanitize", "--kernel", "racy_demo")
+        assert code == 1
+        assert "race-write-write" in out
+        assert "FAILED" in out
+
+
 class TestBenchAll:
     def test_bench_all_with_subset(self, capsys, tmp_path, monkeypatch):
         import repro.bench.runner as runner

@@ -5,8 +5,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.gpu import atomics
 from repro.gpu.atomics import atomic_add, atomic_inc, atomic_min
 from repro.gpu.checker import check_schedule_independence
+from repro.gpu.sanitizer import RACE_KINDS
 
 
 def independent_kernel(ctx, data, out):
@@ -67,6 +69,74 @@ class TestChecker:
         with pytest.raises(ValueError):
             check_schedule_independence(racy_kernel, 1, 1,
                                         np.zeros(1), schedules=1)
+
+    def test_shared_memory_divergence_detected(self):
+        """A race confined to shared scratch is caught even though the
+        kernel's output buffer is schedule-independent."""
+
+        def shared_scratch_race(ctx, out):
+            tile = ctx.shared.array("tile", 1, dtype=np.int64, fill=0)
+            tile[0] = ctx.tx  # last writer wins; never read back
+            yield
+            out[ctx.tx] = ctx.tx  # output itself is deterministic
+
+        out = np.zeros(8, dtype=np.int64)
+        result = check_schedule_independence(shared_scratch_race, 1, 8, out)
+        assert not result.independent
+        assert result.divergent_arguments == []
+        assert result.divergent_shared == ["block(0,)/tile"]
+
+    def test_tiny_blocks_grow_schedule_count(self):
+        """Blocks of <= 4 threads get more shuffles than requested."""
+        data = np.arange(4, dtype=np.float32)
+        out = np.zeros(4, dtype=np.float32)
+        result = check_schedule_independence(
+            independent_kernel, 2, 2, data, out
+        )
+        assert result.schedules_tried == 8
+        assert result.independent
+
+    def test_trials_do_not_inflate_atomic_counts(self):
+        """Replayed trial launches run under isolated atomics state."""
+
+        def one_atomic_each(ctx, out):
+            atomic_inc(out, ctx.tx)
+
+        out = np.zeros(8, dtype=np.int64)
+        with atomics.count_atomics() as counter:
+            atomic_add(out, 0, 0)
+            check_schedule_independence(one_atomic_each, 1, 8, out)
+        assert counter[0] == 1  # only the direct call outside the checker
+
+    def test_sanitize_mode_reports_races(self):
+        """sanitize=True surfaces access-level races the output diff
+        could miss, and attaches the report to the result."""
+
+        def benign_output_race(ctx, out):
+            out[0] = 7  # every thread writes the same value
+
+        out = np.zeros(1, dtype=np.int64)
+        plain = check_schedule_independence(benign_output_race, 1, 8, out)
+        assert plain.independent  # identical results under any order
+        assert plain.sanitizer_report is None
+
+        sanitized = check_schedule_independence(
+            benign_output_race, 1, 8, out, sanitize=True
+        )
+        assert sanitized.sanitizer_report is not None
+        assert not sanitized.sanitizer_report.ok
+        assert sanitized.sanitizer_report.kinds <= set(RACE_KINDS)
+
+    def test_sanitize_mode_clean_kernel_has_empty_report(self):
+        data = np.arange(32, dtype=np.float32)
+        out = np.zeros(32, dtype=np.float32)
+        result = check_schedule_independence(
+            independent_kernel, 2, 16, data, out, sanitize=True
+        )
+        assert result.independent
+        assert result.sanitizer_report is not None
+        assert result.sanitizer_report.ok
+        assert result.sanitizer_report.launches == result.schedules_tried
 
     def test_project_kernels_are_schedule_independent(self):
         """The repository's own append-free kernels pass the checker."""

@@ -20,6 +20,7 @@ from repro.core.phases import (
     find_outliers,
 )
 from repro.gpu.emulator import SimtEmulator
+from repro.gpu.sanitizer import Sanitizer
 from repro.gpu_impl.kernels import (
     assign_points_emulated,
     compute_l_emulated,
@@ -28,6 +29,8 @@ from repro.gpu_impl.kernels import (
     find_outliers_emulated,
     greedy_select_emulated,
 )
+
+pytestmark = pytest.mark.sanitized
 
 K = 4
 L = 3
@@ -51,7 +54,10 @@ def tiny_dataset_module():
 
 @pytest.fixture(params=[None, 1, 2], ids=["inorder", "shuffle1", "shuffle2"])
 def emulator(request):
-    return SimtEmulator(schedule_seed=request.param)
+    em = SimtEmulator(schedule_seed=request.param, sanitizer=Sanitizer())
+    yield em
+    report = em.sanitizer.report
+    assert report.ok, report.render()
 
 
 class TestGreedyKernel:

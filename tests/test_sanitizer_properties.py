@@ -1,0 +1,129 @@
+"""Property-based soundness/completeness tests for the kernel sanitizer.
+
+Soundness: kernels that are race-free *by construction* — disjoint
+ownership, atomics-only accumulation, barrier-separated phases — must
+never be reported, whatever the launch geometry or schedule.
+
+Completeness: a single injected conflict (two chosen threads touching
+one chosen cell without synchronization) must always be reported, with
+a race diagnostic naming that cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.atomics import atomic_add
+from repro.gpu.sanitizer import (
+    RACE_KINDS,
+    RACE_WRITE_WRITE,
+    sanitize_launch,
+)
+
+pytestmark = pytest.mark.sanitized
+
+geometries = st.tuples(
+    st.integers(1, 3),   # blocks
+    st.integers(1, 8),   # threads per block
+    st.sampled_from([None, 1, 2]),  # schedule seed
+)
+
+
+class TestNeverReportsOnRaceFreeKernels:
+    @settings(max_examples=25, deadline=None)
+    @given(geometries)
+    def test_disjoint_ownership_is_silent(self, geo):
+        """Every thread writes only the cell it owns; everyone reads a
+        shared input — concurrent reads are never a race."""
+        blocks, threads, seed = geo
+
+        def owned_cells(ctx, data, out):
+            out[ctx.global_id] = data[ctx.global_id] + data[0]
+
+        data = np.arange(blocks * threads, dtype=np.float32)
+        out = np.zeros(blocks * threads, dtype=np.float32)
+        report = sanitize_launch(
+            owned_cells, blocks, threads, data, out, schedule_seed=seed
+        )
+        assert report.ok, report.render()
+
+    @settings(max_examples=25, deadline=None)
+    @given(geometries)
+    def test_atomic_accumulation_is_silent(self, geo):
+        blocks, threads, seed = geo
+
+        def accumulate(ctx, total):
+            atomic_add(total, 0, 1.0)
+
+        total = np.zeros(1, dtype=np.float64)
+        report = sanitize_launch(
+            accumulate, blocks, threads, total, schedule_seed=seed
+        )
+        assert report.ok, report.render()
+        assert total[0] == blocks * threads
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 8), st.integers(1, 7), st.sampled_from([None, 1, 2]))
+    def test_barrier_separated_exchange_is_silent(self, threads, shift, seed):
+        """Write-your-own then read-a-neighbour's is race-free when a
+        __syncthreads sits between the phases — for any shift."""
+
+        def exchange(ctx, out):
+            tile = ctx.shared.array(
+                "tile", ctx.block_threads, dtype=np.float32, fill=0.0
+            )
+            tile[ctx.tx] = float(ctx.tx)
+            yield
+            out[ctx.global_id] = tile[(ctx.tx + shift) % ctx.block_threads]
+
+        out = np.zeros(threads, dtype=np.float32)
+        report = sanitize_launch(exchange, 1, threads, out, schedule_seed=seed)
+        assert report.ok, report.render()
+
+
+class TestAlwaysReportsInjectedConflicts:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(2, 8),           # threads per block
+        st.data(),
+    )
+    def test_two_plain_writers_same_cell(self, threads, data):
+        """Any chosen pair of threads plainly writing one chosen cell is
+        reported as a write-write race on exactly that cell."""
+        first = data.draw(st.integers(0, threads - 1), label="first")
+        second = data.draw(
+            st.integers(0, threads - 1).filter(lambda t: t != first),
+            label="second",
+        )
+        cell = data.draw(st.integers(0, 3), label="cell")
+        seed = data.draw(st.sampled_from([None, 1, 2]), label="seed")
+
+        def injected(ctx, out):
+            if ctx.tx in (first, second):
+                out[cell] = float(ctx.tx)
+
+        out = np.zeros(4, dtype=np.float32)
+        report = sanitize_launch(injected, 1, threads, out, schedule_seed=seed)
+        assert report.kinds == {RACE_WRITE_WRITE}
+        diag = report.by_kind(RACE_WRITE_WRITE)[0]
+        assert diag.location == (cell,)
+        assert diag.array == "out"
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 8), st.integers(0, 3), st.sampled_from([None, 2]))
+    def test_plain_write_racing_atomics(self, threads, plain_thread, seed):
+        """One plain writer among atomic updaters is always flagged as
+        an atomic/plain conflict, whichever thread it is."""
+
+        def mixed(ctx, total):
+            if ctx.tx == plain_thread % ctx.block_threads:
+                total[0] = 1.0
+            else:
+                atomic_add(total, 0, 1.0)
+
+        total = np.zeros(1, dtype=np.float64)
+        report = sanitize_launch(mixed, 1, threads, total, schedule_seed=seed)
+        assert not report.ok
+        assert report.kinds <= set(RACE_KINDS)
