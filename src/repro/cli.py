@@ -6,6 +6,7 @@ Subcommands::
     python -m repro study     # run a (k, l) parameter study
     python -m repro bench     # regenerate paper experiments ('all' for every one)
     python -m repro profile   # nvprof-style kernel profile of a GPU run
+    python -m repro trace     # traced run: Perfetto JSON + telemetry + timeline
     python -m repro sanitize  # cuda-memcheck-style sweep of the emulated kernels
     python -m repro validate  # cross-variant clustering equivalence check
     python -m repro claims    # check every quantitative claim of the paper
@@ -39,7 +40,11 @@ from .data import (
 from .eval.metrics import adjusted_rand_index, subspace_recovery
 from .bench.claims import check_all, format_results
 from .eval.validation import validate_equivalence
-from .gpu.profiler import format_kernel_profile, profile_kernels
+from .gpu.profiler import (
+    format_kernel_profile,
+    kernel_profile_records,
+    profile_kernels,
+)
 from .hardware.specs import GTX_1660_TI, INTEL_I7_9750H, INTEL_I9_10940X, RTX_3090
 
 __all__ = ["main", "build_parser"]
@@ -191,9 +196,91 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         return 2
     engine = BACKENDS[args.backend](params=_params_from(args), seed=args.seed)
     result = engine.fit(data)
-    print(format_kernel_profile(profile_kernels(engine.model)))
+    profiles = profile_kernels(engine.model)
+    if args.json:
+        import json
+
+        payload = {
+            "schema": "repro.kernel_profile/1",
+            "backend": args.backend,
+            "hardware": result.stats.hardware,
+            "modeled_seconds": result.stats.modeled_seconds,
+            "kernels": kernel_profile_records(profiles),
+        }
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+            return 0
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"profile written to {args.json}")
+        return 0
+    print(format_kernel_profile(profiles))
     print(f"\nmodeled total: {result.stats.modeled_seconds * 1e3:.3f} ms "
           f"on {result.stats.hardware}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs import (
+        Tracer,
+        run_record,
+        study_record,
+        use_tracer,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from .obs.export import chrome_trace
+    from .viz import render_timeline
+
+    data, _ = _load_data(args)
+    out = Path(args.out)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        if args.study_level is not None:
+            grid = ParameterGrid(
+                ks=tuple(args.ks), ls=tuple(args.ls),
+                base=_params_from(args, k=max(args.ks)),
+            )
+            study = run_parameter_study(
+                data, grid=grid, backend=args.backend,
+                level=args.study_level, seed=args.seed,
+            )
+            record = study_record(
+                study, tracer, label=args.label, seed=args.seed
+            )
+        else:
+            engine = BACKENDS[args.backend](
+                params=_params_from(args), seed=args.seed, collect_trace=True
+            )
+            result = engine.fit(data)
+            record = run_record(
+                result, tracer, label=args.label, seed=args.seed,
+                n=data.shape[0], d=data.shape[1], params=engine.params,
+            )
+
+    trace = chrome_trace(tracer, label=args.label or args.backend)
+    trace_path = write_chrome_trace(
+        tracer, out / f"trace_{args.backend}.json", label=args.label or args.backend
+    )
+    telemetry_path = write_jsonl(out / "telemetry.jsonl", [record])
+
+    print(render_timeline(tracer))
+    print()
+    print(f"chrome trace written to {trace_path} "
+          f"(open in https://ui.perfetto.dev)")
+    print(f"telemetry written to {telemetry_path}")
+
+    problems = validate_chrome_trace(trace)
+    if problems:
+        print(f"\ntrace failed validation ({len(problems)} problems):",
+              file=sys.stderr)
+        for problem in problems[:20]:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -297,7 +384,32 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(b for b in BACKENDS if b.startswith("gpu")),
         default="gpu-fast",
     )
+    profile.add_argument(
+        "--json", metavar="PATH",
+        help="write the profile as JSON instead of the table ('-' = stdout)",
+    )
     profile.set_defaults(func=_cmd_profile)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run with tracing on: Perfetto trace + telemetry + ASCII timeline",
+    )
+    _add_data_arguments(trace)
+    _add_param_arguments(trace)
+    trace.add_argument("--backend", choices=sorted(BACKENDS), default="gpu-fast")
+    trace.add_argument("--out", metavar="DIR", default="trace_out",
+                       help="output directory (default trace_out)")
+    trace.add_argument("--label", default="",
+                       help="label stamped into the exported records")
+    trace.add_argument(
+        "--study-level", type=int, choices=[0, 1, 2, 3], default=None,
+        help="trace a multi-param study at this reuse level instead of one run",
+    )
+    trace.add_argument("--ks", type=int, nargs="+", default=[12, 10, 8],
+                       help="(with --study-level) k values")
+    trace.add_argument("--ls", type=int, nargs="+", default=[7, 5, 3],
+                       help="(with --study-level) l values")
+    trace.set_defaults(func=_cmd_trace)
 
     sanitize = sub.add_parser(
         "sanitize",

@@ -26,6 +26,7 @@ import numpy as np
 from ..exceptions import DataValidationError
 from ..hardware.cost_model import HardwareModel, ScalarCpuModel
 from ..hardware.specs import CpuSpec, cpu_for_problem
+from ..obs.tracer import Tracer, current_tracer
 from ..params import ProclusParams
 from ..result import OUTLIER_LABEL, ProclusResult, RunStats
 from ..rng import RandomSource
@@ -84,6 +85,7 @@ class EngineBase(abc.ABC):
         initial_medoids: np.ndarray | None = None,
         charge_greedy: bool = True,
         collect_trace: bool = False,
+        tracer: Tracer | None = None,
     ) -> None:
         """
         Parameters
@@ -108,6 +110,11 @@ class EngineBase(abc.ABC):
         collect_trace:
             Record a per-iteration :class:`~repro.core.trace.RunTrace`
             in :attr:`trace_` (costs, improvements, medoid churn).
+        tracer:
+            :class:`~repro.obs.Tracer` to report spans and kernel
+            events into.  When omitted, the ambient tracer installed
+            with :func:`repro.obs.use_tracer` is used (a disabled
+            no-op singleton by default).
         """
         self.params = params if params is not None else ProclusParams()
         self.rng = seed if isinstance(seed, RandomSource) else RandomSource(seed)
@@ -117,6 +124,10 @@ class EngineBase(abc.ABC):
         self.charge_greedy = charge_greedy
         self.model: HardwareModel | None = None
         self.trace_: RunTrace | None = RunTrace() if collect_trace else None
+        self._tracer = tracer
+        #: Resolved tracer for the current fit (the explicit one or the
+        #: ambient tracer at the time fit() is entered).
+        self._obs: Tracer = current_tracer()
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -161,7 +172,20 @@ class EngineBase(abc.ABC):
             scalar_ops=count * s * 2,
         )
 
+    def _count_distance_cache(self, rows: int) -> None:
+        """Count recomputed vs cache-served distance rows this iteration.
+
+        ``rows`` of the ``k`` needed rows were recomputed; the rest came
+        out of the ``Dist`` cache.  The baseline recomputes all ``k``
+        every iteration (0 % hit-rate); the FAST variants converge to
+        ~100 %.  Feeds the ``cache hit-rate`` counter track.
+        """
+        k = self.params.k
+        self.model.counter.add("cache.dist_rows_missed", min(rows, k))
+        self.model.counter.add("cache.dist_rows_hit", max(0, k - rows))
+
     def _account_distance_rows(self, rows: int, n: int, d: int) -> None:
+        self._count_distance_cache(rows)
         self.model.work("compute_l", vector_ops=rows * n * OPS_PER_TERM * d)
 
     def _account_delta(self, k: int) -> None:
@@ -214,6 +238,14 @@ class EngineBase(abc.ABC):
             scalar_ops=k * total_dims * OPS_PER_TERM + n * k,
         )
 
+    def _record_iteration_samples(self) -> None:
+        """Emit per-iteration counter-track samples to the tracer.
+
+        Called at the end of every iteration of the iterative phase;
+        the GPU variants sample cache hit-rate and modeled bandwidth
+        onto the device timeline here.  No-op by default.
+        """
+
     # ------------------------------------------------------------------
     # The algorithm (Algorithm 1)
     # ------------------------------------------------------------------
@@ -231,12 +263,27 @@ class EngineBase(abc.ABC):
         p = self.params
         p.validate_against_data(n, d)
         self._data = data
-        self.model = self._make_model(n, d)
-        self._setup(data)
-        try:
-            result = self._run(data, started)
-        finally:
-            self._teardown()
+        obs = self._tracer if self._tracer is not None else current_tracer()
+        self._obs = obs
+        with obs.span(
+            "fit", category="run",
+            backend=self.backend_name, n=n, d=d, k=p.k, l=p.l,
+        ) as fit_span:
+            self.model = self._make_model(n, d)
+            with obs.span("setup"):
+                self._setup(data)
+            try:
+                result = self._run(data, started)
+            finally:
+                self._teardown()
+            fit_span.set(
+                cost=result.cost,
+                iterations=result.iterations,
+                modeled_seconds=result.stats.modeled_seconds,
+            )
+            if obs.enabled:
+                obs.metrics.absorb_run_stats(result.stats)
+                obs.metrics.absorb_kernel_times(self.model)
         return result
 
     def _initialization_phase(self, data: np.ndarray) -> np.ndarray:
@@ -260,8 +307,10 @@ class EngineBase(abc.ABC):
         n, d = data.shape
         p = self.params
         k = p.k
+        obs = self._obs
 
-        self._medoid_ids = self._initialization_phase(data)
+        with obs.span("initialization"):
+            self._medoid_ids = self._initialization_phase(data)
         m = len(self._medoid_ids)
 
         if self.initial_medoids is not None:
@@ -281,81 +330,105 @@ class EngineBase(abc.ABC):
         best_iteration = 0
         stale = 0
         total = 0
-        while stale < p.patience and total < p.max_iterations:
-            x, _sizes_l = self._compute_l_and_x(mcur)
+        with obs.span("iterative") as iterative_span:
+            while stale < p.patience and total < p.max_iterations:
+                with obs.span("iteration", iteration=total) as iteration_span:
+                    with obs.span("compute_l"):
+                        x, _sizes_l = self._compute_l_and_x(mcur)
 
-            dims = find_dimensions(x, p.l)
-            self._account_find_dimensions(k, d)
+                    with obs.span("find_dimensions"):
+                        dims = find_dimensions(x, p.l)
+                        self._account_find_dimensions(k, d)
 
-            medoid_points = data[self._medoid_ids[mcur]]
-            labels, _seg = assign_points(data, medoid_points, dims)
-            total_dims = sum(len(ds) for ds in dims)
-            self._account_assign(n, k, total_dims, d)
+                    with obs.span("assign_points"):
+                        medoid_points = data[self._medoid_ids[mcur]]
+                        labels, _seg = assign_points(data, medoid_points, dims)
+                        total_dims = sum(len(ds) for ds in dims)
+                        self._account_assign(n, k, total_dims, d)
 
-            cost = evaluate_clusters(data, labels, dims)
-            sizes = cluster_sizes_from_labels(labels, k)
-            member_dims = int(sum(sizes[i] * len(dims[i]) for i in range(k)))
-            self._account_evaluate(member_dims, total_dims, k, d)
+                    with obs.span("evaluate"):
+                        cost = evaluate_clusters(data, labels, dims)
+                        sizes = cluster_sizes_from_labels(labels, k)
+                        member_dims = int(
+                            sum(sizes[i] * len(dims[i]) for i in range(k))
+                        )
+                        self._account_evaluate(member_dims, total_dims, k, d)
 
-            total += 1
-            stale += 1
-            if cost < cost_best:
-                cost_best = cost
-                mbest = mcur.copy()
-                labels_best = labels
-                sizes_best = sizes
-                best_iteration = total - 1
-                stale = 0
+                    total += 1
+                    stale += 1
+                    if cost < cost_best:
+                        cost_best = cost
+                        mbest = mcur.copy()
+                        labels_best = labels
+                        sizes_best = sizes
+                        best_iteration = total - 1
+                        stale = 0
 
-            bad = compute_bad_medoids(
-                sizes_best, n, p.min_deviation, p.bad_medoid_rule
-            )
-            self._account_bookkeeping(k)
+                    with obs.span("update"):
+                        bad = compute_bad_medoids(
+                            sizes_best, n, p.min_deviation, p.bad_medoid_rule
+                        )
+                        self._account_bookkeeping(k)
 
-            if self.trace_ is not None:
-                self.trace_.append(
-                    iteration=total - 1,
-                    cost=cost,
-                    improved=stale == 0,
-                    best_cost=cost_best,
-                    medoid_positions=mcur,
-                    cluster_sizes=sizes,
-                    bad_medoids=bad,
-                )
+                        if self.trace_ is not None:
+                            self.trace_.append(
+                                iteration=total - 1,
+                                cost=cost,
+                                improved=stale == 0,
+                                best_cost=cost_best,
+                                medoid_positions=mcur,
+                                cluster_sizes=sizes,
+                                bad_medoids=bad,
+                            )
 
-            candidates = np.setdiff1d(np.arange(m), mbest)
-            replace = min(len(bad), len(candidates))
-            mcur = mbest.copy()
-            if replace > 0:
-                replacements = self.rng.replacement_medoids(candidates, replace)
-                mcur[bad[:replace]] = replacements
+                        candidates = np.setdiff1d(np.arange(m), mbest)
+                        replace = min(len(bad), len(candidates))
+                        mcur = mbest.copy()
+                        if replace > 0:
+                            replacements = self.rng.replacement_medoids(
+                                candidates, replace
+                            )
+                            mcur[bad[:replace]] = replacements
+
+                    iteration_span.set(cost=float(cost), improved=stale == 0)
+                    self._record_iteration_samples()
+            iterative_span.set(iterations=total)
 
         # --- refinement phase ----------------------------------------
         assert labels_best is not None
-        medoid_points = data[self._medoid_ids[mbest]]
-        x_ref = np.zeros((k, d), dtype=np.float64)
-        for i in range(k):
-            members = data[labels_best == i]
-            if members.shape[0]:
-                x_ref[i] = abs_diff_dim_sums(members, medoid_points[i]) / members.shape[0]
-        self._account_refinement_x(n, d, k)
+        with obs.span("refinement") as refinement_span:
+            with obs.span("find_dimensions"):
+                medoid_points = data[self._medoid_ids[mbest]]
+                x_ref = np.zeros((k, d), dtype=np.float64)
+                for i in range(k):
+                    members = data[labels_best == i]
+                    if members.shape[0]:
+                        x_ref[i] = (
+                            abs_diff_dim_sums(members, medoid_points[i])
+                            / members.shape[0]
+                        )
+                self._account_refinement_x(n, d, k)
 
-        dims = find_dimensions(x_ref, p.l)
-        self._account_find_dimensions(k, d)
+                dims = find_dimensions(x_ref, p.l)
+                self._account_find_dimensions(k, d)
 
-        labels, seg = assign_points(data, medoid_points, dims)
-        total_dims = sum(len(ds) for ds in dims)
-        self._account_assign(n, k, total_dims, d)
+            with obs.span("assign_points"):
+                labels, seg = assign_points(data, medoid_points, dims)
+                total_dims = sum(len(ds) for ds in dims)
+                self._account_assign(n, k, total_dims, d)
 
-        outliers = find_outliers(seg, medoid_points, dims)
-        self._account_outliers(n, k, total_dims)
-        labels = labels.copy()
-        labels[outliers] = OUTLIER_LABEL
+            with obs.span("outliers"):
+                outliers = find_outliers(seg, medoid_points, dims)
+                self._account_outliers(n, k, total_dims)
+                labels = labels.copy()
+                labels[outliers] = OUTLIER_LABEL
 
-        refined_cost = evaluate_clusters(data, labels, dims)
-        sizes = cluster_sizes_from_labels(labels, k)
-        member_dims = int(sum(sizes[i] * len(dims[i]) for i in range(k)))
-        self._account_evaluate(member_dims, total_dims, k, d)
+            with obs.span("evaluate"):
+                refined_cost = evaluate_clusters(data, labels, dims)
+                sizes = cluster_sizes_from_labels(labels, k)
+                member_dims = int(sum(sizes[i] * len(dims[i]) for i in range(k)))
+                self._account_evaluate(member_dims, total_dims, k, d)
+            refinement_span.set(refined_cost=float(refined_cost))
 
         # Positions of the best medoids within M — the multi-parameter
         # warm start ("multi-param 3") seeds the next setting with these.
@@ -380,4 +453,5 @@ class EngineBase(abc.ABC):
             iterations=total,
             best_iteration=best_iteration,
             stats=stats,
+            trace=self.trace_,
         )

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..obs.tracer import current_tracer
 from ..params import ParameterGrid
 from ..result import ProclusResult, RunStats
 from ..rng import RandomSource
@@ -130,41 +131,65 @@ def run_study(
     grid = grid if grid is not None else ParameterGrid()
     level = ReuseLevel(level)
     master = RandomSource(seed)
+    obs = current_tracer()
 
-    shared: SharedStudyState | None = None
-    if level >= ReuseLevel.PARTIAL_RESULTS:
-        shared = _build_shared_state(data, grid, master)
+    with obs.span(
+        "study", category="study",
+        backend=engine_factory.backend_name,
+        level=int(level), settings=len(grid),
+    ):
+        shared: SharedStudyState | None = None
+        shared_span_id = None
+        if level >= ReuseLevel.PARTIAL_RESULTS:
+            with obs.span("shared_state", category="study") as shared_span:
+                shared = _build_shared_state(data, grid, master)
+            shared_span_id = shared_span.span_id
 
-    study = MultiParamResult(level=level, backend=engine_factory.backend_name)
-    previous_best: np.ndarray | None = None
-    first = True
-    for params in grid:
-        initial = None
-        if (
-            level >= ReuseLevel.WARM_START
-            and previous_best is not None
-            and params.k <= len(previous_best)
-        ):
-            if params.k == len(previous_best):
-                initial = previous_best.copy()
-            else:
-                initial = master.generator.choice(
-                    previous_best, size=params.k, replace=False
+        study = MultiParamResult(level=level, backend=engine_factory.backend_name)
+        previous_best: np.ndarray | None = None
+        previous_span_id = None
+        first = True
+        for params in grid:
+            initial = None
+            if (
+                level >= ReuseLevel.WARM_START
+                and previous_best is not None
+                and params.k <= len(previous_best)
+            ):
+                if params.k == len(previous_best):
+                    initial = previous_best.copy()
+                else:
+                    initial = master.generator.choice(
+                        previous_best, size=params.k, replace=False
+                    )
+            charge_greedy = level <= ReuseLevel.PARTIAL_RESULTS or first
+            # Shared-work reuse shows up in the trace as links: every
+            # setting links to the shared-state span it consumes, and a
+            # warm-started setting links to the setting that seeded it.
+            setting_span = obs.span(
+                "setting", category="study",
+                k=params.k, l=params.l,
+                warm_start=initial is not None,
+                charge_greedy=charge_greedy,
+            )
+            setting_span.link(shared_span_id)
+            if initial is not None:
+                setting_span.link(previous_span_id)
+            with setting_span:
+                engine = engine_factory(
+                    params=params,
+                    seed=master.spawn(),
+                    shared_state=shared,
+                    initial_medoids=initial,
+                    charge_greedy=charge_greedy,
+                    **engine_kwargs,
                 )
-        charge_greedy = level <= ReuseLevel.PARTIAL_RESULTS or first
-        engine = engine_factory(
-            params=params,
-            seed=master.spawn(),
-            shared_state=shared,
-            initial_medoids=initial,
-            charge_greedy=charge_greedy,
-            **engine_kwargs,
-        )
-        result = engine.fit(data)
-        study.results[(params.k, params.l)] = result
-        study.total_stats = study.total_stats.merge(result.stats)
-        if level >= ReuseLevel.WARM_START:
-            previous_best = engine.best_positions_
-        first = False
-    study.total_stats.backend = engine_factory.backend_name
-    return study
+                result = engine.fit(data)
+            study.results[(params.k, params.l)] = result
+            study.total_stats = study.total_stats.merge(result.stats)
+            if level >= ReuseLevel.WARM_START:
+                previous_best = engine.best_positions_
+            previous_span_id = setting_span.span_id
+            first = False
+        study.total_stats.backend = engine_factory.backend_name
+        return study

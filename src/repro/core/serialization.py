@@ -3,7 +3,9 @@
 Pipelines cluster once and consume the result elsewhere;
 :func:`save_result`/:func:`load_result` round-trip a
 :class:`~repro.result.ProclusResult` (labels, medoids, subspaces, costs,
-and the run's statistics) through a single ``.npz`` file.
+the run's statistics, and — when the engine collected one — the
+per-iteration :class:`~repro.core.trace.RunTrace`) through a single
+``.npz`` file.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ import numpy as np
 
 from ..exceptions import DataValidationError
 from ..result import ProclusResult, RunStats
+from .trace import RunTrace
 
 __all__ = ["save_result", "load_result"]
 
@@ -45,6 +48,7 @@ def save_result(result: ProclusResult, path: str | Path) -> Path:
             "backend": result.stats.backend,
             "hardware": result.stats.hardware,
         },
+        "trace": result.trace.as_dict() if result.trace is not None else None,
     }
     np.savez_compressed(
         path,
@@ -85,6 +89,7 @@ def load_result(path: str | Path) -> ProclusResult:
         backend=stats_meta["backend"],
         hardware=stats_meta["hardware"],
     )
+    trace_meta = meta.get("trace")
     return ProclusResult(
         labels=labels,
         medoids=medoids,
@@ -94,4 +99,5 @@ def load_result(path: str | Path) -> ProclusResult:
         iterations=meta["iterations"],
         best_iteration=meta["best_iteration"],
         stats=stats,
+        trace=RunTrace.from_dict(trace_meta) if trace_meta else None,
     )

@@ -10,7 +10,8 @@ several tests consume it.
 from __future__ import annotations
 
 import csv
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -105,6 +106,42 @@ class RunTrace:
             f"(last at iteration {self.improvements[-1]}); "
             f"avg medoid churn {np.mean(self.medoid_churn()):.2f} slots/iter"
         )
+
+    # ------------------------------------------------------------------
+    # Serialization (round-trips through save_result/load_result)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-serializable representation of the trace."""
+        return {"records": [asdict(r) for r in self.records]}
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize the trace as a JSON string."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunTrace":
+        """Rebuild a trace from :meth:`as_dict` output."""
+        trace = cls()
+        for record in payload.get("records", []):
+            trace.records.append(
+                IterationRecord(
+                    iteration=int(record["iteration"]),
+                    cost=float(record["cost"]),
+                    improved=bool(record["improved"]),
+                    best_cost=float(record["best_cost"]),
+                    medoid_positions=tuple(
+                        int(x) for x in record["medoid_positions"]
+                    ),
+                    cluster_sizes=tuple(int(x) for x in record["cluster_sizes"]),
+                    bad_medoids=tuple(int(x) for x in record["bad_medoids"]),
+                )
+            )
+        return trace
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunTrace":
+        """Rebuild a trace from a :meth:`to_json` string."""
+        return cls.from_dict(json.loads(text))
 
     def to_csv(self, path: str | Path) -> Path:
         """Write the trace as a CSV file."""

@@ -49,9 +49,14 @@ class PhaseBreakdown:
         return max(self.phase_seconds, key=self.phase_seconds.get)  # type: ignore[arg-type]
 
     def as_rows(self) -> list[tuple[str, float, float]]:
-        """``(phase, seconds, fraction)`` rows in canonical order."""
+        """``(phase, seconds, fraction)`` rows in canonical order.
+
+        Phases outside :data:`PHASE_ORDER` (custom phases an engine
+        accrued) follow the canonical ones in first-accrual order, so
+        breakdowns stay deterministic and aligned across backends.
+        """
         ordered = [p for p in PHASE_ORDER if p in self.phase_seconds]
-        ordered += [p for p in sorted(self.phase_seconds) if p not in ordered]
+        ordered += [p for p in self.phase_seconds if p not in PHASE_ORDER]
         return [
             (p, self.phase_seconds[p], self.fraction(p)) for p in ordered
         ]

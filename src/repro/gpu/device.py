@@ -16,6 +16,8 @@ import numpy as np
 from ..hardware.cost_model import GpuModel
 from ..hardware.counters import KernelLaunch
 from ..hardware.specs import GpuSpec, GTX_1660_TI
+from ..obs.export import kernel_pipeline
+from ..obs.tracer import Tracer, current_tracer
 from .memory import DeviceArray, MemoryManager
 
 __all__ = ["Device"]
@@ -31,10 +33,21 @@ _TRANSFER_LATENCY_S = 10e-6
 class Device:
     """A simulated CUDA device with a calibrated performance model."""
 
-    def __init__(self, spec: GpuSpec = GTX_1660_TI, model: GpuModel | None = None) -> None:
+    def __init__(
+        self,
+        spec: GpuSpec = GTX_1660_TI,
+        model: GpuModel | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.spec = spec
         self.model = model if model is not None else GpuModel(spec)
         self.memory = MemoryManager(spec.usable_bytes)
+        self.tracer = tracer if tracer is not None else current_tracer()
+        #: Shift of this device's modeled clock on the shared trace
+        #: timeline (non-zero when an earlier device already ran).
+        self.clock_offset = (
+            self.tracer.device_offset() if self.tracer.enabled else 0.0
+        )
 
     # ------------------------------------------------------------------
     # Memory
@@ -54,15 +67,26 @@ class Device:
         array = self.memory.alloc(host.shape, dtype=host.dtype, name=name)
         array.data[...] = host
         seconds = _TRANSFER_LATENCY_S + host.nbytes / _PCIE_BANDWIDTH
+        start = self.clock_offset + self.model.total_seconds
         self.model._accrue(phase, seconds)
         self.model.counter.add("gpu.h2d_bytes", host.nbytes)
+        if self.tracer.enabled:
+            self.tracer.kernel(
+                f"h2d:{name}", "transfer", phase, start, seconds, clock="modeled"
+            )
         return array
 
     def to_host(self, array: DeviceArray, phase: str = "transfer") -> np.ndarray:
         """Copy a device array back to the host, accounting the transfer."""
         seconds = _TRANSFER_LATENCY_S + array.nbytes / _PCIE_BANDWIDTH
+        start = self.clock_offset + self.model.total_seconds
         self.model._accrue(phase, seconds)
         self.model.counter.add("gpu.d2h_bytes", array.nbytes)
+        if self.tracer.enabled:
+            self.tracer.kernel(
+                f"d2h:{array.name}", "transfer", phase, start, seconds,
+                clock="modeled",
+            )
         return array.copy_to_host()
 
     @property
@@ -99,7 +123,20 @@ class Device:
             registers_per_thread=int(registers_per_thread),
             ipc=float(ipc),
         )
-        return self.model.launch(launch)
+        start = self.clock_offset + self.model.total_seconds
+        seconds = self.model.launch(launch)
+        if self.tracer.enabled:
+            self.tracer.kernel(
+                name,
+                kernel_pipeline(name),
+                phase,
+                start,
+                seconds,
+                clock="modeled",
+                grid_blocks=int(grid_blocks),
+                threads_per_block=int(threads_per_block),
+            )
+        return seconds
 
     @property
     def total_seconds(self) -> float:

@@ -25,6 +25,7 @@ from typing import Any, Callable, Iterable
 import numpy as np
 
 from ..exceptions import EmulationError, KernelLaunchError
+from ..obs.tracer import current_tracer
 from .sanitizer import Sanitizer
 
 __all__ = ["ThreadContext", "SharedMemory", "SimtEmulator"]
@@ -205,14 +206,17 @@ class SimtEmulator:
                 f"invalid launch configuration grid={grid} block={block}"
             )
         self.launches += 1
+        kname = getattr(kernel, "__name__", repr(kernel))
         if sanitize and self.sanitizer is None:
             self.sanitizer = Sanitizer()
         san = self.sanitizer
         run_args = args if san is None else self._tracked_args(san, kernel, args)
         if san is not None:
-            san.begin_launch(getattr(kernel, "__name__", repr(kernel)))
+            san.begin_launch(kname)
         is_generator = inspect.isgeneratorfunction(kernel)
         self.last_shared = {}
+        obs = current_tracer()
+        t0 = obs.now() if obs.enabled else 0.0
         try:
             for block_idx in itertools.product(*(range(g) for g in grid)):
                 shared = SharedMemory(sanitizer=san)
@@ -228,6 +232,23 @@ class SimtEmulator:
         finally:
             if san is not None:
                 san.end_launch()
+            if obs.enabled:
+                blocks = 1
+                for g in grid:
+                    blocks *= g
+                threads = 1
+                for b in block:
+                    threads *= b
+                obs.kernel(
+                    kname,
+                    kname.removeprefix("_").removesuffix("_kernel"),
+                    "emulated",
+                    t0,
+                    obs.now() - t0,
+                    clock="wall",
+                    grid_blocks=blocks,
+                    threads_per_block=threads,
+                )
 
     @staticmethod
     def _tracked_args(

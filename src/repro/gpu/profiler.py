@@ -14,7 +14,12 @@ from dataclasses import dataclass
 from ..hardware.cost_model import GpuModel
 from ..hardware.counters import KernelLaunch
 
-__all__ = ["KernelProfile", "profile_kernels", "format_kernel_profile"]
+__all__ = [
+    "KernelProfile",
+    "profile_kernels",
+    "format_kernel_profile",
+    "kernel_profile_records",
+]
 
 
 @dataclass(slots=True)
@@ -77,6 +82,25 @@ def profile_kernels(model: GpuModel) -> list[KernelProfile]:
         )
     profiles.sort(key=lambda p: -p.total_seconds)
     return profiles
+
+
+def kernel_profile_records(profiles: list[KernelProfile]) -> list[dict]:
+    """Profiles as flat JSON-serializable records (``repro profile --json``)."""
+    grand_total = sum(p.total_seconds for p in profiles)
+    return [
+        {
+            "name": p.name,
+            "calls": p.calls,
+            "total_seconds": p.total_seconds,
+            "average_seconds": p.average_seconds,
+            "total_flops": p.total_flops,
+            "total_bytes": p.total_bytes,
+            "total_atomics": p.total_atomics,
+            "bound_by": p.bound_by,
+            "share": p.total_seconds / grand_total if grand_total else 0.0,
+        }
+        for p in profiles
+    ]
 
 
 def format_kernel_profile(profiles: list[KernelProfile]) -> str:

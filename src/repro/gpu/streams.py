@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from ..hardware.cost_model import GpuModel
 from ..hardware.counters import KernelLaunch
 from ..hardware.specs import GpuSpec
+from ..obs.tracer import current_tracer
 
 __all__ = ["StreamPlan", "overlap_analysis"]
 
@@ -65,35 +66,44 @@ def overlap_analysis(
     are mutually independent (candidates for separate streams); groups
     run one after another.  Returns the serial vs overlapped durations.
     """
-    model = GpuModel(spec)
-    device_warps = spec.sm_count * (spec.max_threads_per_sm // spec.warp_size)
+    obs = current_tracer()
+    with obs.span(
+        "overlap_analysis", category="analysis", groups=len(groups)
+    ) as span:
+        model = GpuModel(spec)
+        device_warps = spec.sm_count * (spec.max_threads_per_sm // spec.warp_size)
 
-    serial = 0.0
-    overlapped = 0.0
-    concurrent_groups = 0
-    for group in groups:
-        if not group:
-            continue
-        times = [model.launch_time(launch) for launch in group]
-        serial += sum(times)
-        if len(group) == 1:
-            overlapped += times[0]
-            continue
-        demand = sum(_resident_warp_demand(model, launch) for launch in group)
-        # Oversubscription stretches everything proportionally; under
-        # subscription means the kernels genuinely run side by side and
-        # the group costs as much as its slowest member (plus a single
-        # launch overhead already inside each time).
-        stretch = max(1.0, demand / device_warps)
-        group_time = max(times) * stretch
-        # Overlap can never beat running just the longest kernel, nor be
-        # worse than full serialization.
-        group_time = min(max(group_time, max(times)), sum(times))
-        overlapped += group_time
-        if group_time < sum(times):
-            concurrent_groups += 1
-    return StreamPlan(
-        serial_seconds=serial,
-        overlapped_seconds=overlapped,
-        concurrent_groups=concurrent_groups,
-    )
+        serial = 0.0
+        overlapped = 0.0
+        concurrent_groups = 0
+        for group in groups:
+            if not group:
+                continue
+            times = [model.launch_time(launch) for launch in group]
+            serial += sum(times)
+            if len(group) == 1:
+                overlapped += times[0]
+                continue
+            demand = sum(_resident_warp_demand(model, launch) for launch in group)
+            # Oversubscription stretches everything proportionally; under
+            # subscription means the kernels genuinely run side by side and
+            # the group costs as much as its slowest member (plus a single
+            # launch overhead already inside each time).
+            stretch = max(1.0, demand / device_warps)
+            group_time = max(times) * stretch
+            # Overlap can never beat running just the longest kernel, nor be
+            # worse than full serialization.
+            group_time = min(max(group_time, max(times)), sum(times))
+            overlapped += group_time
+            if group_time < sum(times):
+                concurrent_groups += 1
+        span.set(
+            serial_seconds=serial,
+            overlapped_seconds=overlapped,
+            concurrent_groups=concurrent_groups,
+        )
+        return StreamPlan(
+            serial_seconds=serial,
+            overlapped_seconds=overlapped,
+            concurrent_groups=concurrent_groups,
+        )

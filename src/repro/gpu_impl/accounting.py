@@ -60,7 +60,7 @@ class GpuEngineMixin:
         p = self.params
         k = p.k
         assert isinstance(self.model, GpuModel)
-        self.device = Device(self.model.spec, model=self.model)
+        self.device = Device(self.model.spec, model=self.model, tracer=self._obs)
         # All memory is allocated once up front and reused across
         # iterations (Section 4.1).  Within a multi-parameter study the
         # dataset stays resident on the device, so only the first
@@ -131,6 +131,7 @@ class GpuEngineMixin:
     def _account_distance_rows(self, rows: int, n: int, d: int) -> None:
         # Algorithm 3 lines 1-3 (with the DistFound check for the FAST
         # variants: a row costs nothing when cached).
+        self._count_distance_cache(rows)
         k = self.params.k
         # Each pass streams the dataset once (points are read by one
         # block and distances to the resident medoids computed from
@@ -285,6 +286,32 @@ class GpuEngineMixin:
             atomic_ops=k * d,
             ipc=0.25,
         )
+
+    def _record_iteration_samples(self) -> None:
+        # Counter tracks on the modeled device timeline: cumulative
+        # Dist-cache hit-rate and the iteration's modeled global-memory
+        # bandwidth.  Sampled once per iteration at the current device
+        # clock so Perfetto shows the FAST cache warming up.
+        obs = self._obs
+        if not obs.enabled:
+            return
+        counter = self.model.counter
+        ts = self.device.clock_offset + self.model.total_seconds
+        hit = counter.get("cache.dist_rows_hit")
+        missed = counter.get("cache.dist_rows_missed")
+        if hit + missed > 0:
+            obs.counter("cache hit-rate", hit / (hit + missed), ts)
+        total_bytes = counter.get("gpu.gmem_bytes")
+        prev_bytes, prev_ts = getattr(
+            self, "_obs_bandwidth_mark", (0.0, self.device.clock_offset)
+        )
+        if ts > prev_ts:
+            obs.counter(
+                "bandwidth (GB/s)",
+                (total_bytes - prev_bytes) / (ts - prev_ts) / 1e9,
+                ts,
+            )
+        self._obs_bandwidth_mark = (total_bytes, ts)
 
     def _account_outliers(self, n: int, k: int, total_dims: int) -> None:
         # Medoid-to-medoid segmental distances (k blocks of k threads)…

@@ -92,12 +92,17 @@ class EmulatedGpuProclusEngine(EngineBase):
         self, data: np.ndarray, medoid_ids: np.ndarray, mcur: np.ndarray
     ) -> tuple[tuple[int, ...], ...]:
         """One iteration's ComputeL + FindDimensions (Algorithms 3-4)."""
-        l_sets, _, _ = compute_l_emulated(data, medoid_ids, emulator=self.emulator)
-        l_pad, l_sizes = _pad_sets(l_sets, data.shape[0])
-        dims, _ = find_dimensions_emulated(
-            data, medoid_ids, l_pad, l_sizes, self.params.l,
-            emulator=self.emulator,
-        )
+        obs = self._obs
+        with obs.span("compute_l"):
+            l_sets, _, _ = compute_l_emulated(
+                data, medoid_ids, emulator=self.emulator
+            )
+            l_pad, l_sizes = _pad_sets(l_sets, data.shape[0])
+        with obs.span("find_dimensions"):
+            dims, _ = find_dimensions_emulated(
+                data, medoid_ids, l_pad, l_sizes, self.params.l,
+                emulator=self.emulator,
+            )
         return dims
 
     def _run(self, data: np.ndarray, started: float) -> ProclusResult:
@@ -105,8 +110,10 @@ class EmulatedGpuProclusEngine(EngineBase):
         p = self.params
         k = p.k
         em = self.emulator
+        obs = self._obs
 
-        self._medoid_ids = self._initialization_phase(data)
+        with obs.span("initialization"):
+            self._medoid_ids = self._initialization_phase(data)
         m = len(self._medoid_ids)
 
         if self.initial_medoids is not None:
@@ -125,59 +132,94 @@ class EmulatedGpuProclusEngine(EngineBase):
         best_iteration = 0
         stale = 0
         total = 0
-        while stale < p.patience and total < p.max_iterations:
-            medoid_ids = self._medoid_ids[mcur]
-            dims = self._dims_for_iteration(data, medoid_ids, mcur)
-            labels, c_sets = assign_points_emulated(
-                data, medoid_ids, dims, emulator=em
-            )
-            c_pad, c_sizes = _pad_sets(c_sets, n)
-            cost = evaluate_clusters_emulated(data, c_pad, c_sizes, dims, emulator=em)
+        with obs.span("iterative") as iterative_span:
+            while stale < p.patience and total < p.max_iterations:
+                with obs.span("iteration", iteration=total) as iteration_span:
+                    medoid_ids = self._medoid_ids[mcur]
+                    dims = self._dims_for_iteration(data, medoid_ids, mcur)
+                    with obs.span("assign_points"):
+                        labels, c_sets = assign_points_emulated(
+                            data, medoid_ids, dims, emulator=em
+                        )
+                    with obs.span("evaluate"):
+                        c_pad, c_sizes = _pad_sets(c_sets, n)
+                        cost = evaluate_clusters_emulated(
+                            data, c_pad, c_sizes, dims, emulator=em
+                        )
+                        sizes = cluster_sizes_from_labels(labels, k)
 
-            total += 1
-            stale += 1
-            if cost < cost_best:
-                cost_best = cost
-                mbest = mcur.copy()
-                c_best = c_sets
-                sizes_best = cluster_sizes_from_labels(labels, k)
-                best_iteration = total - 1
-                stale = 0
+                    total += 1
+                    stale += 1
+                    if cost < cost_best:
+                        cost_best = cost
+                        mbest = mcur.copy()
+                        c_best = c_sets
+                        sizes_best = sizes
+                        best_iteration = total - 1
+                        stale = 0
 
-            bad = compute_bad_medoids(
-                sizes_best, n, p.min_deviation, p.bad_medoid_rule
-            )
-            candidates = np.setdiff1d(np.arange(m), mbest)
-            replace = min(len(bad), len(candidates))
-            mcur = mbest.copy()
-            if replace > 0:
-                replacements = self.rng.replacement_medoids(candidates, replace)
-                mcur[bad[:replace]] = replacements
+                    with obs.span("update"):
+                        bad = compute_bad_medoids(
+                            sizes_best, n, p.min_deviation, p.bad_medoid_rule
+                        )
+
+                        if self.trace_ is not None:
+                            self.trace_.append(
+                                iteration=total - 1,
+                                cost=cost,
+                                improved=stale == 0,
+                                best_cost=cost_best,
+                                medoid_positions=mcur,
+                                cluster_sizes=sizes,
+                                bad_medoids=bad,
+                            )
+
+                        candidates = np.setdiff1d(np.arange(m), mbest)
+                        replace = min(len(bad), len(candidates))
+                        mcur = mbest.copy()
+                        if replace > 0:
+                            replacements = self.rng.replacement_medoids(
+                                candidates, replace
+                            )
+                            mcur[bad[:replace]] = replacements
+
+                    iteration_span.set(cost=float(cost), improved=stale == 0)
+                    self._record_iteration_samples()
+            iterative_span.set(iterations=total)
 
         # --- refinement: L <- CBest, then the same kernels -----------
         assert c_best is not None
-        medoid_ids = self._medoid_ids[mbest]
-        c_pad, c_sizes = _pad_sets(c_best, n)
-        x = np.zeros((k, d), dtype=np.float64)
-        em.launch(
-            _x_sums_kernel, (d, k), 32,
-            data, data[medoid_ids], c_pad, c_sizes, x,
-        )
-        x /= np.maximum(c_sizes.astype(np.float64), 1.0)[:, None]
-        y = np.zeros(k)
-        sigma = np.zeros(k)
-        z = np.zeros((k, d))
-        from .kernels.find_dimensions import _z_kernel
+        with obs.span("refinement") as refinement_span:
+            with obs.span("find_dimensions"):
+                medoid_ids = self._medoid_ids[mbest]
+                c_pad, c_sizes = _pad_sets(c_best, n)
+                x = np.zeros((k, d), dtype=np.float64)
+                em.launch(
+                    _x_sums_kernel, (d, k), 32,
+                    data, data[medoid_ids], c_pad, c_sizes, x,
+                )
+                x /= np.maximum(c_sizes.astype(np.float64), 1.0)[:, None]
+                y = np.zeros(k)
+                sigma = np.zeros(k)
+                z = np.zeros((k, d))
 
-        em.launch(_z_kernel, k, min(32, d), x, y, sigma, z)
-        dims = _select_dimensions_from_z(z, p.l)
+                em.launch(_z_kernel, k, min(32, d), x, y, sigma, z)
+                dims = _select_dimensions_from_z(z, p.l)
 
-        labels, _ = assign_points_emulated(data, medoid_ids, dims, emulator=em)
-        outliers = find_outliers_emulated(data, medoid_ids, dims, emulator=em)
-        labels = labels.copy()
-        labels[outliers] = OUTLIER_LABEL
+            with obs.span("assign_points"):
+                labels, _ = assign_points_emulated(
+                    data, medoid_ids, dims, emulator=em
+                )
+            with obs.span("outliers"):
+                outliers = find_outliers_emulated(
+                    data, medoid_ids, dims, emulator=em
+                )
+                labels = labels.copy()
+                labels[outliers] = OUTLIER_LABEL
 
-        refined_cost = self._evaluate_refined(data, labels, dims, em)
+            with obs.span("evaluate"):
+                refined_cost = self._evaluate_refined(data, labels, dims, em)
+            refinement_span.set(refined_cost=float(refined_cost))
 
         self.best_positions_ = mbest.copy()
         stats = RunStats(
@@ -196,6 +238,7 @@ class EmulatedGpuProclusEngine(EngineBase):
             iterations=total,
             best_iteration=best_iteration,
             stats=stats,
+            trace=self.trace_,
         )
 
     def _evaluate_refined(self, data, labels, dims, em) -> float:
@@ -237,22 +280,25 @@ class EmulatedGpuFastProclusEngine(EmulatedGpuProclusEngine):
     ) -> tuple[tuple[int, ...], ...]:
         k = len(mcur)
         d = data.shape[1]
-        x, _ = fast_compute_l_emulated(
-            data,
-            medoid_ids,
-            np.asarray(mcur, dtype=np.int64),
-            self._dist,
-            self._dist_found,
-            self._h,
-            self._prev_delta,
-            self._size_l,
-            emulator=self.emulator,
-        )
-        y = np.zeros(k)
-        sigma = np.zeros(k)
-        z = np.zeros((k, d))
-        self.emulator.launch(_z_kernel, k, min(32, d), x, y, sigma, z)
-        return _select_dimensions_from_z(z, self.params.l)
+        obs = self._obs
+        with obs.span("compute_l"):
+            x, _ = fast_compute_l_emulated(
+                data,
+                medoid_ids,
+                np.asarray(mcur, dtype=np.int64),
+                self._dist,
+                self._dist_found,
+                self._h,
+                self._prev_delta,
+                self._size_l,
+                emulator=self.emulator,
+            )
+        with obs.span("find_dimensions"):
+            y = np.zeros(k)
+            sigma = np.zeros(k)
+            z = np.zeros((k, d))
+            self.emulator.launch(_z_kernel, k, min(32, d), x, y, sigma, z)
+            return _select_dimensions_from_z(z, self.params.l)
 
 
 class EmulatedGpuFastStarProclusEngine(EmulatedGpuFastProclusEngine):
@@ -285,30 +331,33 @@ class EmulatedGpuFastStarProclusEngine(EmulatedGpuFastProclusEngine):
         from ..core.state import NEVER_USED_DELTA
 
         k = len(mcur)
-        # Reset the slots whose medoid changed since the last iteration.
-        for i in range(k):
-            if self._slot_ids[i] != medoid_ids[i]:
-                self._dist_found[i] = False
-                self._h[i].fill(0.0)
-                self._prev_delta[i] = NEVER_USED_DELTA
-                self._size_l[i] = 0
-                self._slot_ids[i] = medoid_ids[i]
-        # MIdx is the identity for the k-slot cache.
-        slots = np.arange(k, dtype=np.int64)
-        x, _ = fast_compute_l_emulated(
-            data,
-            medoid_ids,
-            slots,
-            self._dist,
-            self._dist_found,
-            self._h,
-            self._prev_delta,
-            self._size_l,
-            emulator=self.emulator,
-        )
-        d = data.shape[1]
-        y = np.zeros(k)
-        sigma = np.zeros(k)
-        z = np.zeros((k, d))
-        self.emulator.launch(_z_kernel, k, min(32, d), x, y, sigma, z)
-        return _select_dimensions_from_z(z, self.params.l)
+        obs = self._obs
+        with obs.span("compute_l"):
+            # Reset the slots whose medoid changed since the last iteration.
+            for i in range(k):
+                if self._slot_ids[i] != medoid_ids[i]:
+                    self._dist_found[i] = False
+                    self._h[i].fill(0.0)
+                    self._prev_delta[i] = NEVER_USED_DELTA
+                    self._size_l[i] = 0
+                    self._slot_ids[i] = medoid_ids[i]
+            # MIdx is the identity for the k-slot cache.
+            slots = np.arange(k, dtype=np.int64)
+            x, _ = fast_compute_l_emulated(
+                data,
+                medoid_ids,
+                slots,
+                self._dist,
+                self._dist_found,
+                self._h,
+                self._prev_delta,
+                self._size_l,
+                emulator=self.emulator,
+            )
+        with obs.span("find_dimensions"):
+            d = data.shape[1]
+            y = np.zeros(k)
+            sigma = np.zeros(k)
+            z = np.zeros((k, d))
+            self.emulator.launch(_z_kernel, k, min(32, d), x, y, sigma, z)
+            return _select_dimensions_from_z(z, self.params.l)

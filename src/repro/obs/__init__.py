@@ -1,0 +1,71 @@
+"""repro.obs — unified tracing and metrics for the reproduction.
+
+One instrumentation spine across every layer: engines open spans around
+the algorithm's phases and iterations, the simulated device stamps each
+kernel launch on a modeled-GPU timeline, the SIMT emulator stamps its
+launches on the wall clock, and the multi-parameter driver links the
+spans of settings that reuse shared work.  Exporters turn one traced
+run into a Perfetto-loadable Chrome trace, JSONL telemetry records, and
+(via :mod:`repro.viz.timeline`) an ASCII timeline.
+
+Quickstart::
+
+    from repro import proclus
+    from repro.obs import Tracer, use_tracer
+    from repro.obs.export import write_chrome_trace
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = proclus(data, backend="gpu-fast", seed=0)
+    write_chrome_trace(tracer, "trace.json")   # open in ui.perfetto.dev
+
+Tracing is off by default (the ambient tracer is a disabled singleton
+with near-zero overhead), so uninstrumented users pay nothing.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import (
+    NULL_TRACER,
+    CounterSample,
+    KernelEvent,
+    Span,
+    Tracer,
+    current_tracer,
+    set_current_tracer,
+    use_tracer,
+)
+from .export import (
+    PIPELINES,
+    chrome_trace,
+    kernel_pipeline,
+    read_jsonl,
+    run_record,
+    study_record,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "KernelEvent",
+    "CounterSample",
+    "Tracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "set_current_tracer",
+    "use_tracer",
+    "PIPELINES",
+    "kernel_pipeline",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "run_record",
+    "study_record",
+    "write_jsonl",
+    "read_jsonl",
+]

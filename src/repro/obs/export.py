@@ -1,0 +1,403 @@
+"""Exporters: Chrome trace-event JSON, run telemetry, schema checks.
+
+Three machine-readable views of one traced run:
+
+* :func:`chrome_trace` — a `Chrome trace-event
+  <https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+  JSON object loadable in Perfetto or ``chrome://tracing``.  Host spans
+  become complete (``X``) events on the wall-clock process; modeled
+  kernel launches become ``X`` events on a synthetic "device" process
+  with one track per kernel pipeline; counter samples become ``C``
+  events (cache hit-rate, modeled bandwidth).
+* :func:`run_record` / :func:`study_record` — flat JSONL telemetry
+  records for ``BENCH_*.json``-style regression tracking.
+* :func:`validate_chrome_trace` — a structural schema check (used by
+  the CI trace-smoke job): events must carry numeric, non-negative
+  ``ts``/``dur``, ``B``/``E`` pairs must match per track, and complete
+  events on one track must nest without partial overlap.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable
+
+from .tracer import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from ..core.multiparam import MultiParamResult
+    from ..result import ProclusResult
+
+__all__ = [
+    "PIPELINES",
+    "kernel_pipeline",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "run_record",
+    "study_record",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+#: Telemetry record schema identifier (bump on incompatible changes).
+TELEMETRY_SCHEMA = "repro.telemetry/1"
+
+#: The paper's seven kernel pipelines, in dependency order.  Every
+#: modeled kernel launch maps onto exactly one of these device tracks.
+PIPELINES = (
+    "greedy",
+    "compute_l",
+    "find_dimensions",
+    "assign_points",
+    "evaluate",
+    "update",
+    "outliers",
+)
+
+#: Kernel-name prefix (before the first ``.``) -> pipeline.
+_PREFIX_TO_PIPELINE = {
+    "greedy": "greedy",
+    "compute_l": "compute_l",
+    "find_dimensions": "find_dimensions",
+    # The refinement X pass is the FindDimensions reduction over CBest.
+    "refinement": "find_dimensions",
+    "assign_points": "assign_points",
+    "evaluate_cluster": "evaluate",
+    "update_iteration": "update",
+    "remove_outliers": "outliers",
+}
+
+#: Synthetic process ids in the exported trace.
+_HOST_PID = 1
+_DEVICE_PID = 2
+
+
+def kernel_pipeline(name: str) -> str:
+    """Map a kernel name (e.g. ``"compute_l.build_l"``) to its pipeline."""
+    prefix = name.split(".", 1)[0]
+    return _PREFIX_TO_PIPELINE.get(prefix, prefix)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+# ----------------------------------------------------------------------
+def _meta(pid: int, name: str, tid: int | None = None, what: str = "process_name") -> dict:
+    event: dict[str, Any] = {
+        "ph": "M", "pid": pid, "name": what, "args": {"name": name}, "ts": 0,
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def _span_args(span: Span) -> dict[str, Any]:
+    args: dict[str, Any] = {"span_id": span.span_id}
+    if span.links:
+        args["links"] = list(span.links)
+    for key, value in span.attrs.items():
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            args[key] = value
+        else:
+            args[key] = str(value)
+    return args
+
+
+def chrome_trace(tracer: Tracer, label: str = "") -> dict[str, Any]:
+    """Build a Chrome trace-event JSON object from a tracer's records."""
+    events: list[dict[str, Any]] = []
+    events.append(_meta(_HOST_PID, "host (python, wall clock)"))
+    events.append(_meta(_DEVICE_PID, "device (modeled GPU)"))
+
+    # Host spans: one tid per python thread, in first-seen order.
+    thread_tids: dict[int, int] = {}
+    for root in tracer.roots:
+        for span in root.walk():
+            tid = thread_tids.setdefault(span.thread, len(thread_tids) + 1)
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "pid": _HOST_PID,
+                    "tid": tid,
+                    "ts": span.start * 1e6,
+                    "dur": max(span.duration, 0.0) * 1e6,
+                    "args": _span_args(span),
+                }
+            )
+    for ident, tid in thread_tids.items():
+        events.append(_meta(_HOST_PID, f"python thread {tid}", tid, "thread_name"))
+
+    # Kernel events: modeled clock -> device pid, one tid per pipeline;
+    # wall clock (the SIMT emulator) -> a dedicated host track.
+    emulator_tid = len(thread_tids) + 1
+    has_emulated = False
+    pipeline_tids = {name: index + 1 for index, name in enumerate(PIPELINES)}
+    for event in tracer.kernel_events:
+        if event.clock == "wall":
+            has_emulated = True
+            pid, tid = _HOST_PID, emulator_tid
+        else:
+            pid = _DEVICE_PID
+            tid = pipeline_tids.setdefault(
+                event.pipeline, len(pipeline_tids) + 1
+            )
+        events.append(
+            {
+                "name": event.name,
+                "cat": "kernel",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": event.start * 1e6,
+                "dur": max(event.duration, 0.0) * 1e6,
+                "args": {
+                    "pipeline": event.pipeline,
+                    "phase": event.phase,
+                    "grid_blocks": event.grid_blocks,
+                    "threads_per_block": event.threads_per_block,
+                    "span_id": event.span_id,
+                },
+            }
+        )
+    if has_emulated:
+        events.append(
+            _meta(_HOST_PID, "SIMT emulator (wall clock)", emulator_tid, "thread_name")
+        )
+    for pipeline, tid in pipeline_tids.items():
+        events.append(_meta(_DEVICE_PID, pipeline, tid, "thread_name"))
+
+    # Counter tracks on the device timeline.
+    for sample in tracer.counter_samples:
+        events.append(
+            {
+                "name": sample.track,
+                "ph": "C",
+                "pid": _DEVICE_PID,
+                "tid": 0,
+                "ts": sample.ts * 1e6,
+                "args": {"value": sample.value},
+            }
+        )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs",
+            "label": label,
+            "spans": sum(1 for r in tracer.roots for _ in r.walk()),
+            "kernel_events": len(tracer.kernel_events),
+        },
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str | Path, label: str = ""
+) -> Path:
+    """Export and write the Chrome trace JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(tracer, label=label), handle)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Schema validation
+# ----------------------------------------------------------------------
+def _number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_chrome_trace(trace: Any) -> list[str]:
+    """Structurally validate a trace-event JSON object.
+
+    Returns a list of problems (empty when the trace is clean): missing
+    or non-numeric ``ts``/``dur``, negative durations, unmatched
+    ``B``/``E`` events, non-monotonic duration events per track, and
+    partially overlapping ``X`` events on one track (legal timelines
+    nest or are disjoint).
+    """
+    problems: list[str] = []
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        return ["trace must be an object with a 'traceEvents' array"]
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+
+    complete: dict[tuple[Any, Any], list[tuple[float, float, str]]] = {}
+    open_stacks: dict[tuple[Any, Any], list[tuple[str, float]]] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict) or "ph" not in event:
+            problems.append(f"event {index}: not an object with 'ph'")
+            continue
+        ph = event["ph"]
+        if ph == "M":
+            continue
+        if not _number(event.get("ts")):
+            problems.append(f"event {index} ({event.get('name')!r}): bad 'ts'")
+            continue
+        ts = float(event["ts"])
+        if ts < 0:
+            problems.append(f"event {index} ({event.get('name')!r}): negative 'ts'")
+        key = (event.get("pid"), event.get("tid"))
+        if ph == "X":
+            if not _number(event.get("dur")):
+                problems.append(
+                    f"event {index} ({event.get('name')!r}): X event without numeric 'dur'"
+                )
+                continue
+            dur = float(event["dur"])
+            if dur < 0:
+                problems.append(
+                    f"event {index} ({event.get('name')!r}): negative 'dur'"
+                )
+                continue
+            complete.setdefault(key, []).append(
+                (ts, ts + dur, str(event.get("name")))
+            )
+        elif ph == "B":
+            open_stacks.setdefault(key, []).append((str(event.get("name")), ts))
+        elif ph == "E":
+            stack = open_stacks.setdefault(key, [])
+            if not stack:
+                problems.append(
+                    f"event {index} ({event.get('name')!r}): E without matching B"
+                )
+            else:
+                _, begin_ts = stack.pop()
+                if ts + 1e-3 < begin_ts:
+                    problems.append(
+                        f"event {index} ({event.get('name')!r}): E before its B"
+                    )
+        elif ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not all(
+                _number(v) for v in args.values()
+            ):
+                problems.append(
+                    f"event {index} ({event.get('name')!r}): C event needs numeric args"
+                )
+    for key, stack in open_stacks.items():
+        for name, _ in stack:
+            problems.append(f"track {key}: B event {name!r} never closed")
+
+    # Complete events on one track must form a laminar family: each
+    # event either nests inside the enclosing one or starts after it
+    # ends.  Partial overlap means an inconsistent timeline.
+    eps = 1e-3  # microseconds; absorbs float rounding
+    for key, intervals in complete.items():
+        intervals.sort(key=lambda item: (item[0], -(item[1] - item[0])))
+        stack: list[tuple[float, float, str]] = []
+        for start, end, name in intervals:
+            while stack and stack[-1][1] <= start + eps:
+                stack.pop()
+            if stack and end > stack[-1][1] + eps:
+                problems.append(
+                    f"track {key}: {name!r} [{start:.3f}, {end:.3f}] partially "
+                    f"overlaps {stack[-1][2]!r} [{stack[-1][0]:.3f}, {stack[-1][1]:.3f}]"
+                )
+                continue
+            stack.append((start, end, name))
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Run telemetry (JSONL)
+# ----------------------------------------------------------------------
+def run_record(
+    result: "ProclusResult",
+    tracer: Tracer | None = None,
+    label: str = "",
+    seed: int | None = None,
+    n: int | None = None,
+    d: int | None = None,
+    params: Any = None,
+) -> dict[str, Any]:
+    """One flat telemetry record for a single run (JSON-serializable)."""
+    stats = result.stats
+    record: dict[str, Any] = {
+        "schema": TELEMETRY_SCHEMA,
+        "kind": "run",
+        "label": label,
+        "timestamp": time.time(),
+        "backend": stats.backend,
+        "hardware": stats.hardware,
+        "n": n,
+        "d": d,
+        "k": result.k,
+        "l": (len(result.dimensions[0]) if result.dimensions else None),
+        "seed": seed,
+        "iterations": result.iterations,
+        "best_iteration": result.best_iteration,
+        "cost": result.cost,
+        "refined_cost": result.refined_cost,
+        "outliers": result.n_outliers,
+        "modeled_seconds": stats.modeled_seconds,
+        "wall_seconds": stats.wall_seconds,
+        "peak_device_bytes": stats.peak_device_bytes,
+        "phase_seconds": dict(stats.phase_seconds),
+        "counters": dict(stats.counters),
+    }
+    if params is not None:
+        record["k"] = params.k
+        record["l"] = params.l
+    if tracer is not None and tracer.enabled:
+        record["spans"] = sum(1 for r in tracer.roots for _ in r.walk())
+        record["kernel_events"] = len(tracer.kernel_events)
+    return record
+
+
+def study_record(
+    study: "MultiParamResult",
+    tracer: Tracer | None = None,
+    label: str = "",
+    seed: int | None = None,
+) -> dict[str, Any]:
+    """One flat telemetry record summarizing a multi-parameter study."""
+    record: dict[str, Any] = {
+        "schema": TELEMETRY_SCHEMA,
+        "kind": "study",
+        "label": label,
+        "timestamp": time.time(),
+        "backend": study.backend,
+        "level": int(study.level),
+        "seed": seed,
+        "settings": study.num_settings,
+        "modeled_seconds": study.total_stats.modeled_seconds,
+        "wall_seconds": study.total_stats.wall_seconds,
+        "seconds_per_setting": study.average_seconds_per_setting,
+        "phase_seconds": dict(study.total_stats.phase_seconds),
+        "counters": dict(study.total_stats.counters),
+    }
+    if tracer is not None and tracer.enabled:
+        record["spans"] = sum(1 for r in tracer.roots for _ in r.walk())
+        record["kernel_events"] = len(tracer.kernel_events)
+    return record
+
+
+def write_jsonl(
+    path: str | Path, records: Iterable[dict], append: bool = False
+) -> Path:
+    """Write telemetry records as JSON lines; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a" if append else "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Read telemetry records previously written by :func:`write_jsonl`."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,171 @@
+"""Unified metrics registry: counters, gauges, and histograms.
+
+Before this module existed the repository had three disconnected ways
+of counting work: :class:`~repro.hardware.counters.WorkCounter` (raw
+operation counts), the per-phase seconds dict on every
+:class:`~repro.hardware.cost_model.HardwareModel`, and the
+:class:`~repro.hardware.counters.KernelLaunch` list consumed by the
+profiler.  The registry absorbs all three behind one API — the
+*adapters* (:meth:`MetricsRegistry.absorb_run_stats`,
+:meth:`MetricsRegistry.absorb_work_counter`,
+:meth:`MetricsRegistry.absorb_kernel_times`) translate the existing
+structures without requiring their call sites to change.
+
+Instruments are cheap mutable cells; the registry is thread-safe for
+instrument creation (value updates are per-instrument and assumed
+single-writer, which holds for the engine-per-thread usage pattern).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from ..hardware.cost_model import HardwareModel
+    from ..hardware.counters import WorkCounter
+    from ..result import RunStats
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing value (e.g. flops, bytes, launches)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins value (e.g. current cache hit-rate)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram())
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # ------------------------------------------------------------------
+    # Adapters for the pre-existing accounting structures
+    # ------------------------------------------------------------------
+    def absorb_work_counter(self, counter: "WorkCounter") -> None:
+        """Fold a :class:`WorkCounter`'s totals into registry counters."""
+        for name, value in counter.as_dict().items():
+            self.counter(name).inc(value)
+        for launch in counter.kernel_launches:
+            self.counter(f"kernel.{launch.name}.launches").inc(1)
+
+    def absorb_phase_seconds(self, phase_seconds: Mapping[str, float]) -> None:
+        """Fold a per-phase seconds mapping into ``phase_seconds.*`` counters."""
+        for phase, seconds in phase_seconds.items():
+            self.counter(f"phase_seconds.{phase}").inc(seconds)
+
+    def absorb_run_stats(self, stats: "RunStats") -> None:
+        """Absorb one run's counters and phase seconds."""
+        for name, value in stats.counters.items():
+            self.counter(name).inc(value)
+        self.absorb_phase_seconds(stats.phase_seconds)
+        self.counter("runs").inc(1)
+        self.counter("iterations").inc(stats.iterations)
+        self.histogram("run.modeled_seconds").observe(stats.modeled_seconds)
+        self.histogram("run.wall_seconds").observe(stats.wall_seconds)
+
+    def absorb_kernel_times(self, model: "HardwareModel") -> None:
+        """Record per-kernel modeled durations from a GPU model's launches.
+
+        No-op for models without a per-launch time (CPU models).
+        """
+        launch_time = getattr(model, "launch_time", None)
+        if launch_time is None:
+            return
+        for launch in model.counter.kernel_launches:
+            self.histogram(f"kernel.{launch.name}.seconds").observe(
+                launch_time(launch)
+            )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, dict]:
+        """Plain-data snapshot (JSON-serializable)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.as_dict() for k, h in sorted(self._histograms.items())
+            },
+        }

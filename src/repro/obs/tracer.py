@@ -1,0 +1,352 @@
+"""Span-based tracer: the instrumentation spine of the reproduction.
+
+The paper's running-time argument (Section 5.4) is read off profiler
+timelines; this module gives the reproduction the same kind of record.
+A :class:`Tracer` collects three kinds of data during a run:
+
+* **spans** — nested wall-clock intervals mirroring the host control
+  flow (``fit > iterative > iteration > compute_l`` ...).  Every engine
+  variant emits the *same* span names and nesting for the same input,
+  which the differential tests assert;
+* **kernel events** — flat records of simulated kernel launches.  GPU
+  engines stamp them on the *modeled device clock* (cumulative modeled
+  seconds), the SIMT emulator on the wall clock;
+* **counter samples** — time-series values (cache hit-rate, modeled
+  bandwidth) sampled on the device clock.
+
+Tracing is opt-in.  The module-level *current tracer* defaults to a
+disabled singleton whose :meth:`Tracer.span` returns a shared no-op
+context manager, so instrumented code paths cost a few attribute
+lookups per span when tracing is off (the micro-benchmark test bounds
+this at well under 2 % of an engine run).
+
+Thread model: each thread builds its own span stack (spans record the
+opening thread), while the flat event lists are guarded by a lock, so
+one tracer can observe a multi-threaded study.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Span",
+    "KernelEvent",
+    "CounterSample",
+    "Tracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "set_current_tracer",
+    "use_tracer",
+]
+
+
+@dataclass(slots=True)
+class KernelEvent:
+    """One simulated kernel launch on a timeline.
+
+    ``clock`` distinguishes the modeled device clock (vectorized GPU
+    engines, seconds of modeled GPU time) from the wall clock (the SIMT
+    emulator's real Python execution time).
+    """
+
+    name: str
+    pipeline: str
+    phase: str
+    start: float
+    duration: float
+    clock: str = "modeled"
+    grid_blocks: int = 0
+    threads_per_block: int = 0
+    span_id: int | None = None  #: innermost host span open at launch time
+
+
+@dataclass(slots=True)
+class CounterSample:
+    """One sample of a counter track (device-clock seconds)."""
+
+    track: str
+    ts: float
+    value: float
+
+
+class Span:
+    """A named wall-clock interval with attributes, children, and links."""
+
+    __slots__ = (
+        "span_id",
+        "name",
+        "category",
+        "start",
+        "end",
+        "attrs",
+        "children",
+        "links",
+        "thread",
+        "_tracer",
+    )
+
+    def __init__(
+        self, tracer: "Tracer", span_id: int, name: str, category: str,
+        attrs: dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self.children: list["Span"] = []
+        self.links: list[int] = []
+        self.start = 0.0
+        self.end: float | None = None
+        self.thread = 0
+
+    # -- context-manager protocol -------------------------------------
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._tracer._close(self)
+        return False
+
+    # -- mutation ------------------------------------------------------
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes; returns ``self``."""
+        self.attrs.update(attrs)
+        return self
+
+    def link(self, span_id: int | None) -> "Span":
+        """Link this span to another span (shared-work provenance)."""
+        if span_id is not None:
+            self.links.append(span_id)
+        return self
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def signature(self) -> tuple:
+        """Structure-only view ``(name, (child signatures...))``.
+
+        Two runs with identical control flow produce equal signatures
+        regardless of timing or attribute values — the property the
+        emulated-vs-vectorized differential test asserts.
+        """
+        return (self.name, tuple(child.signature() for child in self.children))
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation of the subtree."""
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "links": list(self.links),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, {len(self.children)} children)"
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned when tracing is disabled."""
+
+    __slots__ = ()
+    span_id = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def link(self, span_id: int | None) -> "_NoopSpan":
+        return self
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects spans, kernel events, counter samples, and metrics."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.epoch = time.perf_counter()
+        self.roots: list[Span] = []
+        self.kernel_events: list[KernelEvent] = []
+        self.counter_samples: list[CounterSample] = []
+        self.metrics = MetricsRegistry()
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Wall-clock seconds since this tracer was created."""
+        return time.perf_counter() - self.epoch
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, category: str = "phase", **attrs: Any):
+        """Open a span as a context manager (no-op when disabled)."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(self, span_id, name, category, attrs)
+
+    def _open(self, span: Span) -> None:
+        stack = self._stack()
+        span.thread = threading.get_ident()
+        span.start = self.now()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        span.end = self.now()
+        stack = self._stack()
+        # Tolerate exceptions unwinding several spans out of order.
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+
+    def current_span_id(self) -> int | None:
+        """Id of the innermost open span on this thread (None outside)."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1].span_id if stack else None
+
+    # ------------------------------------------------------------------
+    # Flat events
+    # ------------------------------------------------------------------
+    def kernel(
+        self,
+        name: str,
+        pipeline: str,
+        phase: str,
+        start: float,
+        duration: float,
+        clock: str = "modeled",
+        grid_blocks: int = 0,
+        threads_per_block: int = 0,
+    ) -> None:
+        """Record one kernel launch on a timeline."""
+        if not self.enabled:
+            return
+        event = KernelEvent(
+            name=name,
+            pipeline=pipeline,
+            phase=phase,
+            start=start,
+            duration=duration,
+            clock=clock,
+            grid_blocks=grid_blocks,
+            threads_per_block=threads_per_block,
+            span_id=self.current_span_id(),
+        )
+        with self._lock:
+            self.kernel_events.append(event)
+
+    def device_offset(self) -> float:
+        """Largest modeled end time recorded so far.
+
+        Each engine's cost model starts its modeled clock at zero; a
+        device created mid-trace (e.g. the second setting of a study)
+        shifts its events by this offset so successive device timelines
+        concatenate instead of overlapping on the pipeline tracks.
+        """
+        with self._lock:
+            return max(
+                (
+                    event.start + event.duration
+                    for event in self.kernel_events
+                    if event.clock == "modeled"
+                ),
+                default=0.0,
+            )
+
+    def counter(self, track: str, value: float, ts: float) -> None:
+        """Record one sample of a counter track (device clock)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.counter_samples.append(
+                CounterSample(track=track, ts=ts, value=float(value))
+            )
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def all_spans(self) -> list[Span]:
+        """Every recorded span, depth-first from each root."""
+        return [span for root in self.roots for span in root.walk()]
+
+    def find_spans(self, name: str) -> list[Span]:
+        """All spans with the given name."""
+        return [span for span in self.all_spans() if span.name == name]
+
+
+#: Disabled singleton used when no tracer is installed.
+NULL_TRACER = Tracer(enabled=False)
+
+_current: ContextVar[Tracer] = ContextVar("repro_obs_tracer", default=NULL_TRACER)
+
+
+def current_tracer() -> Tracer:
+    """The ambient tracer (the disabled singleton unless installed)."""
+    return _current.get()
+
+
+def set_current_tracer(tracer: Tracer | None):
+    """Install ``tracer`` as the ambient tracer; returns a reset token.
+
+    Passing ``None`` restores the disabled singleton.
+    """
+    return _current.set(tracer if tracer is not None else NULL_TRACER)
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Install ``tracer`` as the ambient tracer for a ``with`` block."""
+    token = _current.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _current.reset(token)

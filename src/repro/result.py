@@ -11,9 +11,12 @@ benchmarks can compare variants on identical footing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from .core.trace import RunTrace
 
 __all__ = ["ProclusResult", "RunStats", "OUTLIER_LABEL"]
 
@@ -109,6 +112,11 @@ class ProclusResult:
         Iteration index (0-based) at which the best cost was found.
     stats:
         Work/timing statistics for this run.
+    trace:
+        Per-iteration :class:`~repro.core.trace.RunTrace` when the
+        engine was constructed with ``collect_trace=True``; ``None``
+        otherwise.  Persisted alongside the clustering by
+        :func:`~repro.core.serialization.save_result`.
     """
 
     labels: np.ndarray
@@ -119,6 +127,7 @@ class ProclusResult:
     iterations: int
     best_iteration: int
     stats: RunStats
+    trace: "RunTrace | None" = None
 
     @property
     def k(self) -> int:

@@ -1,5 +1,14 @@
 """Terminal visualization: ASCII charts for benchmark series and traces."""
 
 from .ascii import bar_chart, line_chart, log_line_chart, sparkline
+from .timeline import render_device_lanes, render_span_tree, render_timeline
 
-__all__ = ["bar_chart", "line_chart", "log_line_chart", "sparkline"]
+__all__ = [
+    "bar_chart",
+    "line_chart",
+    "log_line_chart",
+    "sparkline",
+    "render_span_tree",
+    "render_device_lanes",
+    "render_timeline",
+]

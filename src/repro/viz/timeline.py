@@ -1,0 +1,117 @@
+"""ASCII timeline rendering of a traced run.
+
+Perfetto is the first-class viewer for exported traces, but a terminal
+summary answers the common questions ("where did the time go, which
+pipeline dominates") without leaving the shell — the same spirit as the
+ASCII charts in :mod:`repro.viz.ascii`.  Pure functions from a
+:class:`~repro.obs.Tracer` to strings.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from ..obs.tracer import Span, Tracer
+
+__all__ = ["render_span_tree", "render_device_lanes", "render_timeline"]
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f}ms"
+    return f"{seconds * 1e6:8.2f}us"
+
+
+def _bar(start: float, end: float, total: float, width: int) -> str:
+    if total <= 0:
+        return " " * width
+    left = int(start / total * width)
+    right = max(left + 1, round(end / total * width))
+    right = min(right, width)
+    return " " * left + "#" * (right - left) + " " * (width - right)
+
+
+def render_span_tree(
+    roots: "list[Span]", width: int = 40, max_depth: int = 4,
+    max_children: int = 6,
+) -> str:
+    """Indented span tree with bars positioned on the wall clock.
+
+    Long sibling runs (e.g. dozens of iterations) are elided after
+    ``max_children`` entries to keep the output readable.
+    """
+    if not roots:
+        return "(no spans recorded)"
+    total = max((span.end or span.start) for span in roots)
+    name_width = 30
+    lines = []
+
+    def emit(span: "Span", depth: int) -> None:
+        label = ("  " * depth + span.name)[:name_width]
+        end = span.end if span.end is not None else span.start
+        lines.append(
+            f"{label.ljust(name_width)} |{_bar(span.start, end, total, width)}| "
+            f"{_format_seconds(span.duration)}"
+        )
+        if depth >= max_depth:
+            return
+        shown = span.children[:max_children]
+        for child in shown:
+            emit(child, depth + 1)
+        hidden = len(span.children) - len(shown)
+        if hidden > 0:
+            lines.append("  " * (depth + 1) + f"... {hidden} more sibling spans")
+
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_device_lanes(tracer: "Tracer", width: int = 40) -> str:
+    """One lane per kernel pipeline on the modeled-device timeline."""
+    modeled = [e for e in tracer.kernel_events if e.clock == "modeled"]
+    if not modeled:
+        return "(no modeled kernel launches recorded)"
+    total = max(event.start + event.duration for event in modeled)
+    lanes: dict[str, list] = {}
+    for event in modeled:
+        lanes.setdefault(event.pipeline, []).append(event)
+    name_width = max(len(name) for name in lanes) + 2
+    lines = [
+        f"device timeline ({total * 1e3:.3f}ms modeled)",
+    ]
+    for name, events in lanes.items():
+        cells = [" "] * width
+        busy = 0.0
+        for event in events:
+            busy += event.duration
+            left = int(event.start / total * width) if total > 0 else 0
+            right = max(
+                left + 1, round((event.start + event.duration) / total * width)
+            )
+            for index in range(left, min(right, width)):
+                cells[index] = "#"
+        lines.append(
+            f"{name.ljust(name_width)}|{''.join(cells)}| "
+            f"{_format_seconds(busy)} in {len(events)} launches"
+        )
+    return "\n".join(lines)
+
+
+def render_timeline(tracer: "Tracer", width: int = 40) -> str:
+    """Full ASCII timeline: host span tree plus device pipeline lanes."""
+    sections = [render_span_tree(tracer.roots, width=width)]
+    if any(event.clock == "modeled" for event in tracer.kernel_events):
+        sections.append(render_device_lanes(tracer, width=width))
+    counters: dict[str, float] = {}
+    for sample in tracer.counter_samples:
+        counters[sample.track] = sample.value
+    if counters:
+        sections.append(
+            "final counters: "
+            + ", ".join(f"{name}={value:.3g}" for name, value in counters.items())
+        )
+    return "\n\n".join(sections)

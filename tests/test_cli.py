@@ -222,3 +222,85 @@ class TestCounters:
         assert code == 0
         assert "work counters:" in out
         assert "cpu.vector_ops" in out or "gpu.flops" in out
+
+
+class TestProfileJson:
+    def test_json_to_stdout(self, capsys):
+        import json
+
+        code, out = run(
+            capsys, "profile", "--n", "800", "--clusters", "3",
+            "--k", "3", "--l", "3", "--a", "15", "--b", "3",
+            "--json", "-",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["schema"] == "repro.kernel_profile/1"
+        assert payload["backend"] == "gpu-fast"
+        assert payload["kernels"]
+        assert {"name", "calls", "bound_by", "share"} <= set(payload["kernels"][0])
+
+    def test_json_to_file(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "profile.json"
+        code, out = run(
+            capsys, "profile", "--n", "800", "--clusters", "3",
+            "--k", "3", "--l", "3", "--a", "15", "--b", "3",
+            "--json", str(path),
+        )
+        assert code == 0
+        assert str(path) in out
+        payload = json.loads(path.read_text())
+        assert payload["modeled_seconds"] > 0
+
+
+class TestTraceCommand:
+    def test_trace_writes_valid_artifacts(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        code, out = run(
+            capsys, "trace", "--n", "800", "--clusters", "3",
+            "--k", "3", "--l", "3", "--a", "15", "--b", "3",
+            "--out", str(tmp_path), "--label", "clitest",
+        )
+        assert code == 0
+        assert "device timeline" in out
+        assert "perfetto" in out.lower()
+        trace = json.loads((tmp_path / "trace_gpu-fast.json").read_text())
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["label"] == "clitest"
+        lines = (tmp_path / "telemetry.jsonl").read_text().splitlines()
+        record = json.loads(lines[0])
+        assert record["kind"] == "run"
+        assert record["label"] == "clitest"
+
+    def test_trace_study_mode(self, capsys, tmp_path):
+        import json
+
+        code, out = run(
+            capsys, "trace", "--n", "600", "--d", "6", "--clusters", "3",
+            "--a", "15", "--b", "3",
+            "--backend", "gpu-fast", "--study-level", "3",
+            "--ks", "4", "3", "--ls", "3",
+            "--out", str(tmp_path),
+        )
+        assert code == 0
+        record = json.loads(
+            (tmp_path / "telemetry.jsonl").read_text().splitlines()[0]
+        )
+        assert record["kind"] == "study"
+        assert record["settings"] == 2
+
+    def test_trace_emulated_style_cpu_backend(self, capsys, tmp_path):
+        """Tracing works for CPU backends too (host spans only)."""
+        code, out = run(
+            capsys, "trace", "--n", "600", "--clusters", "3",
+            "--k", "3", "--l", "3", "--a", "15", "--b", "3",
+            "--backend", "fast", "--out", str(tmp_path),
+        )
+        assert code == 0
+        assert (tmp_path / "trace_fast.json").exists()
+        assert "device timeline" not in out

@@ -80,7 +80,7 @@ class TestCliConsistency:
 class TestDocsDirectory:
     @pytest.mark.parametrize(
         "doc", ["algorithm.md", "architecture.md", "performance_model.md",
-                "usage.md", "reproducing.md", "faq.md"]
+                "usage.md", "reproducing.md", "faq.md", "observability.md"]
     )
     def test_docs_exist_and_nonempty(self, doc):
         path = ROOT / "docs" / doc

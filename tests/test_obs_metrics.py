@@ -1,0 +1,118 @@
+"""Tests for the unified metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.counters import KernelLaunch, WorkCounter
+from repro.hardware.cost_model import GpuModel
+from repro.hardware.specs import GTX_1660_TI
+from repro.obs import MetricsRegistry
+from repro.result import RunStats
+
+
+def _launch(name: str = "compute_l.distances") -> KernelLaunch:
+    return KernelLaunch(
+        name=name, phase="compute_l", grid_blocks=16, threads_per_block=256,
+        flops=1e6, gmem_bytes=1e6,
+    )
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.counter("flops").inc(10)
+        registry.counter("flops").inc(5)
+        assert registry.counter("flops").value == 15
+        assert len(registry) == 1
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("hit_rate").set(0.2)
+        registry.gauge("hit_rate").set(0.9)
+        assert registry.gauge("hit_rate").value == 0.9
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("seconds")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_empty_histogram_as_dict(self):
+        hist = MetricsRegistry().histogram("empty")
+        assert hist.as_dict() == {
+            "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+
+class TestAdapters:
+    def test_absorb_work_counter(self):
+        counter = WorkCounter()
+        counter.add("cpu.flops", 100)
+        counter.record_launch(_launch())
+        registry = MetricsRegistry()
+        registry.absorb_work_counter(counter)
+        assert registry.counter("cpu.flops").value == 100
+        assert registry.counter("kernel.compute_l.distances.launches").value == 1
+
+    def test_absorb_phase_seconds(self):
+        registry = MetricsRegistry()
+        registry.absorb_phase_seconds({"compute_l": 0.5, "evaluate": 0.25})
+        assert registry.counter("phase_seconds.compute_l").value == 0.5
+        assert registry.counter("phase_seconds.evaluate").value == 0.25
+
+    def test_absorb_run_stats_accumulates_across_runs(self):
+        stats = RunStats(
+            counters={"gpu.flops": 10.0},
+            phase_seconds={"compute_l": 0.1},
+            modeled_seconds=0.1,
+            wall_seconds=0.2,
+            iterations=7,
+            backend="gpu-fast",
+        )
+        registry = MetricsRegistry()
+        registry.absorb_run_stats(stats)
+        registry.absorb_run_stats(stats)
+        assert registry.counter("runs").value == 2
+        assert registry.counter("iterations").value == 14
+        assert registry.counter("gpu.flops").value == 20.0
+        assert registry.histogram("run.modeled_seconds").count == 2
+
+    def test_absorb_kernel_times_from_gpu_model(self):
+        model = GpuModel(GTX_1660_TI)
+        model.launch(_launch())
+        model.launch(_launch())
+        registry = MetricsRegistry()
+        registry.absorb_kernel_times(model)
+        hist = registry.histogram("kernel.compute_l.distances.seconds")
+        assert hist.count == 2
+        assert hist.total > 0
+
+    def test_absorb_kernel_times_ignores_cpu_models(self):
+        class NoLaunchTime:
+            pass
+
+        registry = MetricsRegistry()
+        registry.absorb_kernel_times(NoLaunchTime())
+        assert len(registry) == 0
+
+
+class TestExport:
+    def test_as_dict_is_json_serializable_and_sorted(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h").observe(1.0)
+        snapshot = registry.as_dict()
+        json.dumps(snapshot)
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["gauges"] == {"g": 0.5}
+        assert snapshot["histograms"]["h"]["count"] == 1

@@ -1,0 +1,179 @@
+"""Tests for the span-based tracer (repro.obs.tracer)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    current_tracer,
+    set_current_tracer,
+    use_tracer,
+)
+from repro.obs.tracer import _NOOP_SPAN
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("fit"):
+            with tracer.span("iterative"):
+                with tracer.span("iteration"):
+                    pass
+                with tracer.span("iteration"):
+                    pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "fit"
+        assert [c.name for c in root.children] == ["iterative"]
+        assert [c.name for c in root.children[0].children] == [
+            "iteration", "iteration",
+        ]
+
+    def test_span_ids_are_unique(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        ids = [s.span_id for s in tracer.all_spans()]
+        assert len(ids) == len(set(ids)) == 3
+
+    def test_durations_non_negative_and_ordered(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_attrs_set_and_links(self):
+        tracer = Tracer()
+        with tracer.span("a", k=4) as a:
+            pass
+        with tracer.span("b") as b:
+            b.set(cost=1.5).link(a.span_id).link(None)
+        assert a.attrs == {"k": 4}
+        assert b.attrs == {"cost": 1.5}
+        assert b.links == [a.span_id]
+
+    def test_signature_ignores_timing_and_attrs(self):
+        one, two = Tracer(), Tracer()
+        for tracer, attr in ((one, 1), (two, 99)):
+            with tracer.span("fit", value=attr):
+                with tracer.span("phase"):
+                    pass
+        assert one.roots[0].signature() == two.roots[0].signature()
+
+    def test_find_spans(self):
+        tracer = Tracer()
+        with tracer.span("fit"):
+            with tracer.span("iteration"):
+                pass
+            with tracer.span("iteration"):
+                pass
+        assert len(tracer.find_spans("iteration")) == 2
+        assert tracer.find_spans("missing") == []
+
+    def test_as_dict_is_json_serializable(self):
+        import json
+
+        tracer = Tracer()
+        with tracer.span("fit", backend="gpu-fast") as span:
+            pass
+        payload = json.dumps(span.as_dict())
+        assert "gpu-fast" in payload
+
+    def test_exception_unwinds_spans(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        assert tracer.current_span_id() is None
+        for span in tracer.all_spans():
+            assert span.end is not None
+
+    def test_threads_get_separate_stacks(self):
+        tracer = Tracer()
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("worker-root"):
+                done.wait(timeout=5)
+
+        thread = threading.Thread(target=worker)
+        with tracer.span("main-root"):
+            thread.start()
+            while len(tracer.roots) < 2:
+                pass
+        done.set()
+        thread.join()
+        names = {root.name for root in tracer.roots}
+        assert names == {"main-root", "worker-root"}
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything")
+        assert span is _NOOP_SPAN
+        assert span is tracer.span("other")
+        with span as inner:
+            assert inner.set(a=1) is inner
+            assert inner.link(3) is inner
+        assert span.span_id is None
+        assert tracer.roots == []
+
+    def test_disabled_kernel_and_counter_record_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.kernel("k", "pipe", "phase", 0.0, 1.0)
+        tracer.counter("track", 1.0, 0.0)
+        assert tracer.kernel_events == []
+        assert tracer.counter_samples == []
+
+
+class TestAmbientTracer:
+    def test_default_is_disabled_null_tracer(self):
+        assert current_tracer() is NULL_TRACER
+        assert not current_tracer().enabled
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer) as installed:
+            assert installed is tracer
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_set_current_tracer_none_restores_null(self):
+        tracer = Tracer()
+        set_current_tracer(tracer)
+        try:
+            assert current_tracer() is tracer
+        finally:
+            set_current_tracer(None)
+        assert current_tracer() is NULL_TRACER
+
+
+class TestKernelEvents:
+    def test_kernel_event_captures_enclosing_span(self):
+        tracer = Tracer()
+        with tracer.span("fit") as fit:
+            tracer.kernel("k1", "compute_l", "compute_l", 0.0, 1e-6)
+        tracer.kernel("k2", "compute_l", "compute_l", 1e-6, 1e-6)
+        first, second = tracer.kernel_events
+        assert first.span_id == fit.span_id
+        assert second.span_id is None
+
+    def test_counter_samples_recorded(self):
+        tracer = Tracer()
+        tracer.counter("cache hit-rate", 0.5, 1.0)
+        sample = tracer.counter_samples[0]
+        assert (sample.track, sample.ts, sample.value) == (
+            "cache hit-rate", 1.0, 0.5,
+        )

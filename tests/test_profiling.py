@@ -69,3 +69,39 @@ class TestCompare:
 
     def test_empty_input(self):
         assert compare_breakdowns([]) == "(no runs)"
+
+
+class TestPhaseOrdering:
+    def test_known_phases_in_canonical_order(self):
+        from repro.eval.profiling import PHASE_ORDER
+
+        b = PhaseBreakdown(
+            backend="x", total_seconds=3.0,
+            phase_seconds={"evaluate": 1.0, "compute_l": 1.0, "transfer": 1.0},
+        )
+        rows = [phase for phase, _, _ in b.as_rows()]
+        assert rows == ["transfer", "compute_l", "evaluate"]
+        assert all(p in PHASE_ORDER for p in rows)
+
+    def test_unknown_phases_follow_in_first_accrual_order(self):
+        """Custom phases append after the canonical ones, in the order
+        the engine first accrued them (not alphabetically)."""
+        phase_seconds = {}
+        phase_seconds["zeta_custom"] = 1.0
+        phase_seconds["compute_l"] = 1.0
+        phase_seconds["alpha_custom"] = 1.0
+        b = PhaseBreakdown(
+            backend="x", total_seconds=3.0, phase_seconds=phase_seconds
+        )
+        rows = [phase for phase, _, _ in b.as_rows()]
+        assert rows == ["compute_l", "zeta_custom", "alpha_custom"]
+
+    def test_unknown_phases_are_not_dropped(self):
+        b = PhaseBreakdown(
+            backend="x", total_seconds=2.0,
+            phase_seconds={"compute_l": 1.0, "my_phase": 1.0},
+        )
+        rows = b.as_rows()
+        assert ("my_phase", 1.0, 0.5) in rows
+        total_fraction = sum(f for _, _, f in rows)
+        assert total_fraction == pytest.approx(1.0)

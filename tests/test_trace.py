@@ -110,3 +110,44 @@ class TestTraceUtilities:
         assert [r.medoid_positions for r in base.trace_] == [
             r.medoid_positions for r in fast.trace_
         ]
+
+
+class TestTraceSerialization:
+    def test_json_round_trip(self, traced):
+        trace, _ = traced
+        rebuilt = RunTrace.from_json(trace.to_json())
+        assert rebuilt == trace
+        assert rebuilt.records[0].medoid_positions == trace.records[0].medoid_positions
+
+    def test_empty_trace_round_trip(self):
+        assert RunTrace.from_json(RunTrace().to_json()) == RunTrace()
+
+    def test_as_dict_is_plain_data(self, traced):
+        import json
+
+        trace, _ = traced
+        payload = trace.as_dict()
+        json.dumps(payload)
+        assert len(payload["records"]) == len(trace)
+
+    def test_trace_persists_through_save_result(self, traced, tmp_path):
+        from repro.core.serialization import load_result, save_result
+
+        _, result = traced
+        assert result.trace is not None
+        path = save_result(result, tmp_path / "run.npz")
+        loaded = load_result(path)
+        assert loaded.trace is not None
+        assert loaded.trace == result.trace
+
+    def test_untraced_result_loads_with_none_trace(self, tmp_path):
+        from repro.core.serialization import load_result, save_result
+        from repro.data.normalize import minmax_normalize
+        from repro.data.synthetic import generate_subspace_data
+
+        ds = generate_subspace_data(n=400, d=6, n_clusters=3, subspace_dims=3, seed=4)
+        engine = ProclusEngine(params=ProclusParams(k=3, l=3, a=20, b=4), seed=2)
+        result = engine.fit(minmax_normalize(ds.data))
+        assert result.trace is None
+        loaded = load_result(save_result(result, tmp_path / "run.npz"))
+        assert loaded.trace is None

@@ -1,0 +1,82 @@
+"""Tests for the ASCII timeline renderer (repro.viz.timeline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BACKENDS
+from repro.obs import Tracer, use_tracer
+from repro.viz import render_device_lanes, render_span_tree, render_timeline
+
+
+@pytest.fixture(scope="module")
+def traced(request):
+    from repro.data.normalize import minmax_normalize
+    from repro.data.synthetic import generate_subspace_data
+    from repro.params import ProclusParams
+
+    ds = generate_subspace_data(
+        n=600, d=8, n_clusters=4, subspace_dims=4, std=2.0, seed=7
+    )
+    data = minmax_normalize(ds.data)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        BACKENDS["gpu-fast"](
+            params=ProclusParams(k=4, l=3, a=30, b=5), seed=0
+        ).fit(data)
+    return tracer
+
+
+class TestSpanTree:
+    def test_empty_roots(self):
+        assert render_span_tree([]) == "(no spans recorded)"
+
+    def test_contains_phase_names_and_bars(self, traced):
+        text = render_span_tree(traced.roots)
+        assert "fit" in text
+        assert "iterative" in text
+        assert "refinement" in text
+        assert "#" in text
+
+    def test_elides_long_sibling_runs(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            for index in range(10):
+                with tracer.span("child", index=index):
+                    pass
+        text = render_span_tree(tracer.roots, max_children=3)
+        assert "... 7 more sibling spans" in text
+        assert text.count("child") == 3
+
+    def test_max_depth_limits_recursion(self, traced):
+        shallow = render_span_tree(traced.roots, max_depth=0)
+        assert "iteration" not in shallow
+        assert "fit" in shallow
+
+
+class TestDeviceLanes:
+    def test_no_modeled_events(self):
+        assert "no modeled kernel launches" in render_device_lanes(Tracer())
+
+    def test_one_lane_per_pipeline(self, traced):
+        text = render_device_lanes(traced)
+        for pipeline in ("compute_l", "assign_points", "evaluate", "outliers"):
+            assert pipeline in text
+        assert "launches" in text
+
+
+class TestTimeline:
+    def test_full_timeline_sections(self, traced):
+        text = render_timeline(traced)
+        assert "device timeline" in text
+        assert "final counters" in text
+        assert "cache hit-rate" in text
+
+    def test_timeline_without_kernels_or_counters(self):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        text = render_timeline(tracer)
+        assert "only" in text
+        assert "device timeline" not in text
+        assert "final counters" not in text
