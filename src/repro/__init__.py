@@ -18,21 +18,40 @@ Entry points:
 from .core.api import BACKENDS, proclus, run_parameter_study
 from .core.multiparam import MultiParamResult, ReuseLevel
 from .core.predict import assign_new_points
-from .core.serialization import load_result, save_result
+from .core.serialization import (
+    load_engine_state,
+    load_result,
+    save_engine_state,
+    save_result,
+)
+from .core.state import IterativeState
 from .core.trace import RunTrace
 from .estimator import PROCLUS
 from .params import ParameterGrid, ProclusParams
 from .result import OUTLIER_LABEL, ProclusResult, RunStats
 from .rng import RandomSource
 from .exceptions import (
+    CheckpointError,
     ConvergenceError,
     DataValidationError,
     DeviceError,
     DeviceOutOfMemoryError,
     EmulationError,
     KernelLaunchError,
+    KernelTimeoutError,
     ParameterError,
     ReproError,
+    ResilienceExhaustedError,
+    TransferCorruptionError,
+    TransientDeviceError,
+)
+from .resilience import (
+    FaultInjector,
+    RetryPolicy,
+    ResilientRunner,
+    resilient_fit,
+    run_resilient_study,
+    use_injector,
 )
 
 __version__ = "1.0.0"
@@ -50,6 +69,9 @@ __all__ = [
     "assign_new_points",
     "save_result",
     "load_result",
+    "save_engine_state",
+    "load_engine_state",
+    "IterativeState",
     "RunTrace",
     "PROCLUS",
     "RandomSource",
@@ -62,5 +84,16 @@ __all__ = [
     "KernelLaunchError",
     "EmulationError",
     "ConvergenceError",
+    "TransientDeviceError",
+    "TransferCorruptionError",
+    "KernelTimeoutError",
+    "CheckpointError",
+    "ResilienceExhaustedError",
+    "FaultInjector",
+    "use_injector",
+    "RetryPolicy",
+    "ResilientRunner",
+    "resilient_fit",
+    "run_resilient_study",
     "__version__",
 ]

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro profile   # nvprof-style kernel profile of a GPU run
     python -m repro trace     # traced run: Perfetto JSON + telemetry + timeline
     python -m repro sanitize  # cuda-memcheck-style sweep of the emulated kernels
+    python -m repro chaos     # fault-injection sweep: fault classes x backends
     python -m repro validate  # cross-variant clustering equivalence check
     python -m repro claims    # check every quantitative claim of the paper
     python -m repro info      # list backends, datasets, hardware models
@@ -17,8 +18,15 @@ Examples::
     python -m repro cluster --n 20000 --k 10 --l 5 --backend gpu-fast
     python -m repro cluster --dataset pendigits --k 8 --l 5 --counters
     python -m repro study --n 30000 --level 3
+    python -m repro study --checkpoint-dir ckpt/           # kill-safe study
+    python -m repro study --checkpoint-dir ckpt/ --resume  # pick it back up
+    python -m repro chaos --backends gpu-fast --json chaos_events.json
     python -m repro bench fig2ab --plot --csv out/fig2ab.csv
     python -m repro bench all --out results/
+
+Errors are reported as a one-line ``repro: error: ...`` message with
+exit code 2 (interruption exits 130); pass ``--strict`` before the
+subcommand to get the full traceback instead.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from . import BACKENDS, ParameterGrid, ProclusParams, proclus, run_parameter_study
+from .exceptions import ReproError
 from .bench import figures
 from .data import (
     dataset_names,
@@ -149,8 +158,16 @@ def _cmd_study(args: argparse.Namespace) -> int:
     grid = ParameterGrid(
         ks=tuple(args.ks), ls=tuple(args.ls), base=_params_from(args, k=max(args.ks))
     )
+    extra = {}
+    if args.checkpoint_dir:
+        extra["checkpoint_dir"] = args.checkpoint_dir
+    if args.resume:
+        extra["resume"] = True
+    if args.resilient:
+        extra["resilience"] = True
     study = run_parameter_study(
-        data, grid=grid, backend=args.backend, level=args.level, seed=args.seed
+        data, grid=grid, backend=args.backend, level=args.level,
+        seed=args.seed, **extra,
     )
     print(f"{args.backend} multi-param level {args.level}: "
           f"{study.num_settings} settings")
@@ -161,6 +178,17 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print(f"\nbest: k={best_k}, l={best_l}")
     print(f"avg modeled time per setting: "
           f"{study.average_seconds_per_setting * 1e3:.3f} ms")
+    if study.events:
+        print(f"resilience events: {len(study.events)}")
+        for event in study.events:
+            line = f"  {event.kind:10s} {event.rung}"
+            if event.to_rung:
+                line += f" -> {event.to_rung}"
+            if event.error_type:
+                line += f" ({event.error_type})"
+            print(line)
+    if args.checkpoint_dir:
+        print(f"checkpoints in {args.checkpoint_dir}")
     return 0
 
 
@@ -300,6 +328,134 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+#: Fault class -> default chaos schedule (fires early in every run).
+CHAOS_FAULTS: dict[str, tuple[str, ...]] = {
+    "oom": ("oom#1",),
+    "launch": ("launch#2",),
+    "transient": ("transient#2",),
+    "corrupt": ("corrupt#1",),
+    "timeout": ("timeout#2",),
+}
+
+
+def _results_identical(a, b) -> bool:
+    """Bit-identical clustering (dimensions is a ragged tuple: use ==)."""
+    return (
+        np.array_equal(a.labels, b.labels)
+        and np.array_equal(a.medoids, b.medoids)
+        and a.dimensions == b.dimensions
+        and a.cost == b.cost
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
+    from .resilience import (
+        FaultInjector,
+        ResilientRunner,
+        RetryPolicy,
+        use_injector,
+    )
+
+    data, _ = _load_data(args)
+    params = _params_from(args)
+    policy = RetryPolicy(max_retries=args.max_retries)
+    runner = ResilientRunner(policy)
+    if args.fault:
+        sweep: dict[str, tuple[str, ...]] = {"custom": tuple(args.fault)}
+    else:
+        sweep = CHAOS_FAULTS
+
+    rows: list[dict] = []
+    print(f"chaos sweep: {len(args.backends)} backend(s) x "
+          f"{len(sweep)} fault class(es), n={data.shape[0]}, "
+          f"k={params.k}, l={params.l}")
+    print(f"{'backend':<14} {'fault':<10} {'fired':>5} {'attempts':>8} "
+          f"{'final rung':<26} {'identical':<9} ok")
+    for backend in args.backends:
+        reference = proclus(data, backend=backend, params=params, seed=args.seed)
+        rungs = [step.describe() for step in policy.ladder_for(backend)]
+        for fault_class, schedule in sweep.items():
+            injector = FaultInjector(schedule, seed=args.seed)
+            row = {
+                "backend": backend,
+                "fault_class": fault_class,
+                "schedule": list(schedule),
+            }
+            try:
+                with use_injector(injector):
+                    outcome = runner.fit(
+                        data, backend=backend, params=params, seed=args.seed
+                    )
+            except ReproError as error:
+                row.update(
+                    error=f"{type(error).__name__}: {error}", ok=False,
+                    fired=len(injector.injected),
+                )
+                rows.append(row)
+                print(f"{backend:<14} {fault_class:<10} "
+                      f"{len(injector.injected):>5} {'-':>8} "
+                      f"{'-':<26} {'-':<9} FAIL ({type(error).__name__})")
+                continue
+            fired = len(injector.injected)
+            identical = _results_identical(outcome.result, reference)
+            along_ladder = outcome.rung in rungs and all(
+                event.to_rung in rungs
+                for event in outcome.events
+                if event.kind == "degrade"
+            )
+            ok = identical and along_ladder and fired > 0
+            row.update(
+                fired=fired,
+                attempts=outcome.attempts,
+                rung=outcome.rung,
+                degraded=outcome.degraded,
+                identical=identical,
+                along_ladder=along_ladder,
+                ok=ok,
+                injected=[asdict(record) for record in injector.injected],
+                events=[event.as_dict() for event in outcome.events],
+            )
+            rows.append(row)
+            print(f"{backend:<14} {fault_class:<10} {fired:>5} "
+                  f"{outcome.attempts:>8} {outcome.rung:<26} "
+                  f"{str(identical).lower():<9} "
+                  f"{'ok' if ok else 'VIOLATION'}")
+
+    failures = [row for row in rows if not row.get("ok")]
+    print()
+    if failures:
+        print(f"{len(failures)}/{len(rows)} runs violated the "
+              f"completes-identical-or-degrades-along-ladder contract")
+    else:
+        print(f"all {len(rows)} injected runs completed with the "
+              f"fault-free clustering (degrading along the ladder "
+              f"where needed)")
+    if args.json:
+        import json
+
+        payload = {
+            "schema": "repro.chaos/1",
+            "n": int(data.shape[0]),
+            "d": int(data.shape[1]),
+            "k": params.k,
+            "l": params.l,
+            "seed": args.seed,
+            "max_retries": args.max_retries,
+            "ok": not failures,
+            "rows": rows,
+        }
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+        else:
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"event log written to {args.json}")
+    return 1 if failures else 0
+
+
 def _cmd_claims(args: argparse.Namespace) -> int:
     results = check_all()
     print(format_results(results))
@@ -342,6 +498,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="GPU-FAST-PROCLUS reproduction (EDBT 2022)",
     )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="re-raise errors with a full traceback instead of the "
+             "one-line message (place before the subcommand)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     cluster = sub.add_parser("cluster", help="run one PROCLUS clustering")
@@ -362,6 +523,21 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--level", type=int, choices=[0, 1, 2, 3], default=3,
                        help="multi-param reuse level (default 3)")
     study.add_argument("--backend", choices=sorted(BACKENDS), default="gpu-fast")
+    study.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="persist each completed (k, l) setting here so a killed "
+             "study can be resumed",
+    )
+    study.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint-dir, skipping completed settings "
+             "(final output is identical to an uninterrupted study)",
+    )
+    study.add_argument(
+        "--resilient", action="store_true",
+        help="recover from device faults by retrying and degrading "
+             "along the backend ladder",
+    )
     study.set_defaults(func=_cmd_study)
 
     bench = sub.add_parser("bench", help="regenerate a paper experiment")
@@ -435,6 +611,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write the structured report as JSON")
     sanitize.set_defaults(func=_cmd_sanitize)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: each fault class x each GPU backend",
+    )
+    _add_data_arguments(chaos)
+    _add_param_arguments(chaos)
+    chaos.add_argument(
+        "--backends", nargs="+", metavar="NAME",
+        choices=sorted(b for b in BACKENDS if b.startswith("gpu")),
+        default=["gpu", "gpu-fast", "gpu-fast-star"],
+        help="GPU backends to sweep (default: gpu gpu-fast gpu-fast-star)",
+    )
+    chaos.add_argument(
+        "--fault", action="append", metavar="SPEC",
+        help="custom fault spec 'kind[@site][#at[+count|+*]][?prob]' "
+             "(repeatable; replaces the default per-class sweep)",
+    )
+    chaos.add_argument(
+        "--max-retries", type=int, default=3,
+        help="transient-error retries per ladder rung (default 3)",
+    )
+    chaos.add_argument(
+        "--json", metavar="PATH",
+        help="write the structured event log as JSON ('-' = stdout)",
+    )
+    chaos.set_defaults(func=_cmd_chaos, n=4000, d=12, clusters=5, k=6, l=4)
+
     claims = sub.add_parser(
         "claims", help="check every quantitative claim of the paper"
     )
@@ -455,10 +658,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Expected failures — bad input files, invalid parameter combos,
+    exhausted recovery — exit with code 2 and a one-line actionable
+    message; ``--strict`` re-raises them instead.  An interrupted run
+    exits 130 (the conventional SIGINT code).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
+    except (ReproError, OSError) as error:
+        if args.strict:
+            raise
+        print(f"repro: error: {error}", file=sys.stderr)
+        print("repro: re-run with --strict for the full traceback",
+              file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -137,6 +137,9 @@ def run_parameter_study(
     level: ReuseLevel | int = ReuseLevel.WARM_START,
     seed: int | None = 0,
     normalize: bool = False,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    resilience: object | None = None,
     **engine_kwargs,
 ) -> MultiParamResult:
     """Run a grid of (k, l) settings with the chosen reuse level.
@@ -144,10 +147,38 @@ def run_parameter_study(
     See :mod:`repro.core.multiparam` for the reuse levels; the paper's
     default grid of 9 (k, l) combinations is used when ``grid`` is
     omitted.
+
+    ``checkpoint_dir``, ``resume``, and ``resilience`` route the study
+    through the fault-tolerant driver (:mod:`repro.resilience`):
+    ``checkpoint_dir`` persists each completed setting so a killed study
+    resumes (``resume=True``) with identical output; ``resilience`` is a
+    :class:`~repro.resilience.RetryPolicy` (or ``True`` for defaults)
+    enabling retry and backend degradation on device errors.  Plain
+    studies take the original driver and pay zero overhead.
     """
     factory = _resolve_backend(backend)
     if normalize:
         data = minmax_normalize(data)
+    if resume and checkpoint_dir is None:
+        raise ParameterError("resume=True requires a checkpoint_dir")
+    if checkpoint_dir is not None or resume or resilience:
+        # Deferred import: the resilience layer imports this module.
+        from ..resilience import RetryPolicy, run_resilient_study
+
+        if resilience is None or isinstance(resilience, bool):
+            policy = None
+        elif isinstance(resilience, RetryPolicy):
+            policy = resilience
+        else:
+            raise ParameterError(
+                f"resilience must be a RetryPolicy or bool, "
+                f"got {type(resilience).__name__}"
+            )
+        return run_resilient_study(
+            data, backend=backend, grid=grid, level=level, seed=seed,
+            policy=policy, checkpoint_dir=checkpoint_dir, resume=resume,
+            **engine_kwargs,
+        )
     return run_study(
         data, factory, grid=grid, level=level, seed=seed, **engine_kwargs
     )

@@ -23,7 +23,9 @@ import time
 
 import numpy as np
 
-from ..exceptions import DataValidationError
+from pathlib import Path
+
+from ..exceptions import CheckpointError, DataValidationError, ParameterError
 from ..hardware.cost_model import HardwareModel, ScalarCpuModel
 from ..hardware.specs import CpuSpec, cpu_for_problem
 from ..obs.tracer import Tracer, current_tracer
@@ -40,7 +42,7 @@ from .phases import (
     find_dimensions,
     find_outliers,
 )
-from .state import SharedStudyState
+from .state import IterativeState, SharedStudyState
 from .trace import RunTrace
 
 __all__ = ["EngineBase", "validate_data"]
@@ -86,6 +88,9 @@ class EngineBase(abc.ABC):
         charge_greedy: bool = True,
         collect_trace: bool = False,
         tracer: Tracer | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_path: str | Path | None = None,
+        resume_from: IterativeState | str | Path | None = None,
     ) -> None:
         """
         Parameters
@@ -115,6 +120,18 @@ class EngineBase(abc.ABC):
             events into.  When omitted, the ambient tracer installed
             with :func:`repro.obs.use_tracer` is used (a disabled
             no-op singleton by default).
+        checkpoint_every:
+            When > 0, write an engine checkpoint to ``checkpoint_path``
+            after every that-many completed iterations of the iterative
+            phase.
+        checkpoint_path:
+            Where checkpoints go (``.npz``); required when
+            ``checkpoint_every`` is set.
+        resume_from:
+            An :class:`~repro.core.state.IterativeState` (or a path to
+            a saved one) to continue from instead of starting fresh.
+            The snapshot may come from *any* backend: caches are not
+            part of it and are rebuilt, provably with identical values.
         """
         self.params = params if params is not None else ProclusParams()
         self.rng = seed if isinstance(seed, RandomSource) else RandomSource(seed)
@@ -122,6 +139,24 @@ class EngineBase(abc.ABC):
         self.shared_state = shared_state
         self.initial_medoids = initial_medoids
         self.charge_greedy = charge_greedy
+        if not isinstance(checkpoint_every, int) or isinstance(checkpoint_every, bool):
+            raise ParameterError(
+                f"checkpoint_every must be an int, "
+                f"got {type(checkpoint_every).__name__}"
+            )
+        if checkpoint_every < 0:
+            raise ParameterError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if checkpoint_every > 0 and checkpoint_path is None:
+            raise ParameterError(
+                "checkpoint_every requires a checkpoint_path to write to"
+            )
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.resume_from = resume_from
         self.model: HardwareModel | None = None
         self.trace_: RunTrace | None = RunTrace() if collect_trace else None
         self._tracer = tracer
@@ -303,17 +338,84 @@ class EngineBase(abc.ABC):
         self._account_greedy(sample_size, count, d)
         return sample_indices[local]
 
+    def _resolve_resume(self, n: int, d: int) -> IterativeState | None:
+        """Load and validate the ``resume_from`` snapshot, if any."""
+        source = self.resume_from
+        if source is None:
+            return None
+        if isinstance(source, IterativeState):
+            state = source
+        else:
+            from .serialization import load_engine_state
+
+            state = load_engine_state(source)
+        p = self.params
+        if (state.n, state.d) != (n, d):
+            raise CheckpointError(
+                f"checkpoint was written for a ({state.n}, {state.d}) "
+                f"dataset, got ({n}, {d}); refusing to resume"
+            )
+        if (state.k, state.l) != (p.k, p.l):
+            raise CheckpointError(
+                f"checkpoint was written for k={state.k} l={state.l}, "
+                f"got k={p.k} l={p.l}; refusing to resume"
+            )
+        return state
+
+    def _write_iterative_checkpoint(
+        self, n, d, mcur, mbest, cost_best, labels_best,
+        sizes_best, best_iteration, stale, total,
+    ) -> None:
+        from .serialization import save_engine_state
+
+        state = IterativeState(
+            n=n,
+            d=d,
+            k=self.params.k,
+            l=self.params.l,
+            backend=self.backend_name,
+            medoid_ids=np.asarray(self._medoid_ids),
+            mcur=mcur,
+            mbest=mbest,
+            cost_best=float(cost_best),
+            labels_best=labels_best,
+            sizes_best=sizes_best,
+            best_iteration=best_iteration,
+            stale=stale,
+            total=total,
+            rng_state=self.rng.get_state(),
+        )
+        obs = self._obs
+        with obs.span(
+            "checkpoint", category="resilience",
+            iteration=total, path=str(self.checkpoint_path),
+        ):
+            save_engine_state(state, self.checkpoint_path)
+        if obs.enabled:
+            obs.metrics.counter("resilience.checkpoints").inc()
+
     def _run(self, data: np.ndarray, started: float) -> ProclusResult:
         n, d = data.shape
         p = self.params
         k = p.k
         obs = self._obs
 
-        with obs.span("initialization"):
-            self._medoid_ids = self._initialization_phase(data)
+        resume = self._resolve_resume(n, d)
+        if resume is not None:
+            # The snapshot holds M and the full loop state; the
+            # initialization phase's work was already paid for before
+            # the original run died, so it is neither re-run nor
+            # re-charged.  Caches are rebuilt lazily with provably
+            # identical values.
+            self._medoid_ids = resume.medoid_ids.copy()
+        else:
+            with obs.span("initialization"):
+                self._medoid_ids = self._initialization_phase(data)
         m = len(self._medoid_ids)
 
-        if self.initial_medoids is not None:
+        if resume is not None:
+            mcur = resume.mcur.copy()
+        elif self.initial_medoids is not None:
             mcur = np.asarray(self.initial_medoids, dtype=np.int64).copy()
             if len(mcur) != k or len(np.unique(mcur)) != k:
                 raise DataValidationError(
@@ -330,6 +432,15 @@ class EngineBase(abc.ABC):
         best_iteration = 0
         stale = 0
         total = 0
+        if resume is not None:
+            cost_best = resume.cost_best
+            mbest = resume.mbest.copy()
+            labels_best = resume.labels_best.copy()
+            sizes_best = resume.sizes_best.copy()
+            best_iteration = resume.best_iteration
+            stale = resume.stale
+            total = resume.total
+            self.rng.set_state(resume.rng_state)
         with obs.span("iterative") as iterative_span:
             while stale < p.patience and total < p.max_iterations:
                 with obs.span("iteration", iteration=total) as iteration_span:
@@ -392,6 +503,11 @@ class EngineBase(abc.ABC):
 
                     iteration_span.set(cost=float(cost), improved=stale == 0)
                     self._record_iteration_samples()
+                if self.checkpoint_every and total % self.checkpoint_every == 0:
+                    self._write_iterative_checkpoint(
+                        n, d, mcur, mbest, cost_best, labels_best,
+                        sizes_best, best_iteration, stale, total,
+                    )
             iterative_span.set(iterations=total)
 
         # --- refinement phase ----------------------------------------

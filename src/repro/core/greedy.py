@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..exceptions import ParameterError
 from .distance import euclidean_to_point
 
 __all__ = ["greedy_select"]
@@ -43,9 +44,9 @@ def greedy_select(sample: np.ndarray, count: int, seed_index: int) -> np.ndarray
     """
     s = sample.shape[0]
     if not 0 < count <= s:
-        raise ValueError(f"cannot pick {count} medoids from a sample of {s}")
+        raise ParameterError(f"cannot pick {count} medoids from a sample of {s}")
     if not 0 <= seed_index < s:
-        raise ValueError(f"seed index {seed_index} out of range [0, {s})")
+        raise ParameterError(f"seed index {seed_index} out of range [0, {s})")
 
     chosen = np.empty(count, dtype=np.int64)
     chosen[0] = seed_index

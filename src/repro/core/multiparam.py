@@ -34,7 +34,7 @@ from .base import EngineBase, validate_data
 from .greedy import greedy_select
 from .state import MedoidCache, SharedStudyState
 
-__all__ = ["ReuseLevel", "MultiParamResult", "run_study"]
+__all__ = ["ReuseLevel", "MultiParamResult", "run_study", "build_shared_state"]
 
 
 class ReuseLevel(enum.IntEnum):
@@ -58,6 +58,10 @@ class MultiParamResult:
     total_stats: RunStats = field(default_factory=RunStats)
     level: ReuseLevel = ReuseLevel.NONE
     backend: str = ""
+    #: Retry/degradation/checkpoint events recorded when the study ran
+    #: under the resilience layer (:mod:`repro.resilience`); empty for
+    #: plain studies.
+    events: list = field(default_factory=list)
 
     @property
     def num_settings(self) -> int:
@@ -74,11 +78,11 @@ class MultiParamResult:
     def best_setting(self) -> tuple[int, int]:
         """The (k, l) combination with the lowest clustering cost."""
         if not self.results:
-            raise ValueError("study produced no results")
+            raise ParameterError("study produced no results")
         return min(self.results, key=lambda key: self.results[key].cost)
 
 
-def _build_shared_state(
+def build_shared_state(
     data: np.ndarray, grid: ParameterGrid, rng: RandomSource
 ) -> SharedStudyState:
     """Sample Data' and greedily pick M once, for the largest k."""
@@ -142,7 +146,7 @@ def run_study(
         shared_span_id = None
         if level >= ReuseLevel.PARTIAL_RESULTS:
             with obs.span("shared_state", category="study") as shared_span:
-                shared = _build_shared_state(data, grid, master)
+                shared = build_shared_state(data, grid, master)
             shared_span_id = shared_span.span_id
 
         study = MultiParamResult(level=level, backend=engine_factory.backend_name)

@@ -1,4 +1,4 @@
-"""Persisting clustering results.
+"""Persisting clustering results and mid-run engine state.
 
 Pipelines cluster once and consume the result elsewhere;
 :func:`save_result`/:func:`load_result` round-trip a
@@ -6,23 +6,41 @@ Pipelines cluster once and consume the result elsewhere;
 the run's statistics, and — when the engine collected one — the
 per-iteration :class:`~repro.core.trace.RunTrace`) through a single
 ``.npz`` file.
+
+:func:`save_engine_state`/:func:`load_engine_state` do the same for an
+:class:`~repro.core.state.IterativeState` — the engine checkpoint a run
+writes every ``checkpoint_every`` iterations so a killed fit resumes
+from the last completed iteration (``resume_from=``) instead of from
+scratch.  Checkpoints are written atomically (temp file +
+``os.replace``), so a kill mid-write leaves the previous checkpoint
+intact.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
 
-from ..exceptions import DataValidationError
+from ..exceptions import CheckpointError, DataValidationError
 from ..result import ProclusResult, RunStats
+from .state import IterativeState
 from .trace import RunTrace
 
-__all__ = ["save_result", "load_result"]
+__all__ = [
+    "save_result",
+    "load_result",
+    "save_engine_state",
+    "load_engine_state",
+]
 
 #: Bumped on incompatible format changes.
 _FORMAT_VERSION = 1
+
+#: Schema tag of engine-state checkpoints.
+_ENGINE_STATE_SCHEMA = "repro.engine_state/1"
 
 
 def save_result(result: ProclusResult, path: str | Path) -> Path:
@@ -100,4 +118,80 @@ def load_result(path: str | Path) -> ProclusResult:
         best_iteration=meta["best_iteration"],
         stats=stats,
         trace=RunTrace.from_dict(trace_meta) if trace_meta else None,
+    )
+
+
+def save_engine_state(state: IterativeState, path: str | Path) -> Path:
+    """Atomically write a mid-run engine checkpoint to ``path`` (.npz)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "schema": _ENGINE_STATE_SCHEMA,
+        "n": state.n,
+        "d": state.d,
+        "k": state.k,
+        "l": state.l,
+        "backend": state.backend,
+        "cost_best": state.cost_best,
+        "best_iteration": state.best_iteration,
+        "stale": state.stale,
+        "total": state.total,
+        "rng_state": state.rng_state,
+    }
+    # numpy appends ".npz" to names without it, so the temp file must
+    # carry the suffix already for the atomic rename to find it.
+    tmp = path.with_name(path.stem + ".tmp.npz")
+    np.savez_compressed(
+        tmp,
+        medoid_ids=state.medoid_ids,
+        mcur=state.mcur,
+        mbest=state.mbest,
+        labels_best=state.labels_best,
+        sizes_best=state.sizes_best,
+        meta=np.array(json.dumps(meta)),
+    )
+    os.replace(tmp, path)
+    return path
+
+
+def load_engine_state(path: str | Path) -> IterativeState:
+    """Load an engine checkpoint written by :func:`save_engine_state`."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"engine checkpoint not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            medoid_ids = archive["medoid_ids"].copy()
+            mcur = archive["mcur"].copy()
+            mbest = archive["mbest"].copy()
+            labels_best = archive["labels_best"].copy()
+            sizes_best = archive["sizes_best"].copy()
+            meta = json.loads(str(archive["meta"]))
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"{path} is not a readable engine checkpoint: {exc}"
+        ) from exc
+    if meta.get("schema") != _ENGINE_STATE_SCHEMA:
+        raise CheckpointError(
+            f"{path} has schema {meta.get('schema')!r}, "
+            f"expected {_ENGINE_STATE_SCHEMA!r}"
+        )
+    return IterativeState(
+        n=int(meta["n"]),
+        d=int(meta["d"]),
+        k=int(meta["k"]),
+        l=int(meta["l"]),
+        backend=meta["backend"],
+        medoid_ids=medoid_ids,
+        mcur=mcur,
+        mbest=mbest,
+        cost_best=float(meta["cost_best"]),
+        labels_best=labels_best,
+        sizes_best=sizes_best,
+        best_iteration=int(meta["best_iteration"]),
+        stale=int(meta["stale"]),
+        total=int(meta["total"]),
+        rng_state=meta["rng_state"],
     )

@@ -20,10 +20,11 @@ of ``O(B*k*n)`` footprint (Section 3.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
-__all__ = ["MedoidCache", "SharedStudyState"]
+__all__ = ["MedoidCache", "SharedStudyState", "IterativeState"]
 
 #: Sentinel for "medoid never used": any real radius is >= 0, so the
 #: first usage takes the "sphere grew" branch and adds the whole L_i.
@@ -92,3 +93,38 @@ class SharedStudyState:
     @property
     def num_potential_medoids(self) -> int:
         return len(self.medoid_ids)
+
+
+@dataclass(slots=True)
+class IterativeState:
+    """Mid-run snapshot of the iterative phase (engine checkpoint).
+
+    Captures everything the loop needs to continue exactly where it
+    stopped: the potential medoids ``M``, the current and best medoid
+    positions, the best labels/sizes/cost, the loop counters, and the
+    RNG state (including the spawn counter).  ``mcur`` is the *next*
+    iteration's medoid set — a checkpoint is taken after the
+    bad-medoid replacement, so resuming re-enters the loop at the top.
+
+    The FAST ``Dist``/``H`` caches are deliberately **not** captured: a
+    fresh cache provably recomputes identical ``X`` values (the FAST
+    correctness theorem), which keeps checkpoints small and
+    backend-agnostic — a GPU run's checkpoint resumes on the CPU
+    engine, and vice versa, with a bit-identical final clustering.
+    """
+
+    n: int  #: dataset rows the snapshot belongs to
+    d: int  #: dataset columns
+    k: int  #: number of clusters of the interrupted run
+    l: int  #: average subspace dimensionality
+    backend: str  #: backend that wrote the snapshot (informational)
+    medoid_ids: np.ndarray  #: (m,) point ids of the potential medoids M
+    mcur: np.ndarray  #: (k,) next iteration's positions into M
+    mbest: np.ndarray  #: (k,) best-so-far positions into M
+    cost_best: float  #: best clustering cost so far
+    labels_best: np.ndarray  #: (n,) labels of the best iteration
+    sizes_best: np.ndarray  #: (k,) cluster sizes of the best iteration
+    best_iteration: int  #: 0-based index of the best iteration
+    stale: int  #: iterations since the last improvement
+    total: int  #: iterations completed
+    rng_state: dict[str, Any]  #: :meth:`repro.rng.RandomSource.get_state`

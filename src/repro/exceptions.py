@@ -16,9 +16,14 @@ __all__ = [
     "DeviceError",
     "DeviceOutOfMemoryError",
     "KernelLaunchError",
+    "TransientDeviceError",
+    "TransferCorruptionError",
+    "KernelTimeoutError",
     "EmulationError",
     "SanitizerError",
     "ConvergenceError",
+    "CheckpointError",
+    "ResilienceExhaustedError",
 ]
 
 
@@ -55,6 +60,34 @@ class KernelLaunchError(DeviceError):
     """A kernel was launched with an invalid configuration."""
 
 
+class TransientDeviceError(DeviceError):
+    """A device operation failed transiently (retryable after a reset).
+
+    Models CUDA's "sticky" context errors (e.g. ``cudaErrorIllegalAddress``):
+    once raised, every subsequent operation on the same device generation
+    fails until the context is torn down and rebuilt.  Instances carry
+    ``sticky`` so handlers know whether a reset is required before
+    retrying.
+    """
+
+    def __init__(self, message: str, sticky: bool = True) -> None:
+        super().__init__(message)
+        self.sticky = bool(sticky)
+
+
+class TransferCorruptionError(DeviceError):
+    """A host<->device transfer was flagged as corrupted (ECC-style).
+
+    The corruption is *detected* (as an ECC double-bit error would be)
+    rather than silently propagated, so the transfer's consumer never
+    sees bad data — the operation fails and can be retried.
+    """
+
+
+class KernelTimeoutError(DeviceError):
+    """A kernel exceeded the (simulated) watchdog time limit."""
+
+
 class EmulationError(ReproError, RuntimeError):
     """The SIMT emulator detected an invalid kernel behaviour.
 
@@ -81,3 +114,28 @@ class SanitizerError(EmulationError):
 
 class ConvergenceError(ReproError, RuntimeError):
     """The iterative phase exceeded its iteration budget."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint is missing, corrupt, or incompatible with the run.
+
+    Raised when resuming against different data, a different parameter
+    set, or an unreadable/older-format checkpoint directory.
+    """
+
+
+class ResilienceExhaustedError(ReproError, RuntimeError):
+    """Retries and the degradation ladder were exhausted without success.
+
+    Carries the final underlying error as ``last_error`` and the list of
+    :class:`~repro.resilience.runner.ResilienceEvent` records describing
+    every retry/degradation attempted as ``events``.
+    """
+
+    def __init__(
+        self, message: str, last_error: BaseException | None = None,
+        events: list | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+        self.events = events if events is not None else []

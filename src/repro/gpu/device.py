@@ -18,7 +18,7 @@ from ..hardware.counters import KernelLaunch
 from ..hardware.specs import GpuSpec, GTX_1660_TI
 from ..obs.export import kernel_pipeline
 from ..obs.tracer import Tracer, current_tracer
-from .memory import DeviceArray, MemoryManager
+from .memory import DeviceArray, MemoryManager, ambient_injector
 
 __all__ = ["Device"]
 
@@ -64,6 +64,9 @@ class Device:
 
     def to_device(self, host: np.ndarray, name: str, phase: str = "transfer") -> DeviceArray:
         """Copy a host array onto the device, accounting the transfer."""
+        injector = ambient_injector()
+        if injector is not None:
+            injector.on_transfer("h2d", name, host.nbytes)
         array = self.memory.alloc(host.shape, dtype=host.dtype, name=name)
         array.data[...] = host
         seconds = _TRANSFER_LATENCY_S + host.nbytes / _PCIE_BANDWIDTH
@@ -78,6 +81,9 @@ class Device:
 
     def to_host(self, array: DeviceArray, phase: str = "transfer") -> np.ndarray:
         """Copy a device array back to the host, accounting the transfer."""
+        injector = ambient_injector()
+        if injector is not None:
+            injector.on_transfer("d2h", array.name, array.nbytes)
         seconds = _TRANSFER_LATENCY_S + array.nbytes / _PCIE_BANDWIDTH
         start = self.clock_offset + self.model.total_seconds
         self.model._accrue(phase, seconds)
@@ -111,6 +117,9 @@ class Device:
         ipc: float = 1.0,
     ) -> float:
         """Account one kernel launch; returns its modeled seconds."""
+        injector = ambient_injector()
+        if injector is not None:
+            injector.on_launch(name, phase)
         launch = KernelLaunch(
             name=name,
             phase=phase,

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..exceptions import EmulationError, KernelLaunchError
 from ..obs.tracer import current_tracer
+from .memory import ambient_injector
 from .sanitizer import Sanitizer
 
 __all__ = ["ThreadContext", "SharedMemory", "SimtEmulator"]
@@ -207,6 +208,9 @@ class SimtEmulator:
             )
         self.launches += 1
         kname = getattr(kernel, "__name__", repr(kernel))
+        injector = ambient_injector()
+        if injector is not None:
+            injector.on_emulated_launch(kname)
         if sanitize and self.sanitizer is None:
             self.sanitizer = Sanitizer()
         san = self.sanitizer

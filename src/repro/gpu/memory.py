@@ -14,9 +14,23 @@ from typing import Iterator
 
 import numpy as np
 
-from ..exceptions import DeviceError, DeviceOutOfMemoryError
+from ..exceptions import DeviceError, DeviceOutOfMemoryError, ParameterError
 
 __all__ = ["DeviceArray", "MemoryManager"]
+
+
+def ambient_injector():
+    """Resolve the ambient fault injector (None when none is installed).
+
+    Imported lazily: :mod:`repro.resilience` imports the engine stack
+    (which imports this module), so a module-level import would be
+    circular.  By the time any device operation runs the import below
+    is a cached ``sys.modules`` hit, and the common no-injector path is
+    a single ``ContextVar`` read.
+    """
+    from ..resilience.faults import current_injector
+
+    return current_injector()
 
 
 class DeviceArray:
@@ -89,7 +103,7 @@ class MemoryManager:
 
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+            raise ParameterError(f"capacity must be positive, got {capacity_bytes}")
         self.capacity_bytes = int(capacity_bytes)
         self.allocated_bytes = 0
         self.peak_bytes = 0
@@ -110,6 +124,9 @@ class MemoryManager:
         if isinstance(shape, (int, np.integer)):
             shape = (int(shape),)
         nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        injector = ambient_injector()
+        if injector is not None:
+            injector.on_alloc(name, nbytes, self.free_bytes, self.capacity_bytes)
         if nbytes > self.free_bytes:
             raise DeviceOutOfMemoryError(nbytes, self.free_bytes, self.capacity_bytes)
         if fill is None:

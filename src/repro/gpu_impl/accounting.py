@@ -17,6 +17,7 @@ import math
 
 import numpy as np
 
+from ..exceptions import ParameterError
 from ..gpu.device import Device
 from ..hardware.cost_model import GpuModel, HardwareModel
 from ..hardware.specs import GpuSpec, gpu_for_problem
@@ -39,8 +40,28 @@ def _blocks(items: int, threads: int) -> int:
 class GpuEngineMixin:
     """Device setup + per-kernel accounting for the GPU variants."""
 
-    def __init__(self, *args, gpu_spec: GpuSpec | None = None, **kwargs) -> None:
+    def __init__(
+        self,
+        *args,
+        gpu_spec: GpuSpec | None = None,
+        dist_chunks: int = 1,
+        **kwargs,
+    ) -> None:
+        """``dist_chunks``: keep only ``ceil(m / dist_chunks)`` rows of
+        the ``Dist`` cache resident on the device (GPU-FAST variants).
+        Evicted rows are recomputed on demand — bit-identical values at
+        a higher modeled cost — so raising it trades speed for device
+        memory.  The resilience layer's degradation ladder uses this
+        knob to recover from capacity errors without changing results.
+        """
+        if not isinstance(dist_chunks, int) or isinstance(dist_chunks, bool):
+            raise ParameterError(
+                f"dist_chunks must be an int, got {type(dist_chunks).__name__}"
+            )
+        if dist_chunks < 1:
+            raise ParameterError(f"dist_chunks must be >= 1, got {dist_chunks}")
         self._gpu_spec = gpu_spec
+        self.dist_chunks = dist_chunks
         self.device: Device | None = None
         super().__init__(*args, **kwargs)
 

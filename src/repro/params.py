@@ -19,12 +19,26 @@ The defaults are the paper's experimental defaults (Section 5):
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass, replace
 from typing import Iterator
 
 from .exceptions import ParameterError
 
 __all__ = ["ProclusParams", "ParameterGrid"]
+
+
+def _require_int(name: str, value: object) -> None:
+    """Typed rejection of non-integer parameters (bools included).
+
+    Without this, a string or None slips into the range comparisons and
+    surfaces as a bare ``TypeError`` — the validation audit requires
+    every bad input to raise a :mod:`repro.exceptions` type.
+    """
+    if not isinstance(value, numbers.Integral) or isinstance(value, bool):
+        raise ParameterError(
+            f"{name} must be an integer, got {type(value).__name__}"
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,6 +85,16 @@ class ProclusParams:
     bad_medoid_rule: str = "paper"
 
     def __post_init__(self) -> None:
+        for name in ("k", "l", "a", "b", "patience", "max_iterations"):
+            _require_int(name, getattr(self, name))
+        if (
+            not isinstance(self.min_deviation, numbers.Real)
+            or isinstance(self.min_deviation, bool)
+        ):
+            raise ParameterError(
+                f"min_deviation must be a real number, "
+                f"got {type(self.min_deviation).__name__}"
+            )
         if self.k < 1:
             raise ParameterError(f"k must be >= 1, got {self.k}")
         if self.l < 2:
@@ -160,6 +184,8 @@ class ParameterGrid:
     def __post_init__(self) -> None:
         if not self.ks or not self.ls:
             raise ParameterError("parameter grid must contain at least one k and one l")
+        for value in (*self.ks, *self.ls):
+            _require_int("grid entries", value)
         if any(k < 1 for k in self.ks):
             raise ParameterError(f"all k values must be >= 1, got {self.ks}")
         if any(l < 2 for l in self.ls):

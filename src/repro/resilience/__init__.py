@@ -1,0 +1,79 @@
+"""Fault injection + resilient execution for the simulated GPU substrate.
+
+The production north star needs runs that survive device mishaps; the
+simulated substrate lets us *test* that deterministically.  This
+package provides the three layers (see ``docs/robustness.md``):
+
+* :mod:`repro.resilience.faults` — a deterministic, seedable fault
+  injector threaded into allocations, kernel launches, transfers, and
+  emulated kernels;
+* :mod:`repro.resilience.policy` / :mod:`repro.resilience.runner` —
+  typed-error classification, bounded retry with RNG-state
+  restoration, and the degradation ladder
+  (GPU-FAST → chunked cache → GPU-PROCLUS → CPU FAST-PROCLUS);
+* :mod:`repro.resilience.checkpoint` / :mod:`repro.resilience.study` —
+  checkpoint/resume for multi-parameter studies.
+
+Quickstart::
+
+    from repro.resilience import (
+        FaultInjector, ResilientRunner, RetryPolicy, use_injector,
+    )
+
+    injector = FaultInjector(["transient@compute_l.*#2"], seed=0)
+    with use_injector(injector):
+        outcome = ResilientRunner(RetryPolicy()).fit(
+            data, backend="gpu-fast", seed=0
+        )
+    outcome.result      # identical to the fault-free clustering
+    outcome.events      # the retries/degradations that got it there
+"""
+
+from .checkpoint import StudyCheckpoint, data_fingerprint
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    InjectionRecord,
+    current_injector,
+    parse_fault,
+    use_injector,
+)
+from .policy import (
+    DEFAULT_LADDERS,
+    ErrorClass,
+    LadderStep,
+    RetryPolicy,
+    classify_error,
+    default_ladder,
+)
+from .runner import (
+    ResilienceEvent,
+    ResilientOutcome,
+    ResilientRunner,
+    resilient_fit,
+)
+from .study import run_resilient_study
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultInjector",
+    "InjectionRecord",
+    "parse_fault",
+    "current_injector",
+    "use_injector",
+    "ErrorClass",
+    "classify_error",
+    "LadderStep",
+    "RetryPolicy",
+    "DEFAULT_LADDERS",
+    "default_ladder",
+    "ResilienceEvent",
+    "ResilientOutcome",
+    "ResilientRunner",
+    "resilient_fit",
+    "StudyCheckpoint",
+    "data_fingerprint",
+    "run_resilient_study",
+]

@@ -1,0 +1,304 @@
+"""Resilient execution of one PROCLUS fit.
+
+:class:`ResilientRunner` wraps engine construction +
+:meth:`~repro.core.base.EngineBase.fit` with the recovery loop the
+:class:`~repro.resilience.policy.RetryPolicy` describes:
+
+1. classify the error (:func:`~repro.resilience.policy.classify_error`);
+2. **FATAL** — re-raise unchanged;
+3. **TRANSIENT** — reset the device context (clearing sticky errors),
+   restore the RNG state and the shared study state to their
+   pre-attempt snapshots, wait the deterministic backoff, and retry the
+   *same* ladder rung (at most ``max_retries`` times);
+4. **CAPACITY** (or exhausted retries) — step down the degradation
+   ladder and start over on the next rung.
+
+Because engines are single-use and every attempt restores the RNG and
+shared-cache state bit-for-bit, a retried or degraded run produces the
+clustering the fault-free run would have produced — the determinism
+guarantee the differential tests assert.
+
+Every recovery action is recorded as a :class:`ResilienceEvent`, and —
+when a tracer is installed — emitted as a ``resilience``-category span
+plus ``resilience.*`` metrics counters, so ``repro trace`` shows
+exactly where a run retried or degraded.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.state import SharedStudyState
+from ..exceptions import ParameterError, ReproError, ResilienceExhaustedError
+from ..obs.tracer import current_tracer
+from ..result import ProclusResult
+from ..rng import RandomSource
+from .faults import current_injector
+from .policy import ErrorClass, LadderStep, RetryPolicy, classify_error
+
+__all__ = ["ResilienceEvent", "ResilientOutcome", "ResilientRunner", "resilient_fit"]
+
+#: Engine kwargs that only GPU backends accept; dropped when a ladder
+#: rung degrades to a CPU backend.
+_GPU_ONLY_KWARGS = ("gpu_spec", "dist_chunks")
+
+
+@dataclass(slots=True)
+class ResilienceEvent:
+    """One recovery action taken by the runner."""
+
+    kind: str  #: "retry" | "degrade" | "checkpoint" | "resume"
+    rung: str  #: ladder rung description (e.g. "gpu-fast(dist_chunks=2)")
+    attempt: int  #: attempt number on that rung (1-based)
+    error_type: str = ""  #: class name of the triggering error
+    error_class: str = ""  #: transient / capacity / fatal
+    detail: str = ""  #: the error message (or checkpoint path)
+    backoff_s: float = 0.0  #: deterministic backoff recorded before retry
+    to_rung: str = ""  #: target rung of a "degrade" event
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-data form for JSON event logs."""
+        return asdict(self)
+
+
+@dataclass(slots=True)
+class ResilientOutcome:
+    """Result of a resilient fit plus its recovery history."""
+
+    result: ProclusResult
+    backend: str  #: backend that actually produced the result
+    rung: str  #: full rung description, incl. degradation kwargs
+    attempts: int  #: total fit attempts across all rungs
+    events: list[ResilienceEvent] = field(default_factory=list)
+    best_positions: np.ndarray | None = None  #: for study warm starts
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the result came from a lower rung than requested."""
+        return any(event.kind == "degrade" for event in self.events)
+
+
+def _snapshot_shared(shared: SharedStudyState | None) -> dict[str, Any] | None:
+    """Copy the mutable parts of a shared study state."""
+    if shared is None:
+        return None
+    cache = shared.cache
+    return {
+        "dist": cache.dist.copy(),
+        "dist_found": cache.dist_found.copy(),
+        "h": cache.h.copy(),
+        "prev_delta": cache.prev_delta.copy(),
+        "size_l": cache.size_l.copy(),
+        "data_uploaded": shared.data_uploaded,
+    }
+
+
+def _restore_shared(shared: SharedStudyState | None, snap: dict[str, Any] | None) -> None:
+    """Restore a snapshot in place (other references stay valid)."""
+    if shared is None or snap is None:
+        return
+    cache = shared.cache
+    cache.dist[...] = snap["dist"]
+    cache.dist_found[...] = snap["dist_found"]
+    cache.h[...] = snap["h"]
+    cache.prev_delta[...] = snap["prev_delta"]
+    cache.size_l[...] = snap["size_l"]
+    shared.data_uploaded = snap["data_uploaded"]
+
+
+class ResilientRunner:
+    """Runs engine fits under a :class:`RetryPolicy` (see module doc)."""
+
+    def __init__(self, policy: RetryPolicy | None = None) -> None:
+        self.policy = policy if policy is not None else RetryPolicy()
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        data: np.ndarray,
+        backend: str = "gpu-fast",
+        params=None,
+        seed: int | RandomSource | None = 0,
+        shared_state: SharedStudyState | None = None,
+        initial_medoids: np.ndarray | None = None,
+        charge_greedy: bool = True,
+        engine_kwargs: dict[str, Any] | None = None,
+    ) -> ResilientOutcome:
+        """Fit ``backend`` on ``data``, recovering per the policy."""
+        from ..core.api import BACKENDS  # deferred: api imports engines
+
+        if backend not in BACKENDS:
+            raise ParameterError(
+                f"unknown backend {backend!r}; "
+                f"available: {', '.join(sorted(BACKENDS))}"
+            )
+        policy = self.policy
+        ladder = policy.ladder_for(backend)
+        engine_kwargs = dict(engine_kwargs or {})
+        obs = current_tracer()
+
+        rng_snapshot = seed.get_state() if isinstance(seed, RandomSource) else None
+        shared_snapshot = _snapshot_shared(shared_state)
+
+        events: list[ResilienceEvent] = []
+        attempts = 0
+        rung_index = 0
+        last_error: ReproError | None = None
+        while rung_index < len(ladder):
+            step = ladder[rung_index]
+            rung_attempt = 0
+            while True:
+                rung_attempt += 1
+                attempts += 1
+                self._reset_for_attempt(seed, rng_snapshot, shared_state,
+                                        shared_snapshot, attempts)
+                attempt_span = obs.span(
+                    "attempt", category="resilience",
+                    rung=step.describe(), backend=step.backend,
+                    attempt=rung_attempt,
+                )
+                try:
+                    with attempt_span:
+                        engine = BACKENDS[step.backend](
+                            params=params,
+                            seed=seed,
+                            shared_state=shared_state,
+                            initial_medoids=initial_medoids,
+                            charge_greedy=charge_greedy,
+                            **self._merge_kwargs(step, engine_kwargs),
+                        )
+                        result = engine.fit(data)
+                        attempt_span.set(outcome="ok")
+                    return ResilientOutcome(
+                        result=result,
+                        backend=step.backend,
+                        rung=step.describe(),
+                        attempts=attempts,
+                        events=events,
+                        best_positions=getattr(engine, "best_positions_", None),
+                    )
+                except ReproError as error:
+                    error_class = classify_error(error)
+                    attempt_span.set(
+                        outcome="error",
+                        error_type=type(error).__name__,
+                        error_class=error_class.value,
+                    )
+                    if error_class is ErrorClass.FATAL:
+                        raise
+                    last_error = error
+                    if (
+                        error_class is ErrorClass.TRANSIENT
+                        and rung_attempt <= policy.max_retries
+                    ):
+                        self._record_retry(
+                            obs, events, step, rung_attempt, error, error_class
+                        )
+                        continue
+                    break  # capacity, or transient retries exhausted
+            # Step down the ladder.
+            if rung_index + 1 < len(ladder) and policy.allow_degraded:
+                self._record_degrade(
+                    obs, events, step, ladder[rung_index + 1],
+                    rung_attempt, last_error,
+                )
+                rung_index += 1
+                continue
+            raise ResilienceExhaustedError(
+                f"all recovery options exhausted after {attempts} attempts "
+                f"over {rung_index + 1} ladder rungs "
+                f"(last error: {type(last_error).__name__}: {last_error})",
+                last_error=last_error,
+                events=events,
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _merge_kwargs(step: LadderStep, engine_kwargs: dict[str, Any]) -> dict[str, Any]:
+        merged = dict(engine_kwargs)
+        if not step.backend.startswith("gpu"):
+            for key in _GPU_ONLY_KWARGS:
+                merged.pop(key, None)
+        merged.update(step.engine_kwargs)
+        return merged
+
+    @staticmethod
+    def _reset_for_attempt(
+        seed, rng_snapshot, shared_state, shared_snapshot, attempts: int
+    ) -> None:
+        """Restore pre-attempt state (no-op on the very first attempt)."""
+        injector = current_injector()
+        if injector is not None:
+            injector.device_reset()
+        if attempts == 1:
+            return
+        if rng_snapshot is not None:
+            seed.set_state(rng_snapshot)
+        _restore_shared(shared_state, shared_snapshot)
+
+    def _record_retry(
+        self, obs, events, step: LadderStep, attempt: int, error, error_class
+    ) -> None:
+        backoff = self.policy.backoff_seconds(attempt)
+        event = ResilienceEvent(
+            kind="retry",
+            rung=step.describe(),
+            attempt=attempt,
+            error_type=type(error).__name__,
+            error_class=error_class.value,
+            detail=str(error),
+            backoff_s=backoff,
+        )
+        events.append(event)
+        with obs.span(
+            "retry", category="resilience",
+            rung=event.rung, attempt=attempt,
+            error_type=event.error_type, backoff_s=backoff,
+        ):
+            if backoff > 0.0:
+                time.sleep(backoff)
+        if obs.enabled:
+            obs.metrics.counter("resilience.retries").inc()
+            obs.metrics.counter(f"resilience.faults.{error_class.value}").inc()
+
+    @staticmethod
+    def _record_degrade(
+        obs, events, step: LadderStep, next_step: LadderStep, attempt, error
+    ) -> None:
+        error_class = classify_error(error)
+        event = ResilienceEvent(
+            kind="degrade",
+            rung=step.describe(),
+            attempt=attempt,
+            error_type=type(error).__name__,
+            error_class=error_class.value,
+            detail=str(error),
+            to_rung=next_step.describe(),
+        )
+        events.append(event)
+        with obs.span(
+            "degrade", category="resilience",
+            rung=event.rung, to_rung=event.to_rung,
+            error_type=event.error_type, error_class=event.error_class,
+        ):
+            pass
+        if obs.enabled:
+            obs.metrics.counter("resilience.degradations").inc()
+            obs.metrics.counter(f"resilience.faults.{error_class.value}").inc()
+
+
+def resilient_fit(
+    data: np.ndarray,
+    backend: str = "gpu-fast",
+    policy: RetryPolicy | None = None,
+    **kwargs: Any,
+) -> ResilientOutcome:
+    """Convenience wrapper: one resilient fit with a fresh runner."""
+    return ResilientRunner(policy).fit(data, backend=backend, **kwargs)

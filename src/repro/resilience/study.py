@@ -1,0 +1,216 @@
+"""Resilient, checkpointable multi-parameter studies.
+
+:func:`run_resilient_study` is the fault-tolerant counterpart of
+:func:`repro.core.multiparam.run_study`: every setting runs through the
+:class:`~repro.resilience.runner.ResilientRunner` (typed-error
+classification, bounded retry, degradation ladder), and — when a
+checkpoint directory is given — each completed setting is persisted so
+a killed study resumes from the last completed setting with identical
+final output (see :mod:`repro.resilience.checkpoint`).
+
+The random protocol is *identical* to the plain driver's: one master
+:class:`~repro.rng.RandomSource` builds the shared state, spawns each
+setting's seed, and draws warm-start subsets in the same order.  A
+fault-free resilient study therefore produces exactly the results of
+``run_study``, and a faulted one — because retries restore RNG and
+shared-cache state, and degraded rungs compute the identical clustering
+on a different backend — produces them too.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.api import BACKENDS
+from ..core.base import validate_data
+from ..core.multiparam import (
+    MultiParamResult,
+    ReuseLevel,
+    build_shared_state,
+)
+from ..core.state import SharedStudyState
+from ..exceptions import ParameterError
+from ..obs.tracer import current_tracer
+from ..params import ParameterGrid
+from ..rng import RandomSource
+from .checkpoint import StudyCheckpoint
+from .policy import RetryPolicy
+from .runner import ResilienceEvent, ResilientRunner
+
+__all__ = ["run_resilient_study"]
+
+
+def run_resilient_study(
+    data: np.ndarray,
+    backend: str = "gpu-fast",
+    grid: ParameterGrid | None = None,
+    level: ReuseLevel | int = ReuseLevel.WARM_START,
+    seed: int | None = 0,
+    policy: RetryPolicy | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    **engine_kwargs,
+) -> MultiParamResult:
+    """Run a (k, l) study with retry/degradation and checkpoint/resume.
+
+    Parameters
+    ----------
+    data:
+        Min-max normalized ``(n, d)`` dataset.
+    backend:
+        Starting backend; individual settings may degrade along the
+        policy's ladder (recorded in the returned ``events``).
+    grid, level, seed, engine_kwargs:
+        As in :func:`repro.run_parameter_study`.
+    policy:
+        Retry/degradation policy (defaults to :class:`RetryPolicy`).
+    checkpoint_dir:
+        When given, persist progress here after every setting.
+    resume:
+        Resume from ``checkpoint_dir`` if it holds a compatible
+        manifest; a fresh study otherwise.  Raises
+        :class:`~repro.exceptions.CheckpointError` when the manifest
+        belongs to different data, grid, backend, or level.
+    """
+    if backend not in BACKENDS:
+        raise ParameterError(
+            f"unknown backend {backend!r}; "
+            f"available: {', '.join(sorted(BACKENDS))}"
+        )
+    data = validate_data(data)
+    grid = grid if grid is not None else ParameterGrid()
+    level = ReuseLevel(level)
+    backend_name = BACKENDS[backend].backend_name
+    runner = ResilientRunner(policy)
+    obs = current_tracer()
+
+    checkpoint = (
+        StudyCheckpoint(checkpoint_dir) if checkpoint_dir is not None else None
+    )
+    master = RandomSource(seed)
+    shared: SharedStudyState | None = None
+    previous_best: np.ndarray | None = None
+    completed: dict[tuple[int, int], object] = {}
+    events: list[ResilienceEvent] = []
+
+    if resume and checkpoint is not None and checkpoint.exists():
+        manifest = checkpoint.validate_resume(data, grid, backend, level)
+        for k, l in manifest["completed"]:
+            completed[(int(k), int(l))] = checkpoint.load_setting(k, l)
+        if manifest["rng_state"] is not None:
+            master = RandomSource.from_state(manifest["rng_state"])
+        if manifest["previous_best"] is not None:
+            previous_best = np.asarray(manifest["previous_best"], dtype=np.int64)
+        shared = checkpoint.load_shared()
+        events.append(
+            ResilienceEvent(
+                kind="resume",
+                rung=backend,
+                attempt=0,
+                detail=f"{len(completed)} completed settings loaded from "
+                       f"{checkpoint.directory}",
+            )
+        )
+        with obs.span(
+            "resume", category="resilience",
+            completed=len(completed), directory=str(checkpoint.directory),
+        ):
+            pass
+        if obs.enabled:
+            obs.metrics.counter("resilience.resumes").inc()
+    elif checkpoint is not None:
+        checkpoint.begin(data, grid, backend, level, seed)
+
+    with obs.span(
+        "study", category="study",
+        backend=backend_name, level=int(level), settings=len(grid),
+        resilient=True,
+    ):
+        shared_span_id = None
+        if level >= ReuseLevel.PARTIAL_RESULTS and not completed:
+            with obs.span("shared_state", category="study") as shared_span:
+                shared = build_shared_state(data, grid, master)
+            shared_span_id = shared_span.span_id
+
+        study = MultiParamResult(level=level, backend=backend_name, events=events)
+        previous_span_id = None
+        first = not completed
+        for params in grid:
+            key = (params.k, params.l)
+            if key in completed:
+                # Already persisted by the interrupted run; the master
+                # RNG state restored from the manifest already reflects
+                # this setting's draws.
+                study.results[key] = completed[key]
+                study.total_stats = study.total_stats.merge(
+                    completed[key].stats
+                )
+                continue
+            initial = None
+            if (
+                level >= ReuseLevel.WARM_START
+                and previous_best is not None
+                and params.k <= len(previous_best)
+            ):
+                if params.k == len(previous_best):
+                    initial = previous_best.copy()
+                else:
+                    initial = master.generator.choice(
+                        previous_best, size=params.k, replace=False
+                    )
+            charge_greedy = level <= ReuseLevel.PARTIAL_RESULTS or first
+            setting_span = obs.span(
+                "setting", category="study",
+                k=params.k, l=params.l,
+                warm_start=initial is not None,
+                charge_greedy=charge_greedy,
+            )
+            setting_span.link(shared_span_id)
+            if initial is not None:
+                setting_span.link(previous_span_id)
+            with setting_span:
+                outcome = runner.fit(
+                    data,
+                    backend=backend,
+                    params=params,
+                    seed=master.spawn(),
+                    shared_state=shared,
+                    initial_medoids=initial,
+                    charge_greedy=charge_greedy,
+                    engine_kwargs=engine_kwargs,
+                )
+                setting_span.set(
+                    attempts=outcome.attempts,
+                    degraded=outcome.degraded,
+                    backend_used=outcome.backend,
+                )
+            events.extend(outcome.events)
+            study.results[key] = outcome.result
+            study.total_stats = study.total_stats.merge(outcome.result.stats)
+            if level >= ReuseLevel.WARM_START:
+                previous_best = outcome.best_positions
+            previous_span_id = setting_span.span_id
+            first = False
+            if checkpoint is not None:
+                with obs.span(
+                    "checkpoint", category="resilience",
+                    k=params.k, l=params.l,
+                ):
+                    path = checkpoint.record_setting(
+                        params.k, params.l, outcome.result,
+                        master, previous_best, shared,
+                    )
+                events.append(
+                    ResilienceEvent(
+                        kind="checkpoint",
+                        rung=outcome.rung,
+                        attempt=outcome.attempts,
+                        detail=str(path),
+                    )
+                )
+                if obs.enabled:
+                    obs.metrics.counter("resilience.checkpoints").inc()
+        study.total_stats.backend = backend_name
+        return study

@@ -18,9 +18,12 @@ tests assert that the resulting clusterings are byte-identical.
 
 from __future__ import annotations
 
-from typing import Sequence
+import copy
+from typing import Any, Sequence
 
 import numpy as np
+
+from .exceptions import ParameterError
 
 __all__ = ["RandomSource"]
 
@@ -37,13 +40,104 @@ class RandomSource:
     def __init__(self, seed: int | np.random.Generator | None = None) -> None:
         if isinstance(seed, np.random.Generator):
             self._rng = seed
-        else:
+        elif seed is None or isinstance(
+            seed, (int, np.integer, np.random.SeedSequence)
+        ):
             self._rng = np.random.default_rng(seed)
+        else:
+            raise ParameterError(
+                f"seed must be an int, numpy Generator, SeedSequence, or "
+                f"None, got {type(seed).__name__}"
+            )
         self.draw_count = 0
 
     def spawn(self) -> "RandomSource":
         """Return an independent child source (for data generation etc.)."""
         return RandomSource(self._rng.spawn(1)[0])
+
+    # ------------------------------------------------------------------
+    # State capture (checkpoint/resume and fault retry)
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict[str, Any]:
+        """Snapshot the generator state (JSON-serializable).
+
+        The snapshot captures the underlying bit generator's full state
+        plus the draw counter; restoring it with :meth:`set_state`
+        reproduces the exact same sequence of future draws.  Used by the
+        resilience layer to retry a failed iteration bit-for-bit and by
+        checkpoints to resume a run mid-stream.
+        """
+        state: dict[str, Any] = {
+            "bit_generator": copy.deepcopy(self._rng.bit_generator.state),
+            "draw_count": self.draw_count,
+        }
+        seed_seq = getattr(self._rng.bit_generator, "seed_seq", None)
+        if isinstance(seed_seq, np.random.SeedSequence):
+            # The spawn counter lives on the seed sequence, not in the
+            # bit-generator state; capture it so a restored *master*
+            # source spawns the same per-setting children it would have.
+            state["seed_seq"] = {
+                "entropy": seed_seq.entropy,
+                "spawn_key": list(seed_seq.spawn_key),
+                "pool_size": seed_seq.pool_size,
+                "n_children_spawned": seed_seq.n_children_spawned,
+            }
+        return state
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        """Restore a state captured by :meth:`get_state`."""
+        expected = self._rng.bit_generator.state["bit_generator"]
+        recorded = state["bit_generator"]["bit_generator"]
+        if recorded != expected:
+            raise ParameterError(
+                f"cannot restore {recorded} state into a {expected} source"
+            )
+        seq_info = state.get("seed_seq")
+        seed_seq = getattr(self._rng.bit_generator, "seed_seq", None)
+        if (
+            seq_info is not None
+            and isinstance(seed_seq, np.random.SeedSequence)
+            and seed_seq.n_children_spawned != seq_info["n_children_spawned"]
+        ):
+            # SeedSequence attributes are read-only, so restoring the
+            # spawn counter means rebuilding the generator around a
+            # reconstructed sequence (same class of bit generator).
+            sequence = np.random.SeedSequence(
+                entropy=seq_info["entropy"],
+                spawn_key=tuple(int(key) for key in seq_info["spawn_key"]),
+                pool_size=int(seq_info["pool_size"]),
+                n_children_spawned=int(seq_info["n_children_spawned"]),
+            )
+            self._rng = np.random.Generator(
+                type(self._rng.bit_generator)(sequence)
+            )
+        self._rng.bit_generator.state = copy.deepcopy(state["bit_generator"])
+        self.draw_count = int(state["draw_count"])
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "RandomSource":
+        """Reconstruct a source from a :meth:`get_state` snapshot.
+
+        Unlike :meth:`set_state` (which restores into an existing
+        source), this rebuilds the source from scratch — including the
+        seed sequence and its spawn counter — so a checkpointed master
+        source resumes with both the same stream position *and* the
+        same future :meth:`spawn` children.
+        """
+        seq_info = state.get("seed_seq")
+        if seq_info is not None:
+            sequence = np.random.SeedSequence(
+                entropy=seq_info["entropy"],
+                spawn_key=tuple(int(key) for key in seq_info["spawn_key"]),
+                pool_size=int(seq_info["pool_size"]),
+                n_children_spawned=int(seq_info["n_children_spawned"]),
+            )
+            generator = np.random.Generator(np.random.PCG64(sequence))
+        else:  # pragma: no cover - exotic generators without a seed_seq
+            generator = np.random.default_rng()
+        source = cls(generator)
+        source.set_state(state)
+        return source
 
     # ------------------------------------------------------------------
     # The four PROCLUS decisions

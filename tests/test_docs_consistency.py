@@ -80,7 +80,8 @@ class TestCliConsistency:
 class TestDocsDirectory:
     @pytest.mark.parametrize(
         "doc", ["algorithm.md", "architecture.md", "performance_model.md",
-                "usage.md", "reproducing.md", "faq.md", "observability.md"]
+                "usage.md", "reproducing.md", "faq.md", "observability.md",
+                "robustness.md"]
     )
     def test_docs_exist_and_nonempty(self, doc):
         path = ROOT / "docs" / doc

@@ -88,3 +88,83 @@ class TestSpawnAndWrap:
     def test_none_seed_accepted(self):
         s = RandomSource(None).sample_indices(100, 5)
         assert len(s) == 5
+
+
+class TestStateCapture:
+    """get_state / set_state / from_state round-trips (checkpointing)."""
+
+    def test_set_state_replays_the_stream(self):
+        rng = RandomSource(5)
+        rng.sample_indices(1000, 50)
+        snapshot = rng.get_state()
+        first = [rng.greedy_seed(500) for _ in range(5)]
+        draws_after = rng.draw_count
+        rng.set_state(snapshot)
+        second = [rng.greedy_seed(500) for _ in range(5)]
+        assert first == second
+        assert rng.draw_count == draws_after
+
+    def test_draw_count_round_trips(self):
+        rng = RandomSource(5)
+        rng.sample_indices(100, 5)
+        rng.greedy_seed(50)
+        snapshot = rng.get_state()
+        assert snapshot["draw_count"] == 2
+        fresh = RandomSource.from_state(snapshot)
+        assert fresh.draw_count == 2
+
+    def test_from_state_reproduces_future_draws(self):
+        rng = RandomSource(12)
+        rng.initial_medoids(40, 4)
+        snapshot = rng.get_state()
+        expected = rng.sample_indices(1000, 20)
+        rebuilt = RandomSource.from_state(snapshot)
+        assert np.array_equal(rebuilt.sample_indices(1000, 20), expected)
+
+    def test_spawn_counter_round_trips(self):
+        """A restored master spawns the same children it would have."""
+        rng = RandomSource(3)
+        rng.spawn()  # advance the spawn counter
+        snapshot = rng.get_state()
+        expected = rng.spawn().sample_indices(1000, 10)
+        rebuilt = RandomSource.from_state(snapshot)
+        assert np.array_equal(rebuilt.spawn().sample_indices(1000, 10), expected)
+
+    def test_set_state_rewinds_the_spawn_counter(self):
+        rng = RandomSource(3)
+        snapshot = rng.get_state()
+        expected = rng.spawn().sample_indices(1000, 10)
+        rng.spawn()  # counter moved further ahead
+        rng.set_state(snapshot)
+        assert np.array_equal(rng.spawn().sample_indices(1000, 10), expected)
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        rng = RandomSource(8)
+        rng.spawn()
+        rng.sample_indices(100, 5)
+        payload = json.loads(json.dumps(rng.get_state()))
+        rebuilt = RandomSource.from_state(payload)
+        assert np.array_equal(
+            rebuilt.sample_indices(1000, 10), rng.sample_indices(1000, 10)
+        )
+
+    def test_restore_into_wrong_generator_rejected(self):
+        from repro.exceptions import ParameterError
+
+        snapshot = RandomSource(0).get_state()
+        other = RandomSource(np.random.Generator(np.random.MT19937(0)))
+        with pytest.raises(ParameterError, match="cannot restore"):
+            other.set_state(snapshot)
+
+    def test_snapshot_is_isolated_from_the_source(self):
+        rng = RandomSource(2)
+        snapshot = rng.get_state()
+        rng.sample_indices(100, 10)  # mutating the source ...
+        fresh = RandomSource.from_state(snapshot)
+        again = RandomSource.from_state(snapshot)
+        # ... must not have touched the captured state
+        assert np.array_equal(
+            fresh.sample_indices(1000, 10), again.sample_indices(1000, 10)
+        )

@@ -1,0 +1,128 @@
+"""Input-validation hardening: every bad input raises a typed error.
+
+The audit contract: no code path surfaces a bare ``ValueError`` /
+``KeyError`` / ``TypeError`` for malformed user input — everything is a
+:class:`repro.exceptions.ReproError` subclass the CLI and the resilience
+layer can classify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ParameterGrid, ProclusParams, proclus, run_parameter_study
+from repro.exceptions import (
+    DataValidationError,
+    ParameterError,
+    ReproError,
+)
+
+
+class TestParamTypes:
+    @pytest.mark.parametrize("field", ["k", "l", "a", "b", "patience",
+                                       "max_iterations"])
+    @pytest.mark.parametrize("bad", ["5", None, 2.5, True])
+    def test_integer_fields_reject_non_ints(self, field, bad):
+        with pytest.raises(ParameterError):
+            ProclusParams(**{field: bad})
+
+    @pytest.mark.parametrize("bad", ["0.7", None, True])
+    def test_min_deviation_rejects_non_reals(self, bad):
+        with pytest.raises(ParameterError):
+            ProclusParams(min_deviation=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     -float("inf"), 0.0, 1.5])
+    def test_min_deviation_rejects_non_finite_and_out_of_range(self, bad):
+        with pytest.raises(ParameterError):
+            ProclusParams(min_deviation=bad)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"ks": (4, "5")},
+        {"ks": (4, None)},
+        {"ls": (3, 2.5)},
+        {"ls": (True,)},
+    ])
+    def test_grid_entries_typed(self, kwargs):
+        with pytest.raises(ParameterError):
+            ParameterGrid(**kwargs)
+
+    def test_numpy_integers_accepted(self):
+        params = ProclusParams(k=np.int64(4), l=np.int32(3))
+        assert params.k == 4 and params.l == 3
+
+
+class TestDataValidation:
+    def test_nan_data_rejected(self):
+        data = np.random.default_rng(0).random((200, 6))
+        data[3, 2] = np.nan
+        with pytest.raises(DataValidationError):
+            proclus(data, k=3, l=3)
+
+    def test_inf_data_rejected(self):
+        data = np.random.default_rng(0).random((200, 6))
+        data[0, 0] = np.inf
+        with pytest.raises(DataValidationError):
+            proclus(data, k=3, l=3)
+
+    def test_k_larger_than_available_medoids_rejected(self):
+        data = np.random.default_rng(0).random((50, 6))
+        with pytest.raises(ParameterError, match="potential medoids"):
+            proclus(data, k=60, l=3)
+
+    def test_l_larger_than_d_rejected(self):
+        data = np.random.default_rng(0).random((200, 4))
+        with pytest.raises(ParameterError, match="dimensionality"):
+            proclus(data, k=3, l=8)
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(DataValidationError):
+            proclus(np.zeros(10), k=2, l=2)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(DataValidationError):
+            proclus(np.array([["a", "b"], ["c", "d"]]), k=2, l=2)
+
+
+class TestApiErrors:
+    def test_unknown_backend_is_typed(self):
+        data = np.random.default_rng(0).random((100, 6))
+        with pytest.raises(ParameterError, match="unknown backend"):
+            proclus(data, k=3, l=3, backend="quantum")
+
+    def test_resume_requires_checkpoint_dir(self):
+        data = np.random.default_rng(0).random((100, 6))
+        with pytest.raises(ParameterError, match="checkpoint_dir"):
+            run_parameter_study(data, resume=True)
+
+    def test_resilience_of_wrong_type_is_typed(self):
+        data = np.random.default_rng(0).random((100, 6))
+        with pytest.raises(ParameterError, match="RetryPolicy"):
+            run_parameter_study(data, resilience="yes please")
+
+    def test_dist_chunks_validated(self):
+        from repro import BACKENDS
+
+        with pytest.raises(ParameterError):
+            BACKENDS["gpu-fast"](params=ProclusParams(), dist_chunks=0)
+        with pytest.raises(ParameterError):
+            BACKENDS["gpu-fast"](params=ProclusParams(), dist_chunks=True)
+        with pytest.raises(ParameterError):
+            BACKENDS["gpu-fast"](params=ProclusParams(), dist_chunks="2")
+
+    @pytest.mark.parametrize("call", [
+        lambda data: proclus(data, k=0, l=3),
+        lambda data: proclus(data, k="many", l=3),
+        lambda data: proclus(data, k=3, l=None),
+        lambda data: proclus(data, k=3, l=3, backend="nope"),
+        lambda data: proclus(data * np.nan, k=3, l=3),
+        lambda data: run_parameter_study(data, resume=True),
+        lambda data: run_parameter_study(data, resilience=object()),
+    ])
+    def test_no_bare_builtin_errors_leak(self, call):
+        """Everything malformed surfaces as a ReproError, never a bare
+        ValueError/KeyError/TypeError."""
+        data = np.random.default_rng(0).random((120, 6))
+        with pytest.raises(ReproError):
+            call(data)
