@@ -31,6 +31,7 @@ from .params import ParameterGrid, ProclusParams
 from .result import OUTLIER_LABEL, ProclusResult, RunStats
 from .rng import RandomSource
 from .exceptions import (
+    AdmissionError,
     CheckpointError,
     ConvergenceError,
     DataValidationError,
@@ -42,6 +43,7 @@ from .exceptions import (
     ParameterError,
     ReproError,
     ResilienceExhaustedError,
+    ServeError,
     TransferCorruptionError,
     TransientDeviceError,
 )
@@ -53,6 +55,10 @@ from .resilience import (
     run_resilient_study,
     use_injector,
 )
+from .data.fingerprint import dataset_fingerprint
+
+# Imported last: repro.serve builds on most of the layers above.
+from .serve import ClusterService
 
 __version__ = "1.0.0"
 
@@ -95,5 +101,9 @@ __all__ = [
     "ResilientRunner",
     "resilient_fit",
     "run_resilient_study",
+    "ClusterService",
+    "ServeError",
+    "AdmissionError",
+    "dataset_fingerprint",
     "__version__",
 ]

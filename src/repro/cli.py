@@ -11,6 +11,9 @@ Subcommands::
     python -m repro chaos     # fault-injection sweep: fault classes x backends
     python -m repro validate  # cross-variant clustering equivalence check
     python -m repro claims    # check every quantitative claim of the paper
+    python -m repro serve     # process a spool of clustering requests
+    python -m repro submit    # drop one request into a spool directory
+    python -m repro loadgen   # replay a seeded request mix -> BENCH_serve.json
     python -m repro info      # list backends, datasets, hardware models
 
 Examples::
@@ -23,6 +26,8 @@ Examples::
     python -m repro chaos --backends gpu-fast --json chaos_events.json
     python -m repro bench fig2ab --plot --csv out/fig2ab.csv
     python -m repro bench all --out results/
+    python -m repro submit spool/ --k 8 --l 4 --n 5000 && python -m repro serve spool/
+    python -m repro loadgen --requests 24 --json BENCH_serve.json
 
 Errors are reported as a one-line ``repro: error: ...`` message with
 exit code 2 (interruption exits 130); pass ``--strict`` before the
@@ -470,6 +475,148 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+#: --gpu choice -> modeled card.
+GPU_SPECS = {"gtx1660ti": GTX_1660_TI, "rtx3090": RTX_3090}
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ClusterService, serve_spool
+    from .viz import render_serve_lanes
+
+    service = ClusterService(
+        workers=args.workers,
+        gpu_spec=GPU_SPECS[args.gpu],
+        cache_entries=args.cache_entries,
+    )
+    print(f"serving spool {args.spool} on modeled {GPU_SPECS[args.gpu].name} "
+          f"({args.workers} workers)")
+    try:
+        handled = serve_spool(
+            args.spool, service,
+            once=args.once,
+            poll_seconds=args.poll_seconds,
+            max_batches=args.max_batches,
+            progress=print,
+        )
+    finally:
+        service.close()
+    stats = service.stats()
+    print(f"\n{handled} requests handled "
+          f"(cache hits {stats['cache']['hits']}, "
+          f"coalesced {int(stats['counters'].get('serve.coalesced', 0))}, "
+          f"modeled {stats['executed_modeled_seconds'] * 1e3:.3f} ms executed)")
+    if args.timeline and len(service.log):
+        print()
+        print(render_serve_lanes(service.log.snapshot()))
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .serve import read_response, write_request
+
+    if args.id:
+        request_id = args.id
+    else:
+        request_id = f"req-{int(_time.time() * 1e3):x}"
+    dataset: dict = {}
+    if args.npy:
+        dataset["npy"] = args.npy
+    else:
+        dataset["synthetic"] = {
+            "n": args.n, "d": args.d, "clusters": args.clusters,
+            "seed": args.data_seed,
+        }
+    path = write_request(
+        args.spool, request_id,
+        backend=args.backend, k=args.k, l=args.l,
+        seed=args.seed, priority=args.priority, **dataset,
+    )
+    print(f"request {request_id} written to {path}")
+    if not args.wait:
+        return 0
+    deadline = _time.monotonic() + args.wait
+    while _time.monotonic() < deadline:
+        response = read_response(args.spool, request_id)
+        if response is not None:
+            if not response.get("ok"):
+                print(f"request failed: {response.get('error')}",
+                      file=sys.stderr)
+                return 1
+            print(f"cost={response['cost']:.6f} "
+                  f"refined={response['refined_cost']:.6f} "
+                  f"iterations={response['iterations']} "
+                  f"outliers={response['n_outliers']}")
+            print(f"medoids: {response['medoids']}")
+            print(f"labels sha256: {response['labels_sha256']}")
+            if response.get("cached"):
+                print("(served from the result cache)")
+            if response.get("coalesced"):
+                print("(coalesced with concurrent requests)")
+            return 0
+        _time.sleep(0.2)
+    print(f"no response within {args.wait:.0f}s "
+          f"(is `repro serve {args.spool}` running?)", file=sys.stderr)
+    return 1
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .obs import validate_serve_report
+    from .serve import run_loadgen
+    from .viz import render_serve_lanes
+
+    report = run_loadgen(
+        args.requests,
+        seed=args.seed,
+        workers=args.workers,
+        backends=tuple(args.backends),
+        num_datasets=args.datasets,
+        n=args.n,
+        d=args.d,
+        clusters=args.clusters,
+        seeds=tuple(args.run_seeds),
+        ks=tuple(args.ks),
+        ls=tuple(args.ls),
+        a=args.a,
+        b=args.b,
+        cache_entries=args.cache_entries,
+        gpu_spec=GPU_SPECS[args.gpu],
+        progress=print,
+    )
+    totals = report["totals"]
+    print()
+    print(f"{report['requests']} requests "
+          f"({report['unique_settings']} unique settings) "
+          f"on modeled {report['config']['gpu']}")
+    print(f"modeled device seconds: naive "
+          f"{totals['naive_modeled_seconds'] * 1e3:.3f} ms -> served "
+          f"{totals['served_modeled_seconds'] * 1e3:.3f} ms "
+          f"({totals['speedup']:.2f}x)")
+    print(f"latency p50/p95/max: "
+          f"{report['latency_seconds']['p50'] * 1e3:.1f} / "
+          f"{report['latency_seconds']['p95'] * 1e3:.1f} / "
+          f"{report['latency_seconds']['max'] * 1e3:.1f} ms")
+    violations = report["determinism"]["violations"]
+    print(f"determinism: {report['determinism']['checked']} checked, "
+          f"{len(violations)} violations")
+    for violation in violations[:10]:
+        print(f"  VIOLATION: {violation}")
+    if args.timeline:
+        print()
+        print(render_serve_lanes(report["events"]))
+    problems = validate_serve_report(report)
+    for problem in problems:
+        print(f"report problem: {problem}", file=sys.stderr)
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"\nreport written to {args.json}")
+    return 0 if report["ok"] and not problems else 1
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     print("backends:")
     for name in sorted(BACKENDS):
@@ -651,6 +798,85 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--runs", type=int, default=3,
                           help="seeds to check (default 3)")
     validate.set_defaults(func=_cmd_validate)
+
+    serve = sub.add_parser(
+        "serve", help="process clustering requests from a spool directory"
+    )
+    serve.add_argument("spool", help="spool directory (created if missing)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="service worker threads (default 2)")
+    serve.add_argument("--gpu", choices=sorted(GPU_SPECS), default="gtx1660ti",
+                       help="modeled card for capacity decisions")
+    serve.add_argument("--cache-entries", type=int, default=64,
+                       help="result-cache capacity (0 disables; default 64)")
+    serve.add_argument("--once", action="store_true",
+                       help="process the current requests and exit")
+    serve.add_argument("--poll-seconds", type=float, default=0.2,
+                       help="spool poll interval (default 0.2)")
+    serve.add_argument("--max-batches", type=int, default=None,
+                       help="stop after this many non-empty sweeps")
+    serve.add_argument("--timeline", action="store_true",
+                       help="print the queue/occupancy lanes at exit")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="drop one clustering request into a spool directory"
+    )
+    submit.add_argument("spool", help="spool directory (created if missing)")
+    _add_data_arguments(submit)
+    _add_param_arguments(submit)
+    submit.add_argument("--backend", choices=sorted(BACKENDS),
+                        default="gpu-fast")
+    submit.add_argument("--npy", metavar="PATH",
+                        help="cluster this saved array instead of "
+                             "synthetic data")
+    submit.add_argument("--id", help="request id (default: generated)")
+    submit.add_argument("--priority", type=int, default=1,
+                        help="queue priority, lower runs first (default 1)")
+    submit.add_argument("--wait", type=float, metavar="SECONDS",
+                        help="poll for the response this long and print it")
+    submit.set_defaults(func=_cmd_submit)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay a seeded request mix through the service "
+             "(BENCH_serve.json)",
+    )
+    loadgen.add_argument("--requests", type=int, default=24,
+                         help="requests to replay (default 24)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="mix seed (default 0)")
+    loadgen.add_argument("--workers", type=int, default=2,
+                         help="service worker threads (default 2)")
+    loadgen.add_argument("--backends", nargs="+", metavar="NAME",
+                         choices=sorted(BACKENDS), default=["gpu-fast"],
+                         help="backend pool (default gpu-fast)")
+    loadgen.add_argument("--datasets", type=int, default=2,
+                         help="distinct datasets in the mix (default 2)")
+    loadgen.add_argument("--n", type=int, default=600,
+                         help="points per dataset (default 600)")
+    loadgen.add_argument("--d", type=int, default=8,
+                         help="dimensionality (default 8)")
+    loadgen.add_argument("--clusters", type=int, default=4,
+                         help="planted clusters (default 4)")
+    loadgen.add_argument("--run-seeds", type=int, nargs="+", default=[0, 1],
+                         help="algorithm seed pool (default 0 1)")
+    loadgen.add_argument("--ks", type=int, nargs="+", default=[4],
+                         help="k pool (default 4)")
+    loadgen.add_argument("--ls", type=int, nargs="+", default=[3, 4, 5],
+                         help="l pool (default 3 4 5)")
+    loadgen.add_argument("--a", type=int, default=30, help="sample constant A")
+    loadgen.add_argument("--b", type=int, default=5, help="medoid constant B")
+    loadgen.add_argument("--cache-entries", type=int, default=64,
+                         help="result-cache capacity (default 64)")
+    loadgen.add_argument("--gpu", choices=sorted(GPU_SPECS),
+                         default="gtx1660ti",
+                         help="modeled card (default gtx1660ti)")
+    loadgen.add_argument("--timeline", action="store_true",
+                         help="print the queue/occupancy lanes")
+    loadgen.add_argument("--json", metavar="PATH",
+                         help="write the serve-bench report here")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     info = sub.add_parser("info", help="list backends, datasets, hardware")
     info.set_defaults(func=_cmd_info)

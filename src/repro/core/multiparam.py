@@ -21,20 +21,28 @@ over running GPU-FAST-PROCLUS one setting at a time.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..exceptions import ParameterError
 from ..obs.tracer import current_tracer
-from ..params import ParameterGrid
+from ..params import ParameterGrid, ProclusParams
 from ..result import ProclusResult, RunStats
 from ..rng import RandomSource
 from .base import EngineBase, validate_data
 from .greedy import greedy_select
 from .state import MedoidCache, SharedStudyState
 
-__all__ = ["ReuseLevel", "MultiParamResult", "run_study", "build_shared_state"]
+__all__ = [
+    "ReuseLevel",
+    "MultiParamResult",
+    "run_study",
+    "build_shared_state",
+    "build_solo_shared_state",
+    "run_coalesced_group",
+]
 
 
 class ReuseLevel(enum.IntEnum):
@@ -105,6 +113,130 @@ def build_shared_state(
     )
 
 
+def build_solo_shared_state(
+    data: np.ndarray, params: ProclusParams, rng: RandomSource
+) -> SharedStudyState:
+    """Build shared state by replaying a *solo* run's initialization.
+
+    Unlike :func:`build_shared_state` (which sizes the sample for the
+    grid's largest ``k``), this draws the sample and greedy pick with
+    exactly the random protocol of
+    :meth:`EngineBase._initialization_phase <repro.core.base.EngineBase>`
+    for one parameter set: ``rng`` consumes the same two draws a solo
+    engine with the same seed would, and the returned medoid set ``M``
+    is bit-identical to the solo run's.  An engine constructed with this
+    shared state and the *advanced* ``rng`` therefore produces the
+    identical clustering to a direct solo run — the sharing contract
+    the serving layer's request coalescer relies on (requests agreeing
+    on seed, ``k``, ``A`` and ``B`` share sample, greedy pick, and FAST
+    caches without changing any request's result).
+    """
+    n, d = data.shape
+    sample_size = params.effective_sample_size(n)
+    count = params.effective_num_potential(n)
+    if count < params.k:
+        raise ParameterError(
+            f"dataset of {n} points cannot supply {params.k} medoids"
+        )
+    sample_indices = rng.sample_indices(n, sample_size)
+    seed_index = rng.greedy_seed(sample_size)
+    local = greedy_select(data[sample_indices], count, seed_index)
+    return SharedStudyState(
+        sample_indices=sample_indices,
+        medoid_ids=sample_indices[local],
+        cache=MedoidCache.create(count, n, d),
+    )
+
+
+def _require_shareable(settings: list[ProclusParams]) -> None:
+    """All settings of a coalesced group must agree on (k, A, B).
+
+    The shared sample is sized ``A*k`` and the greedy pick ``B*k``, so
+    any divergence in these changes the medoid set ``M`` — and with it
+    the results — which would break the solo-equivalence contract.
+    """
+    if not settings:
+        raise ParameterError("a coalesced group needs at least one setting")
+    head = settings[0]
+    for params in settings[1:]:
+        if (params.k, params.a, params.b) != (head.k, head.a, head.b):
+            raise ParameterError(
+                f"coalesced settings must share (k, A, B); got "
+                f"({head.k}, {head.a}, {head.b}) and "
+                f"({params.k}, {params.a}, {params.b})"
+            )
+
+
+def run_coalesced_group(
+    data: np.ndarray,
+    engine_factory: type[EngineBase],
+    settings: list[ProclusParams],
+    seed: int | None = 0,
+    **engine_kwargs,
+) -> list[ProclusResult]:
+    """Run several same-seed settings sharing solo-equivalent state.
+
+    The serving counterpart of :func:`run_study`: every setting is
+    served from one shared sample / greedy pick / FAST cache (built by
+    :func:`build_solo_shared_state`), but — unlike a study, whose
+    per-setting seeds derive from a master source — every setting's RNG
+    is restored to the *post-initialization state of a solo run with
+    ``seed``* before its engine runs.  Each returned clustering is
+    therefore bit-identical to ``engine_factory(params=p, seed=seed)``
+    run alone, while the group pays the initialization, the data
+    upload, and cold ``Dist`` rows only once.
+
+    All settings must agree on ``(k, A, B)`` (:class:`ParameterError`
+    otherwise); they typically differ in ``l``.
+    """
+    data = validate_data(data)
+    _require_shareable(settings)
+    obs = current_tracer()
+    rng = RandomSource(seed)
+    with obs.span(
+        "coalesced_group", category="study",
+        backend=engine_factory.backend_name, settings=len(settings),
+    ):
+        with obs.span("shared_state", category="study"):
+            shared = build_solo_shared_state(data, settings[0], rng)
+        post_init_state = rng.get_state()
+        results: list[ProclusResult] = []
+        for index, params in enumerate(settings):
+            rng.set_state(post_init_state)
+            with obs.span(
+                "setting", category="study",
+                k=params.k, l=params.l, coalesced=True,
+                charge_greedy=index == 0,
+            ):
+                engine = engine_factory(
+                    params=params,
+                    seed=rng,
+                    shared_state=shared,
+                    charge_greedy=index == 0,
+                    **engine_kwargs,
+                )
+                results.append(engine.fit(data))
+        return results
+
+
+def _warn_duplicate_setting(obs, k: int, l: int) -> None:
+    """Record one skipped duplicate (k, l) grid entry.
+
+    A grid like ``ks=(10, 10, 8)`` used to run the (10, l) settings
+    twice — the second run silently overwrote the first in ``results``
+    while double-counting its work in ``total_stats``.  Duplicates are
+    now executed once; each skip emits a :class:`UserWarning` plus a
+    ``study.duplicate_settings`` metrics counter.
+    """
+    warnings.warn(
+        f"parameter grid contains duplicate setting (k={k}, l={l}); "
+        f"computing it once",
+        stacklevel=3,
+    )
+    if obs.enabled:
+        obs.metrics.counter("study.duplicate_settings").inc()
+
+
 def run_study(
     data: np.ndarray,
     engine_factory: type[EngineBase],
@@ -154,6 +286,9 @@ def run_study(
         previous_span_id = None
         first = True
         for params in grid:
+            if (params.k, params.l) in study.results:
+                _warn_duplicate_setting(obs, params.k, params.l)
+                continue
             initial = None
             if (
                 level >= ReuseLevel.WARM_START

@@ -8,6 +8,7 @@ available offline, so :mod:`repro.data.realworld` synthesizes stand-ins
 with the published sizes and dimensionalities (see ``DESIGN.md``).
 """
 
+from .fingerprint import dataset_fingerprint
 from .synthetic import SyntheticDataset, generate_subspace_data, default_dataset
 from .generators_ext import (
     generate_correlated_subspace_data,
@@ -20,6 +21,7 @@ from .io import save_dataset, load_saved_dataset
 from .loaders import LoadedTable, load_delimited
 
 __all__ = [
+    "dataset_fingerprint",
     "SyntheticDataset",
     "generate_subspace_data",
     "default_dataset",

@@ -1,0 +1,61 @@
+"""Stable dataset fingerprints.
+
+A fingerprint identifies the *clustering-relevant content* of a
+dataset: two arrays that the engines would treat identically map to the
+same digest.  :func:`~repro.core.base.validate_data` canonicalizes
+every input to a C-contiguous float32 array before clustering, so the
+fingerprint hashes exactly that canonical form — making it
+
+* **memory-order invariant** — a Fortran-ordered array, a transposed
+  view of a transpose, or a sliced copy fingerprint the same as their
+  C-contiguous equivalent;
+* **dtype robust** — an int or float64 array fingerprints the same as
+  its float32 canonicalization (the values the engines actually see).
+
+Arrays whose float32 canonicalizations differ in shape or in any value
+get different digests (SHA-256 over shape + raw bytes).
+
+Used by the serving layer's dataset registry (:mod:`repro.serve`) to
+key uploaded datasets and their shareable partial state, and by the
+study checkpoint (:mod:`repro.resilience.checkpoint`) to refuse
+resuming against different data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..exceptions import DataValidationError
+
+__all__ = ["dataset_fingerprint"]
+
+
+def dataset_fingerprint(data: np.ndarray) -> str:
+    """SHA-256 digest of a dataset's canonical (C-order float32) form.
+
+    Parameters
+    ----------
+    data:
+        A numeric array of any dtype and memory order.  Arbitrary
+        dimensionality is accepted (the serve registry fingerprints
+        ``(n, d)`` datasets, but the digest is well-defined for any
+        shape).
+
+    Returns
+    -------
+    str
+        64-character hex digest.  Equal for arrays whose canonical
+        float32 forms are bit-identical; different otherwise.
+    """
+    array = np.asarray(data)
+    if not np.issubdtype(array.dtype, np.number):
+        raise DataValidationError(
+            f"cannot fingerprint non-numeric data (dtype {array.dtype})"
+        )
+    canonical = np.ascontiguousarray(array, dtype=np.float32)
+    digest = hashlib.sha256()
+    digest.update(repr(canonical.shape).encode())
+    digest.update(canonical.tobytes())
+    return digest.hexdigest()

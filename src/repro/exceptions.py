@@ -24,6 +24,8 @@ __all__ = [
     "ConvergenceError",
     "CheckpointError",
     "ResilienceExhaustedError",
+    "ServeError",
+    "AdmissionError",
 ]
 
 
@@ -122,6 +124,26 @@ class CheckpointError(ReproError, RuntimeError):
     Raised when resuming against different data, a different parameter
     set, or an unreadable/older-format checkpoint directory.
     """
+
+
+class ServeError(ReproError, RuntimeError):
+    """A clustering-service operation failed (unknown dataset, closed
+    service, malformed spool request, ...)."""
+
+
+class AdmissionError(ServeError):
+    """The service refused to enqueue a request (admission control).
+
+    Raised at submit time when the queue is full, the modeled-device
+    backlog exceeds the configured budget, or the request could never
+    fit the modeled card's memory.  Carries ``reason`` (``"queue"``,
+    ``"backlog"``, or ``"memory"``) so clients can distinguish
+    back-off-and-retry conditions from permanently infeasible requests.
+    """
+
+    def __init__(self, message: str, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class ResilienceExhaustedError(ReproError, RuntimeError):

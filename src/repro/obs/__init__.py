@@ -42,6 +42,7 @@ from .export import (
     run_record,
     study_record,
     validate_chrome_trace,
+    validate_serve_report,
     write_chrome_trace,
     write_jsonl,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
+    "validate_serve_report",
     "run_record",
     "study_record",
     "write_jsonl",

@@ -36,6 +36,7 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
+    "validate_serve_report",
     "run_record",
     "study_record",
     "write_jsonl",
@@ -401,3 +402,89 @@ def read_jsonl(path: str | Path) -> list[dict]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+def validate_serve_report(report: Any) -> list[str]:
+    """Structurally validate a ``repro.serve_bench/1`` loadgen report.
+
+    Returns a list of problems (empty when the report is clean); the CI
+    serve-smoke job fails on any.  Checks the schema tag, the presence
+    and types of the load-bearing fields, that the modeled-seconds
+    totals are consistent non-negative numbers, and that ``ok`` really
+    reflects zero determinism violations plus a strict saving.
+    """
+    problems: list[str] = []
+    if not isinstance(report, dict):
+        return ["report must be a JSON object"]
+    schema = report.get("schema")
+    if schema != "repro.serve_bench/1":
+        problems.append(f"schema must be 'repro.serve_bench/1', got {schema!r}")
+    for key in ("ok", "config", "requests", "unique_settings",
+                "determinism", "totals", "latency_seconds", "wall_seconds",
+                "serve", "events"):
+        if key not in report:
+            problems.append(f"missing key {key!r}")
+    if problems:
+        return problems
+
+    if not isinstance(report["ok"], bool):
+        problems.append("'ok' must be a bool")
+    if not isinstance(report["events"], list):
+        problems.append("'events' must be a list")
+
+    determinism = report["determinism"]
+    violations: Any = None
+    if not isinstance(determinism, dict):
+        problems.append("'determinism' must be an object")
+    else:
+        violations = determinism.get("violations")
+        if not isinstance(violations, list):
+            problems.append("'determinism.violations' must be a list")
+            violations = None
+        checked = determinism.get("checked")
+        if not isinstance(checked, int) or checked < 1:
+            problems.append("'determinism.checked' must be a positive int")
+
+    totals = report["totals"]
+    saved = None
+    if not isinstance(totals, dict):
+        problems.append("'totals' must be an object")
+    else:
+        for key in ("naive_modeled_seconds", "served_modeled_seconds",
+                    "saved_modeled_seconds", "speedup"):
+            value = totals.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"'totals.{key}' must be a non-negative number")
+        naive = totals.get("naive_modeled_seconds")
+        served = totals.get("served_modeled_seconds")
+        saved = totals.get("saved_modeled_seconds")
+        if (
+            isinstance(naive, float)
+            and isinstance(served, float)
+            and isinstance(saved, float)
+            and abs((naive - served) - saved) > 1e-9
+        ):
+            problems.append(
+                "'totals.saved_modeled_seconds' does not equal "
+                "naive - served"
+            )
+
+    latency = report["latency_seconds"]
+    if not isinstance(latency, dict):
+        problems.append("'latency_seconds' must be an object")
+    else:
+        for key in ("p50", "p95", "max"):
+            value = latency.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(
+                    f"'latency_seconds.{key}' must be a non-negative number"
+                )
+
+    if violations is not None and isinstance(saved, float):
+        expected_ok = not violations and saved > 0.0
+        if bool(report.get("ok")) != expected_ok:
+            problems.append(
+                f"'ok' is {report.get('ok')} but violations="
+                f"{len(violations)} and saved={saved:.6g} imply {expected_ok}"
+            )
+    return problems

@@ -25,7 +25,6 @@ identical to an uninterrupted run's.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from dataclasses import asdict
@@ -36,6 +35,7 @@ import numpy as np
 
 from ..core.serialization import load_result, save_result
 from ..core.state import MedoidCache, SharedStudyState
+from ..data.fingerprint import dataset_fingerprint
 from ..exceptions import CheckpointError
 from ..params import ParameterGrid
 from ..result import ProclusResult
@@ -45,14 +45,11 @@ __all__ = ["StudyCheckpoint", "data_fingerprint"]
 
 SCHEMA = "repro.study_checkpoint/1"
 
-
-def data_fingerprint(data: np.ndarray) -> str:
-    """Stable digest of a dataset (shape, dtype, contents)."""
-    array = np.ascontiguousarray(data)
-    digest = hashlib.sha256()
-    digest.update(str((array.shape, str(array.dtype))).encode())
-    digest.update(array.tobytes())
-    return digest.hexdigest()
+#: Kept as this module's historical name for the shared helper; the
+#: serve registry and the checkpoint validation hash datasets the same
+#: way (memory-order invariant, dtype robust — see
+#: :mod:`repro.data.fingerprint`).
+data_fingerprint = dataset_fingerprint
 
 
 class StudyCheckpoint:

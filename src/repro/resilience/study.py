@@ -28,6 +28,7 @@ from ..core.base import validate_data
 from ..core.multiparam import (
     MultiParamResult,
     ReuseLevel,
+    _warn_duplicate_setting,
     build_shared_state,
 )
 from ..core.state import SharedStudyState
@@ -139,6 +140,9 @@ def run_resilient_study(
         first = not completed
         for params in grid:
             key = (params.k, params.l)
+            if key in study.results:
+                _warn_duplicate_setting(obs, params.k, params.l)
+                continue
             if key in completed:
                 # Already persisted by the interrupted run; the master
                 # RNG state restored from the manifest already reflects

@@ -1,0 +1,53 @@
+"""repro.serve: a multi-tenant clustering service over the engines.
+
+The paper's multi-parameter driver (Section 3.1) shows that concurrent
+PROCLUS runs on the same dataset share most of their expensive work —
+the sample ``Data'``, the greedy medoid pick, the data upload, and the
+FAST caches.  This package turns that observation into an in-process
+serving layer:
+
+* :class:`~repro.serve.registry.DatasetRegistry` — fingerprints
+  uploaded datasets (:func:`repro.data.fingerprint.dataset_fingerprint`)
+  so requests can reference data by content instead of re-uploading it;
+* :class:`~repro.serve.scheduler.JobScheduler` — priority queue with
+  admission control (queue depth, modeled-backlog, device-memory
+  feasibility against the modeled card);
+* the request **coalescer** — concurrently queued requests agreeing on
+  ``(fingerprint, backend, seed, k, A, B)`` execute as one
+  :func:`~repro.core.multiparam.run_coalesced_group`-style group,
+  sharing initialization and caches while every response stays
+  bit-identical to a direct solo run (the determinism contract the
+  differential tests assert);
+* :class:`~repro.serve.cache.ResultCache` — memoizes full results per
+  ``(fingerprint, backend, seed, params)`` with LRU eviction;
+* :class:`~repro.serve.service.ClusterService` — worker threads tying
+  it together, running every job under the resilience policies and a
+  :class:`~repro.gpu.memory.MemoryBudget` sized to the modeled GPU;
+* :func:`~repro.serve.loadgen.run_loadgen` — seeded synthetic request
+  mixes producing the ``BENCH_serve.json`` report.
+"""
+
+from .cache import ResultCache
+from .events import ServeEvent, ServeLog
+from .loadgen import run_loadgen
+from .registry import DatasetRegistry
+from .request import ClusterRequest, JobHandle
+from .scheduler import JobScheduler, estimate_device_bytes
+from .service import ClusterService
+from .spool import read_response, serve_spool, write_request
+
+__all__ = [
+    "ClusterRequest",
+    "ClusterService",
+    "DatasetRegistry",
+    "JobHandle",
+    "JobScheduler",
+    "ResultCache",
+    "ServeEvent",
+    "ServeLog",
+    "estimate_device_bytes",
+    "read_response",
+    "run_loadgen",
+    "serve_spool",
+    "write_request",
+]

@@ -1,0 +1,86 @@
+"""Memoizing result cache with LRU eviction.
+
+A PROCLUS run is a pure function of ``(dataset fingerprint, backend,
+seed, parameters)`` — the repository's determinism contract — so full
+results are safely memoizable.  The cache is keyed by
+:attr:`repro.serve.request.ClusterRequest.cache_key`, bounded by entry
+count, and counts hits/misses/evictions so the loadgen report can show
+how much repeated traffic it absorbed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from ..exceptions import ParameterError
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Thread-safe LRU mapping of cache keys to results.
+
+    ``max_entries=0`` disables caching (every lookup misses, inserts
+    are dropped) without requiring callers to special-case.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if not isinstance(max_entries, int) or isinstance(max_entries, bool):
+            raise ParameterError(
+                f"max_entries must be an int, got {type(max_entries).__name__}"
+            )
+        if max_entries < 0:
+            raise ParameterError(
+                f"max_entries must be >= 0, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, or ``None`` on a miss (counted either way)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: Hashable, value: Any) -> list[Hashable]:
+        """Insert ``value``; returns the keys evicted to make room."""
+        if self.max_entries == 0:
+            return []
+        evicted: list[Hashable] = []
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                old_key, _ = self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted.append(old_key)
+        return evicted
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus current size."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

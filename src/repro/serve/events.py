@@ -1,0 +1,88 @@
+"""Structured serve-event log (the input to the queue timeline view).
+
+Every lifecycle transition of a request — submission, admission or
+rejection, dedupe/cache-hit short-circuits, group coalescing, start,
+completion, cache eviction — appends one :class:`ServeEvent` carrying
+the queue and running depths *at that moment*, so the event stream is a
+complete step-function record of service occupancy over time.
+:func:`repro.viz.timeline.render_serve_lanes` renders it as ASCII
+lanes; the loadgen report embeds it as plain dicts.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass
+from typing import Any, Iterable
+
+__all__ = ["EVENT_KINDS", "ServeEvent", "ServeLog"]
+
+#: Every event kind the service emits, in rough lifecycle order.
+EVENT_KINDS = (
+    "submit",      #: request arrived
+    "cache_hit",   #: answered immediately from the result cache
+    "dedupe",      #: attached to an identical queued job
+    "reject",      #: admission control refused it (detail = reason)
+    "admit",       #: enqueued
+    "coalesce",    #: a group of queued jobs merged (detail = group size)
+    "start",       #: job began executing
+    "complete",    #: job finished successfully
+    "fail",        #: job raised
+    "evict",       #: result cache evicted an entry (LRU)
+)
+
+
+@dataclass(slots=True)
+class ServeEvent:
+    """One service lifecycle event with occupancy depths at its time."""
+
+    ts: float  #: service clock (seconds since the service started)
+    kind: str  #: one of :data:`EVENT_KINDS`
+    job_id: int = -1
+    fingerprint: str = ""
+    backend: str = ""
+    k: int = 0
+    l: int = 0
+    queued: int = 0  #: queue depth immediately after the event
+    running: int = 0  #: jobs executing immediately after the event
+    detail: str = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-data form for JSON reports."""
+        return asdict(self)
+
+
+class ServeLog:
+    """Thread-safe, append-only list of :class:`ServeEvent`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[ServeEvent] = []
+
+    def record(self, event: ServeEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def snapshot(self) -> list[ServeEvent]:
+        """A copy of the events recorded so far."""
+        with self._lock:
+            return list(self._events)
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """Plain-data snapshot for JSON reports."""
+        return [event.as_dict() for event in self.snapshot()]
+
+    def kinds(self) -> list[str]:
+        """The event kinds in order (handy in tests)."""
+        return [event.kind for event in self.snapshot()]
+
+    def count(self, kind: str) -> int:
+        """Number of recorded events of one kind."""
+        return sum(1 for event in self.snapshot() if event.kind == kind)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> "Iterable[ServeEvent]":
+        return iter(self.snapshot())

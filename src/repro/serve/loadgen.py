@@ -1,0 +1,233 @@
+"""Seeded synthetic load generator and the ``BENCH_serve.json`` report.
+
+The generator replays a deterministic request mix — small pools of
+datasets, seeds, and (k, l) settings, so repeats and share-key
+collisions actually occur — through a :class:`ClusterService`, then:
+
+1. computes the **naive baseline**: every request executed as an
+   independent solo run (the reference results double as the
+   determinism oracle);
+2. checks the **determinism contract**: each served response must be
+   bit-identical (labels, medoids, subspaces, costs, iteration counts)
+   to its solo reference;
+3. reports the **savings**: modeled device seconds and work counters of
+   what the service actually executed versus the naive sum.
+
+The report's ``ok`` field (no determinism violations *and* a strict
+modeled-seconds reduction) drives the CLI exit code, so the CI
+serve-smoke job fails on any contract violation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.api import BACKENDS, proclus
+from ..data import generate_subspace_data, minmax_normalize
+from ..exceptions import ParameterError
+from ..hardware.specs import GTX_1660_TI, GpuSpec
+from ..params import ProclusParams
+from ..result import ProclusResult, RunStats
+from .service import ClusterService
+
+__all__ = ["SERVE_BENCH_SCHEMA", "run_loadgen"]
+
+#: Schema identifier of the loadgen report (bump on breaking changes).
+SERVE_BENCH_SCHEMA = "repro.serve_bench/1"
+
+
+def _identical(served: ProclusResult, reference: ProclusResult) -> bool:
+    """Full bit-identity: clustering outputs plus run trajectory."""
+    return (
+        np.array_equal(served.labels, reference.labels)
+        and np.array_equal(served.medoids, reference.medoids)
+        and served.dimensions == reference.dimensions
+        and served.cost == reference.cost
+        and served.refined_cost == reference.refined_cost
+        and served.iterations == reference.iterations
+        and served.best_iteration == reference.best_iteration
+    )
+
+
+def run_loadgen(
+    num_requests: int = 24,
+    *,
+    seed: int = 0,
+    workers: int = 2,
+    backends: Sequence[str] = ("gpu-fast",),
+    num_datasets: int = 2,
+    n: int = 600,
+    d: int = 8,
+    clusters: int = 4,
+    subspace_dims: int = 4,
+    seeds: Sequence[int] = (0, 1),
+    ks: Sequence[int] = (4,),
+    ls: Sequence[int] = (3, 4, 5),
+    a: int = 30,
+    b: int = 5,
+    cache_entries: int = 64,
+    gpu_spec: GpuSpec | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Replay a seeded request mix; returns the serve-bench report."""
+    if num_requests < 1:
+        raise ParameterError(
+            f"num_requests must be >= 1, got {num_requests}"
+        )
+    for backend in backends:
+        if backend not in BACKENDS:
+            raise ParameterError(
+                f"unknown backend {backend!r}; "
+                f"available: {', '.join(sorted(BACKENDS))}"
+            )
+    spec = gpu_spec if gpu_spec is not None else GTX_1660_TI
+    say = progress if progress is not None else (lambda message: None)
+
+    say(f"generating {num_datasets} datasets (n={n}, d={d})")
+    datasets = [
+        minmax_normalize(
+            generate_subspace_data(
+                n=n, d=d, n_clusters=clusters,
+                subspace_dims=subspace_dims, seed=100 + index,
+            ).data
+        )
+        for index in range(num_datasets)
+    ]
+
+    # Deterministic request mix: small pools so repeats and share-key
+    # collisions are frequent (that is the point of a serving layer).
+    mix_rng = np.random.default_rng(seed)
+    requests = []
+    for _ in range(num_requests):
+        requests.append(
+            {
+                "dataset": int(mix_rng.integers(len(datasets))),
+                "backend": backends[int(mix_rng.integers(len(backends)))],
+                "seed": int(seeds[int(mix_rng.integers(len(seeds)))]),
+                "k": int(ks[int(mix_rng.integers(len(ks)))]),
+                "l": int(ls[int(mix_rng.integers(len(ls)))]),
+            }
+        )
+
+    say(f"serving {num_requests} requests with {workers} workers")
+    wall_start = time.perf_counter()
+    service = ClusterService(
+        workers=workers, gpu_spec=spec, cache_entries=cache_entries,
+        max_queue_depth=max(64, num_requests),
+    )
+    with service:
+        handles = []
+        for spec_dict in requests:
+            params = ProclusParams(
+                k=spec_dict["k"], l=spec_dict["l"], a=a, b=b
+            )
+            handles.append(
+                service.submit(
+                    data=datasets[spec_dict["dataset"]],
+                    backend=spec_dict["backend"],
+                    params=params,
+                    seed=spec_dict["seed"],
+                )
+            )
+        served = [handle.result(timeout=600) for handle in handles]
+    wall_seconds = time.perf_counter() - wall_start
+
+    # Naive baseline + determinism oracle: one solo run per unique
+    # request signature, on the same modeled card.
+    say("running solo references for the determinism check")
+    references: dict[tuple, ProclusResult] = {}
+    for handle in handles:
+        key = handle.request.cache_key
+        if key in references:
+            continue
+        request = handle.request
+        engine_kwargs = (
+            {"gpu_spec": spec} if request.backend.startswith("gpu") else {}
+        )
+        references[key] = proclus(
+            service.registry.get(request.fingerprint),
+            backend=request.backend,
+            params=request.params,
+            seed=request.seed,
+            **engine_kwargs,
+        )
+
+    violations = []
+    naive_stats = RunStats()
+    for index, (handle, result) in enumerate(zip(handles, served)):
+        reference = references[handle.request.cache_key]
+        naive_stats = naive_stats.merge(reference.stats)
+        if not _identical(result, reference):
+            violations.append(
+                {
+                    "request": index,
+                    "backend": handle.request.backend,
+                    "seed": handle.request.seed,
+                    "k": handle.request.params.k,
+                    "l": handle.request.params.l,
+                    "cached": handle.cached,
+                    "coalesced": handle.coalesced,
+                }
+            )
+
+    served_stats = service.executed_stats
+    latencies = np.array([handle.latency for handle in handles])
+    saved = naive_stats.modeled_seconds - served_stats.modeled_seconds
+    ok = not violations and saved > 0.0
+    say(
+        f"naive {naive_stats.modeled_seconds * 1e3:.3f}ms modeled vs "
+        f"served {served_stats.modeled_seconds * 1e3:.3f}ms; "
+        f"{len(violations)} determinism violations"
+    )
+
+    return {
+        "schema": SERVE_BENCH_SCHEMA,
+        "timestamp": time.time(),
+        "ok": ok,
+        "config": {
+            "num_requests": num_requests,
+            "seed": seed,
+            "workers": workers,
+            "backends": list(backends),
+            "num_datasets": num_datasets,
+            "n": n,
+            "d": d,
+            "clusters": clusters,
+            "seeds": list(seeds),
+            "ks": list(ks),
+            "ls": list(ls),
+            "a": a,
+            "b": b,
+            "cache_entries": cache_entries,
+            "gpu": spec.name,
+        },
+        "requests": num_requests,
+        "unique_settings": len(references),
+        "determinism": {
+            "checked": num_requests,
+            "violations": violations,
+        },
+        "totals": {
+            "naive_modeled_seconds": naive_stats.modeled_seconds,
+            "served_modeled_seconds": served_stats.modeled_seconds,
+            "saved_modeled_seconds": saved,
+            "speedup": (
+                naive_stats.modeled_seconds / served_stats.modeled_seconds
+                if served_stats.modeled_seconds > 0
+                else float("inf")
+            ),
+            "naive_counters": dict(naive_stats.counters),
+            "served_counters": dict(served_stats.counters),
+        },
+        "latency_seconds": {
+            "p50": float(np.percentile(latencies, 50)),
+            "p95": float(np.percentile(latencies, 95)),
+            "max": float(latencies.max()),
+        },
+        "wall_seconds": wall_seconds,
+        "serve": service.stats(),
+        "events": service.log.as_dicts(),
+    }

@@ -1,0 +1,453 @@
+"""The in-process clustering service.
+
+:class:`ClusterService` ties the serving pieces together: datasets are
+registered once and referenced by fingerprint, submissions pass
+admission control and wait in a priority queue, worker threads drain
+the queue in coalesced groups, every job runs under the resilience
+policies (:class:`~repro.resilience.runner.ResilientRunner`), and
+concurrent device use is bounded by a
+:class:`~repro.gpu.memory.MemoryBudget` sized to the modeled card.
+
+**Determinism contract.**  Every response is bit-identical to the
+direct solo call ``proclus(data, params=..., backend=..., seed=...)``:
+
+* a lone job simply *is* that call (run through the resilient runner);
+* a coalesced group replays the solo initialization draws once
+  (:func:`~repro.core.multiparam.build_solo_shared_state`), snapshots
+  the RNG, and restores that snapshot before every member — so each
+  member consumes the exact random stream of its solo run while the
+  sample, greedy pick, data upload, and FAST caches are paid for once.
+  The FAST caches are *result-invariant* (the paper's Theorem 3.2
+  argument): warmth changes the work counters and modeled seconds, not
+  any clustering output;
+* a cache hit returns the stored result of such a run.
+
+What coalescing and caching change is only the *cost*: modeled device
+seconds and work counters strictly shrink versus naive per-request
+execution, which is exactly what ``BENCH_serve.json`` measures.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..core.multiparam import build_solo_shared_state
+from ..exceptions import ReproError, ServeError
+from ..gpu.memory import MemoryBudget
+from ..hardware.specs import GTX_1660_TI, GpuSpec
+from ..obs.tracer import Tracer, current_tracer, use_tracer
+from ..params import ProclusParams
+from ..resilience.policy import RetryPolicy
+from ..resilience.runner import ResilientRunner
+from ..result import RunStats
+from ..rng import RandomSource
+from .cache import ResultCache
+from .events import ServeEvent, ServeLog
+from .registry import DatasetRegistry
+from .request import ClusterRequest, Job, JobHandle
+from .scheduler import JobScheduler, estimate_device_bytes
+
+__all__ = ["ClusterService"]
+
+
+class ClusterService:
+    """Multi-tenant clustering service with request coalescing.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads draining the queue.
+    gpu_spec:
+        The modeled card (default: the paper's GTX 1660 Ti).  Its
+        usable memory sizes the device budget; GPU jobs run against it.
+    policy:
+        Retry/degradation policy for every job (default
+        :class:`RetryPolicy`).
+    cache_entries:
+        Result-cache capacity (0 disables memoization).
+    max_queue_depth, max_backlog_seconds:
+        Admission-control bounds (see
+        :class:`~repro.serve.scheduler.JobScheduler`).
+    coalesce:
+        Merge share-key-compatible queued requests into groups
+        (disable to measure the naive baseline).
+    tracer:
+        Where spans/metrics go.  Defaults to the ambient tracer when
+        one is installed, else a private always-on
+        :class:`~repro.obs.tracer.Tracer` so ``serve.*`` metrics are
+        always recorded.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        gpu_spec: GpuSpec | None = None,
+        policy: RetryPolicy | None = None,
+        cache_entries: int = 64,
+        max_queue_depth: int = 64,
+        max_backlog_seconds: float = float("inf"),
+        coalesce: bool = True,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        self.gpu_spec = gpu_spec if gpu_spec is not None else GTX_1660_TI
+        if tracer is not None:
+            self.obs = tracer
+        else:
+            ambient = current_tracer()
+            self.obs = ambient if ambient.enabled else Tracer()
+        self.registry = DatasetRegistry()
+        self.cache = ResultCache(cache_entries)
+        self.budget = MemoryBudget(self.gpu_spec.usable_bytes)
+        self.scheduler = JobScheduler(
+            max_queue_depth=max_queue_depth,
+            max_backlog_seconds=max_backlog_seconds,
+            capacity_bytes=self.gpu_spec.usable_bytes,
+            coalesce=coalesce,
+        )
+        self.log = ServeLog()
+        self.runner = ResilientRunner(policy)
+        #: Aggregated stats of every engine run the service executed
+        #: (cache hits and coalesced sharing make this smaller than the
+        #: sum over requests — the quantity BENCH_serve.json compares).
+        self.executed_stats = RunStats()
+        self._epoch = time.perf_counter()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._running = 0
+        self._next_job_id = 0
+        self._stats_lock = threading.Lock()
+        self._workers = [
+            threading.Thread(
+                target=self._worker, name=f"serve-worker-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def register(self, data: np.ndarray) -> str:
+        """Register a dataset; returns its fingerprint."""
+        return self.registry.register(data)
+
+    def submit(
+        self,
+        data: np.ndarray | None = None,
+        *,
+        fingerprint: str | None = None,
+        backend: str = "gpu-fast",
+        params: ProclusParams | None = None,
+        k: int = 10,
+        l: int = 5,
+        seed: int = 0,
+        priority: int = 1,
+    ) -> JobHandle:
+        """Submit one clustering request; returns a waitable handle.
+
+        Pass either ``data`` (registered on the fly) or the
+        ``fingerprint`` of a previously registered dataset.  Raises
+        :class:`~repro.exceptions.AdmissionError` when admission
+        control refuses the request.
+        """
+        if self._closed:
+            raise ServeError("service is closed")
+        if (data is None) == (fingerprint is None):
+            raise ServeError("pass exactly one of data or fingerprint")
+        if data is not None:
+            fingerprint = self.registry.register(data)
+        dataset = self.registry.get(fingerprint)
+        if params is None:
+            params = ProclusParams(k=k, l=l)
+        params.validate_against_data(*dataset.shape)
+        request = ClusterRequest(
+            fingerprint=fingerprint, backend=backend, params=params,
+            seed=seed, priority=priority,
+        )
+        with self._cond:
+            job_id = self._next_job_id
+            self._next_job_id += 1
+            handle = JobHandle(request, job_id)
+            handle.submitted_at = self._clock()
+            self._event("submit", job_id, request)
+            self.obs.metrics.counter("serve.requests").inc()
+
+            cached = self.cache.get(request.cache_key)
+            if cached is not None:
+                handle.cached = True
+                handle._resolve(cached, self._clock())
+                self._event("cache_hit", job_id, request)
+                self.obs.metrics.counter("serve.cache.hits").inc()
+                self._observe_latency(handle)
+                return handle
+            self.obs.metrics.counter("serve.cache.misses").inc()
+
+            twin = self.scheduler.find_queued(request.cache_key)
+            if twin is not None:
+                handle.deduped = True
+                twin.handles.append(handle)
+                self._event(
+                    "dedupe", job_id, request,
+                    detail=f"attached to job {twin.job_id}",
+                )
+                self.obs.metrics.counter("serve.deduped").inc()
+                return handle
+
+            n, d = dataset.shape
+            job = Job(
+                request=request,
+                job_id=job_id,
+                estimated_bytes=estimate_device_bytes(n, d, params, backend),
+                handles=[handle],
+            )
+            try:
+                self.scheduler.admit(job)
+            except ReproError as error:
+                reason = getattr(error, "reason", "")
+                self._event("reject", job_id, request, detail=reason)
+                self.obs.metrics.counter("serve.rejected").inc()
+                if reason:
+                    self.obs.metrics.counter(f"serve.rejected.{reason}").inc()
+                raise
+            self.scheduler.push(job)
+            self._event("admit", job_id, request)
+            self._cond.notify()
+        return handle
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until the queue is empty and no job is running."""
+        with self._cond:
+            done = self._cond.wait_for(
+                lambda: self.scheduler.depth == 0 and self._running == 0,
+                timeout=timeout,
+            )
+        if not done:
+            raise ServeError(f"service did not drain within {timeout}s")
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the workers (after finishing queued work by default)."""
+        if self._closed:
+            return
+        if drain:
+            self.drain()
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        for thread in self._workers:
+            thread.join()
+        # Fail whatever was still queued on a non-draining close.
+        while True:
+            group = self.scheduler.pop_group()
+            if not group:
+                break
+            for job in group:
+                error = ServeError("service closed before the job ran")
+                for handle in job.handles:
+                    handle._fail(error, self._clock())
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Aggregate service statistics (JSON-serializable)."""
+        counters = self.obs.metrics.as_dict()["counters"]
+        serve_counters = {
+            name: value
+            for name, value in counters.items()
+            if name.startswith("serve.")
+        }
+        return {
+            "queued": self.scheduler.depth,
+            "running": self._running,
+            "datasets": len(self.registry),
+            "cache": self.cache.stats(),
+            "counters": serve_counters,
+            "executed_modeled_seconds": self.executed_stats.modeled_seconds,
+            "peak_reserved_bytes": self.budget.peak_reserved_bytes,
+            "budget_capacity_bytes": self.budget.capacity_bytes,
+        }
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                self._cond.wait_for(
+                    lambda: self._closed or self.scheduler.depth > 0
+                )
+                if self._closed:
+                    return
+                group = self.scheduler.pop_group()
+                if not group:
+                    continue
+                self._running += len(group)
+            try:
+                self._run_group(group)
+            finally:
+                with self._cond:
+                    self._running -= len(group)
+                    self._cond.notify_all()
+
+    def _run_group(self, group: list[Job]) -> None:
+        leader = group[0].request
+        data = self.registry.get(leader.fingerprint)
+        nbytes = max(job.estimated_bytes for job in group)
+        engine_kwargs = (
+            {"gpu_spec": self.gpu_spec}
+            if leader.backend.startswith("gpu")
+            else {}
+        )
+        self.budget.reserve(nbytes)
+        try:
+            if len(group) > 1:
+                self._event(
+                    "coalesce", group[0].job_id, leader,
+                    detail=f"{len(group)} jobs share one initialization",
+                )
+                self.obs.metrics.counter("serve.groups").inc()
+                self.obs.metrics.counter("serve.coalesced").inc(
+                    len(group) - 1
+                )
+            for job in group:
+                self._event("start", job.job_id, job.request)
+                for handle in job.handles:
+                    handle.status = "running"
+                    handle.coalesced = len(group) > 1
+            with use_tracer(self.obs):
+                if len(group) == 1:
+                    outcomes = [
+                        self.runner.fit(
+                            data,
+                            backend=leader.backend,
+                            params=leader.params,
+                            seed=leader.seed,
+                            engine_kwargs=engine_kwargs,
+                        )
+                    ]
+                else:
+                    outcomes = self._run_coalesced(
+                        data, group, engine_kwargs
+                    )
+        except Exception as error:  # noqa: BLE001 - workers must survive
+            now = self._clock()
+            for job in group:
+                self._event(
+                    "fail", job.job_id, job.request,
+                    detail=f"{type(error).__name__}: {error}",
+                )
+                self.obs.metrics.counter("serve.failed").inc()
+                for handle in job.handles:
+                    handle._fail(error, now)
+            return
+        finally:
+            self.budget.release(nbytes)
+
+        for job, outcome in zip(group, outcomes):
+            result = outcome.result
+            stats = result.stats
+            with self._stats_lock:
+                self.executed_stats = self.executed_stats.merge(stats)
+            self.scheduler.observe(
+                job.request.backend, stats.modeled_seconds
+            )
+            self.obs.metrics.counter("serve.executed").inc()
+            self.obs.metrics.counter("serve.device_seconds").inc(
+                stats.modeled_seconds
+            )
+            for evicted in self.cache.put(job.cache_key, result):
+                self._event(
+                    "evict", -1, job.request,
+                    detail=f"lru evicted {evicted[0][:12]}...",
+                )
+                self.obs.metrics.counter("serve.cache.evictions").inc()
+            now = self._clock()
+            self._event(
+                "complete", job.job_id, job.request,
+                detail=f"{stats.modeled_seconds * 1e3:.3f}ms modeled, "
+                       f"attempts={outcome.attempts}",
+            )
+            self.obs.metrics.counter("serve.completed").inc()
+            for handle in job.handles:
+                handle._resolve(result, now)
+                self._observe_latency(handle)
+
+    def _run_coalesced(
+        self, data: np.ndarray, group: list[Job], engine_kwargs: dict
+    ) -> list:
+        """Run a share-key group against one shared initialization.
+
+        Replays the solo initialization protocol once, then restores
+        the post-initialization RNG snapshot before every member so
+        each result is bit-identical to its solo run (see the module
+        docstring).
+        """
+        leader = group[0].request
+        with self.obs.span(
+            "coalesced_group", category="serve",
+            backend=leader.backend, jobs=len(group),
+        ):
+            rng = RandomSource(leader.seed)
+            with self.obs.span("shared_state", category="serve"):
+                shared = build_solo_shared_state(data, leader.params, rng)
+            post_init_state = rng.get_state()
+            outcomes = []
+            for index, job in enumerate(group):
+                rng.set_state(post_init_state)
+                outcomes.append(
+                    self.runner.fit(
+                        data,
+                        backend=job.request.backend,
+                        params=job.request.params,
+                        seed=rng,
+                        shared_state=shared,
+                        charge_greedy=index == 0,
+                        engine_kwargs=engine_kwargs,
+                    )
+                )
+            return outcomes
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _clock(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def _event(
+        self, kind: str, job_id: int, request: ClusterRequest,
+        detail: str = "",
+    ) -> None:
+        event = ServeEvent(
+            ts=self._clock(),
+            kind=kind,
+            job_id=job_id,
+            fingerprint=request.fingerprint,
+            backend=request.backend,
+            k=request.params.k,
+            l=request.params.l,
+            queued=self.scheduler.depth,
+            running=self._running,
+            detail=detail,
+        )
+        self.log.record(event)
+        with self.obs.span(
+            f"serve.{kind}", category="serve",
+            job_id=job_id, backend=request.backend,
+            k=request.params.k, l=request.params.l,
+            detail=detail,
+        ):
+            pass
+
+    def _observe_latency(self, handle: JobHandle) -> None:
+        self.obs.metrics.histogram("serve.latency_seconds").observe(
+            handle.latency
+        )

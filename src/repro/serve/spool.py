@@ -1,0 +1,229 @@
+"""Filesystem spool: the transport behind ``repro serve`` / ``repro submit``.
+
+The service is in-process; to drive it from separate invocations the
+CLI uses a spool directory::
+
+    SPOOL/
+      requests/    <id>.json   written by ``repro submit``
+      responses/   <id>.json   written by ``repro serve``
+      done/        <id>.json   processed requests (moved, not deleted)
+
+Request and response documents are versioned JSON
+(:data:`REQUEST_SCHEMA` / :data:`RESPONSE_SCHEMA`).  A request names
+its dataset either as an ``.npy`` path or as a synthetic-generator
+spec, so two submitters naming the same data coalesce through the
+fingerprint registry exactly like in-process clients.  Responses carry
+the clustering summary plus a SHA-256 of the label array, so a client
+can check the determinism contract without shipping the labels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..data import generate_subspace_data, minmax_normalize
+from ..exceptions import ReproError, ServeError
+from .service import ClusterService
+
+__all__ = [
+    "REQUEST_SCHEMA",
+    "RESPONSE_SCHEMA",
+    "serve_spool",
+    "write_request",
+    "read_response",
+]
+
+REQUEST_SCHEMA = "repro.serve_request/1"
+RESPONSE_SCHEMA = "repro.serve_response/1"
+
+
+def _spool_dirs(directory: str | Path) -> tuple[Path, Path, Path]:
+    root = Path(directory)
+    requests = root / "requests"
+    responses = root / "responses"
+    done = root / "done"
+    for path in (requests, responses, done):
+        path.mkdir(parents=True, exist_ok=True)
+    return requests, responses, done
+
+
+def write_request(
+    directory: str | Path,
+    request_id: str,
+    *,
+    backend: str = "gpu-fast",
+    k: int = 10,
+    l: int = 5,
+    seed: int = 0,
+    priority: int = 1,
+    npy: str | None = None,
+    synthetic: dict | None = None,
+) -> Path:
+    """Write one spool request; returns its path.
+
+    Exactly one of ``npy`` (path to a saved ``(n, d)`` array) or
+    ``synthetic`` (generator spec with ``n``, ``d``, ``clusters``,
+    ``seed``) must be given.
+    """
+    if (npy is None) == (synthetic is None):
+        raise ServeError("pass exactly one of npy or synthetic")
+    requests, _, _ = _spool_dirs(directory)
+    document = {
+        "schema": REQUEST_SCHEMA,
+        "id": request_id,
+        "backend": backend,
+        "k": k,
+        "l": l,
+        "seed": seed,
+        "priority": priority,
+        "dataset": {"npy": npy} if npy is not None else {"synthetic": synthetic},
+    }
+    path = requests / f"{request_id}.json"
+    path.write_text(json.dumps(document, indent=2))
+    return path
+
+
+def read_response(directory: str | Path, request_id: str) -> dict | None:
+    """The response document for ``request_id``, or ``None`` if pending."""
+    _, responses, _ = _spool_dirs(directory)
+    path = responses / f"{request_id}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def _load_request_data(document: dict) -> np.ndarray:
+    dataset = document.get("dataset")
+    if not isinstance(dataset, dict):
+        raise ServeError(f"request {document.get('id')!r} has no dataset")
+    if "npy" in dataset:
+        return np.load(dataset["npy"])
+    if "synthetic" in dataset:
+        spec = dataset["synthetic"]
+        return minmax_normalize(
+            generate_subspace_data(
+                n=int(spec.get("n", 2000)),
+                d=int(spec.get("d", 10)),
+                n_clusters=int(spec.get("clusters", 5)),
+                seed=int(spec.get("seed", 0)),
+            ).data
+        )
+    raise ServeError(
+        f"request {document.get('id')!r}: dataset must name 'npy' or "
+        f"'synthetic'"
+    )
+
+
+def _response_for(document: dict, result, handle) -> dict:
+    labels = np.ascontiguousarray(result.labels, dtype=np.int64)
+    return {
+        "schema": RESPONSE_SCHEMA,
+        "id": document["id"],
+        "ok": True,
+        "backend": document["backend"],
+        "k": result.k,
+        "l": document["l"],
+        "seed": document["seed"],
+        "cost": result.cost,
+        "refined_cost": result.refined_cost,
+        "iterations": result.iterations,
+        "best_iteration": result.best_iteration,
+        "n_outliers": result.n_outliers,
+        "medoids": [int(value) for value in result.medoids],
+        "dimensions": [list(dims) for dims in result.dimensions],
+        "labels_sha256": hashlib.sha256(labels.tobytes()).hexdigest(),
+        "modeled_seconds": result.stats.modeled_seconds,
+        "cached": handle.cached,
+        "coalesced": handle.coalesced,
+    }
+
+
+def _error_response(document: dict, error: BaseException) -> dict:
+    return {
+        "schema": RESPONSE_SCHEMA,
+        "id": document.get("id", ""),
+        "ok": False,
+        "error": f"{type(error).__name__}: {error}",
+    }
+
+
+def serve_spool(
+    directory: str | Path,
+    service: ClusterService | None = None,
+    *,
+    once: bool = True,
+    poll_seconds: float = 0.2,
+    max_batches: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> int:
+    """Process spool requests; returns the number handled.
+
+    With ``once=True`` (the default, used by tests and CI) one sweep of
+    the requests directory is processed and the function returns.
+    Otherwise it polls until ``max_batches`` non-empty sweeps have been
+    handled (forever when ``None`` — interrupt to stop).
+    """
+    requests_dir, responses_dir, done_dir = _spool_dirs(directory)
+    say = progress if progress is not None else (lambda message: None)
+    own_service = service is None
+    if own_service:
+        service = ClusterService()
+    handled = 0
+    batches = 0
+    try:
+        while True:
+            batch = sorted(requests_dir.glob("*.json"))
+            for path in batch:
+                document = None
+                try:
+                    document = json.loads(path.read_text())
+                    if document.get("schema") != REQUEST_SCHEMA:
+                        raise ServeError(
+                            f"{path.name}: expected schema "
+                            f"{REQUEST_SCHEMA!r}, "
+                            f"got {document.get('schema')!r}"
+                        )
+                    data = _load_request_data(document)
+                    handle = service.submit(
+                        data=data,
+                        backend=document.get("backend", "gpu-fast"),
+                        k=int(document.get("k", 10)),
+                        l=int(document.get("l", 5)),
+                        seed=int(document.get("seed", 0)),
+                        priority=int(document.get("priority", 1)),
+                    )
+                    response = _response_for(
+                        document, handle.result(timeout=600), handle
+                    )
+                except (ReproError, OSError, ValueError) as error:
+                    response = _error_response(
+                        document if isinstance(document, dict) else {},
+                        error,
+                    )
+                name = response["id"] or path.stem
+                (responses_dir / f"{name}.json").write_text(
+                    json.dumps(response, indent=2)
+                )
+                path.rename(done_dir / path.name)
+                handled += 1
+                say(
+                    f"{name}: "
+                    + ("ok" if response.get("ok") else "error")
+                )
+            if batch:
+                batches += 1
+            if once:
+                break
+            if max_batches is not None and batches >= max_batches:
+                break
+            time.sleep(poll_seconds)
+    finally:
+        if own_service:
+            service.close()
+    return handled

@@ -1,7 +1,12 @@
 """Terminal visualization: ASCII charts for benchmark series and traces."""
 
 from .ascii import bar_chart, line_chart, log_line_chart, sparkline
-from .timeline import render_device_lanes, render_span_tree, render_timeline
+from .timeline import (
+    render_device_lanes,
+    render_serve_lanes,
+    render_span_tree,
+    render_timeline,
+)
 
 __all__ = [
     "bar_chart",
@@ -10,5 +15,6 @@ __all__ = [
     "sparkline",
     "render_span_tree",
     "render_device_lanes",
+    "render_serve_lanes",
     "render_timeline",
 ]

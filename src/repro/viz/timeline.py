@@ -14,7 +14,12 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - hints only
     from ..obs.tracer import Span, Tracer
 
-__all__ = ["render_span_tree", "render_device_lanes", "render_timeline"]
+__all__ = [
+    "render_span_tree",
+    "render_device_lanes",
+    "render_serve_lanes",
+    "render_timeline",
+]
 
 
 def _format_seconds(seconds: float) -> str:
@@ -98,6 +103,81 @@ def render_device_lanes(tracer: "Tracer", width: int = 40) -> str:
             f"{name.ljust(name_width)}|{''.join(cells)}| "
             f"{_format_seconds(busy)} in {len(events)} launches"
         )
+    return "\n".join(lines)
+
+
+#: Event kinds marked on the serve ``events`` lane, by precedence
+#: (later entries win when several land in the same cell).
+_SERVE_MARKS = (
+    ("cache_hit", "h"),
+    ("coalesce", "*"),
+    ("evict", "e"),
+    ("reject", "!"),
+    ("fail", "!"),
+)
+
+
+def render_serve_lanes(events, width: int = 60) -> str:
+    """Queue-depth / occupancy lanes from a serve event log.
+
+    ``events`` is an iterable of :class:`~repro.serve.events.ServeEvent`
+    (or their ``as_dict()`` form).  Each event carries a snapshot of the
+    queue depth and running-job count, so the lanes sample those step
+    functions across the service's lifetime: a digit cell is the depth
+    at that instant (``+`` for 10 or more), and a final marker lane
+    flags cache hits (``h``), coalesced dispatches (``*``), evictions
+    (``e``), and rejects/failures (``!``).
+    """
+    records = [
+        event.as_dict() if hasattr(event, "as_dict") else dict(event)
+        for event in events
+    ]
+    if not records:
+        return "(no serve events recorded)"
+    records.sort(key=lambda record: record["ts"])
+    start = records[0]["ts"]
+    total = records[-1]["ts"] - start
+
+    def depth_cells(field: str) -> tuple[str, int]:
+        cells = []
+        peak = 0
+        index = 0
+        level = 0
+        for cell in range(width):
+            t = start + (total * (cell + 1) / width if total > 0 else 0.0)
+            while index < len(records) and records[index]["ts"] <= t:
+                level = records[index][field]
+                index += 1
+            peak = max(peak, level)
+            cells.append(" " if level <= 0 else str(level) if level < 10 else "+")
+        return "".join(cells), peak
+
+    queued_cells, queued_peak = depth_cells("queued")
+    running_cells, running_peak = depth_cells("running")
+
+    marks = [" "] * width
+    counts: dict[str, int] = {}
+    for record in records:
+        counts[record["kind"]] = counts.get(record["kind"], 0) + 1
+        for kind, mark in _SERVE_MARKS:
+            if record["kind"] == kind:
+                cell = (
+                    int((record["ts"] - start) / total * (width - 1))
+                    if total > 0
+                    else 0
+                )
+                marks[cell] = mark
+
+    name_width = 9
+    lines = [
+        f"serve timeline ({len(records)} events over {total:.3f}s)",
+        f"{'queued'.ljust(name_width)}|{queued_cells}| peak {queued_peak}",
+        f"{'running'.ljust(name_width)}|{running_cells}| peak {running_peak}",
+        f"{'events'.ljust(name_width)}|{''.join(marks)}| "
+        "h=cache hit  *=coalesce  e=evict  !=reject/fail",
+        "counts: "
+        + ", ".join(f"{kind}={counts[kind]}" for kind in sorted(counts)),
+    ]
     return "\n".join(lines)
 
 

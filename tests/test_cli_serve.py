@@ -1,0 +1,128 @@
+"""Tests for the serving CLI: repro serve / submit / loadgen."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.serve import read_response
+from repro.serve.spool import REQUEST_SCHEMA, RESPONSE_SCHEMA
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+SMALL = ("--n", "600", "--d", "8", "--clusters", "4",
+         "--k", "4", "--l", "3", "--a", "30", "--b", "5")
+
+
+class TestSubmitAndServe:
+    def test_roundtrip_through_the_spool(self, capsys, tmp_path):
+        spool = str(tmp_path / "spool")
+        code, out = run(
+            capsys, "submit", spool, *SMALL, "--id", "job-a",
+            "--backend", "gpu-fast",
+        )
+        assert code == 0
+        assert "job-a" in out
+        assert json.loads(
+            (tmp_path / "spool/requests/job-a.json").read_text()
+        )["schema"] == REQUEST_SCHEMA
+
+        code, out = run(capsys, "serve", spool, "--once", "--timeline")
+        assert code == 0
+        assert "1 requests handled" in out
+        assert "serve timeline" in out
+
+        response = read_response(spool, "job-a")
+        assert response["schema"] == RESPONSE_SCHEMA
+        assert response["ok"] is True
+        assert response["k"] == 4
+        assert len(response["labels_sha256"]) == 64
+        # Processed requests are moved aside, not deleted.
+        assert not (tmp_path / "spool/requests/job-a.json").exists()
+        assert (tmp_path / "spool/done/job-a.json").exists()
+
+    def test_submit_npy_and_wait(self, capsys, tmp_path):
+        data = np.random.default_rng(0).random((300, 6)).astype(np.float32)
+        npy = tmp_path / "data.npy"
+        np.save(npy, data)
+        spool = str(tmp_path / "spool")
+        code, _ = run(
+            capsys, "submit", spool, "--npy", str(npy), "--id", "job-n",
+            "--k", "3", "--l", "3", "--a", "20", "--b", "4",
+            "--backend", "fast",
+        )
+        assert code == 0
+        code, _ = run(capsys, "serve", spool, "--once")
+        assert code == 0
+        # --wait finds the already-written response immediately.
+        code, out = run(
+            capsys, "submit", spool, "--npy", str(npy), "--id", "job-n",
+            "--k", "3", "--l", "3", "--a", "20", "--b", "4",
+            "--backend", "fast", "--wait", "5",
+        )
+        assert code == 0
+        assert "cost=" in out
+        assert "labels sha256:" in out
+
+    def test_wait_without_server_times_out(self, capsys, tmp_path):
+        spool = str(tmp_path / "spool")
+        code = main([
+            "submit", spool, *SMALL, "--id", "job-w", "--wait", "0.1",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no response" in captured.err
+
+    def test_bad_request_yields_error_response(self, capsys, tmp_path):
+        spool = str(tmp_path / "spool")
+        code, _ = run(
+            capsys, "submit", spool, *SMALL, "--id", "job-x",
+            "--backend", "gpu-fast",
+        )
+        assert code == 0
+        # Corrupt the request's backend after the fact.
+        path = tmp_path / "spool/requests/job-x.json"
+        document = json.loads(path.read_text())
+        document["backend"] = "not-a-backend"
+        path.write_text(json.dumps(document))
+        code, _ = run(capsys, "serve", spool, "--once")
+        assert code == 0  # the *server* survives bad requests
+        response = read_response(spool, "job-x")
+        assert response["ok"] is False
+        assert "not-a-backend" in response["error"]
+
+
+class TestLoadgenCli:
+    def test_loadgen_writes_valid_report(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_serve.json"
+        code, out = run(
+            capsys, "loadgen", "--requests", "8", "--json", str(out_path),
+        )
+        assert code == 0
+        assert "0 violations" in out
+        assert "report written" in out
+        from repro.obs import validate_serve_report
+
+        report = json.loads(out_path.read_text())
+        assert validate_serve_report(report) == []
+        assert report["ok"] is True
+
+    def test_loadgen_timeline_flag(self, capsys):
+        code, out = run(
+            capsys, "loadgen", "--requests", "6", "--timeline",
+        )
+        assert code == 0
+        assert "serve timeline" in out
+        assert "queued" in out
+
+    def test_loadgen_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "--backends", "nope"])

@@ -81,7 +81,7 @@ class TestDocsDirectory:
     @pytest.mark.parametrize(
         "doc", ["algorithm.md", "architecture.md", "performance_model.md",
                 "usage.md", "reproducing.md", "faq.md", "observability.md",
-                "robustness.md"]
+                "robustness.md", "serving.md"]
     )
     def test_docs_exist_and_nonempty(self, doc):
         path = ROOT / "docs" / doc
@@ -103,3 +103,23 @@ class TestDocsDirectory:
                        "ParameterGrid", "ReuseLevel"):
             assert symbol in text
             assert hasattr(repro, symbol)
+
+
+class TestServingDoc:
+    def test_cli_subcommands_documented(self):
+        text = read("docs/serving.md")
+        for subcommand in ("serve", "submit", "loadgen"):
+            assert f"repro {subcommand}" in text
+
+    def test_schemas_match_the_code(self):
+        from repro.serve.loadgen import SERVE_BENCH_SCHEMA
+        from repro.serve.spool import REQUEST_SCHEMA, RESPONSE_SCHEMA
+
+        text = read("docs/serving.md")
+        for schema in (SERVE_BENCH_SCHEMA, REQUEST_SCHEMA, RESPONSE_SCHEMA):
+            assert schema.split("/")[0] in text
+
+    def test_usage_and_architecture_point_here(self):
+        assert "serving.md" in read("docs/usage.md")
+        assert "serving.md" in read("docs/architecture.md")
+        assert "ClusterService" in read("docs/usage.md")

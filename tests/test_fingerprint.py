@@ -1,0 +1,107 @@
+"""Property tests for the stable dataset fingerprint (repro.data.fingerprint).
+
+The fingerprint must identify the *clustering-relevant content* of an
+array: anything :func:`repro.core.base.validate_data` canonicalizes to
+the same float32 buffer must fingerprint the same, and any value or
+shape difference must change the digest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import dataset_fingerprint
+from repro.exceptions import DataValidationError
+
+unit = st.floats(0.0, 1.0, width=32)
+
+
+def matrices(min_n=2, max_n=20, min_d=1, max_d=6):
+    return hnp.arrays(
+        dtype=np.float32,
+        shape=st.tuples(
+            st.integers(min_n, max_n), st.integers(min_d, max_d)
+        ),
+        elements=unit,
+    )
+
+
+class TestCanonicalInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(matrices())
+    def test_memory_order_invariant(self, data):
+        fortran = np.asfortranarray(data)
+        assert dataset_fingerprint(fortran) == dataset_fingerprint(data)
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices())
+    def test_double_transpose_and_slice_copy(self, data):
+        expected = dataset_fingerprint(data)
+        assert dataset_fingerprint(data.T.T) == expected
+        padded = np.concatenate([data, np.ones_like(data)], axis=0)
+        assert dataset_fingerprint(padded[: data.shape[0]]) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices())
+    def test_dtype_widening_is_invariant(self, data):
+        assert dataset_fingerprint(data.astype(np.float64)) == (
+            dataset_fingerprint(data)
+        )
+
+    def test_integer_data_matches_float32_form(self):
+        ints = np.arange(24, dtype=np.int64).reshape(6, 4)
+        assert dataset_fingerprint(ints) == dataset_fingerprint(
+            ints.astype(np.float32)
+        )
+
+
+class TestSensitivity:
+    @settings(max_examples=30, deadline=None)
+    @given(matrices(min_n=2), st.data())
+    def test_any_value_change_changes_digest(self, data, draw):
+        row = draw.draw(st.integers(0, data.shape[0] - 1))
+        col = draw.draw(st.integers(0, data.shape[1] - 1))
+        mutated = data.copy()
+        mutated[row, col] = mutated[row, col] + 1.0
+        assert dataset_fingerprint(mutated) != dataset_fingerprint(data)
+
+    def test_shape_is_part_of_the_digest(self):
+        flat = np.arange(12, dtype=np.float32)
+        assert dataset_fingerprint(flat.reshape(3, 4)) != (
+            dataset_fingerprint(flat.reshape(4, 3))
+        )
+        assert dataset_fingerprint(flat.reshape(3, 4)) != (
+            dataset_fingerprint(flat)
+        )
+
+    def test_digest_is_stable_hex(self):
+        data = np.zeros((4, 2), dtype=np.float32)
+        digest = dataset_fingerprint(data)
+        assert digest == dataset_fingerprint(data.copy())
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(DataValidationError):
+            dataset_fingerprint(np.array([["a", "b"]]))
+
+
+class TestConsumers:
+    def test_checkpoint_uses_the_same_fingerprint(self):
+        from repro.resilience.checkpoint import data_fingerprint
+
+        assert data_fingerprint is dataset_fingerprint
+
+    def test_serve_registry_keys_by_fingerprint(self):
+        from repro.serve import DatasetRegistry
+
+        registry = DatasetRegistry()
+        data = np.random.default_rng(0).random((30, 4)).astype(np.float32)
+        fingerprint = registry.register(data)
+        assert fingerprint == dataset_fingerprint(data)
+        assert registry.register(np.asfortranarray(data)) == fingerprint
+        assert len(registry) == 1
+        assert np.array_equal(registry.get(fingerprint), data)

@@ -136,3 +136,69 @@ class TestGpuStudySharing:
         gpu = run_parameter_study(data, grid=grid, backend="gpu-fast", level=1, seed=4)
         for key in cpu.results:
             assert cpu.results[key].same_clustering(gpu.results[key])
+
+
+class TestDuplicateGridEntries:
+    """Regression: duplicated (k, l) grid entries used to run twice,
+    silently double-counting their work in ``total_stats``."""
+
+    @pytest.fixture(scope="class")
+    def dup_grid(self):
+        return ParameterGrid(ks=(5, 5, 4), ls=(3, 2, 2),
+                             base=ProclusParams(a=20, b=4))
+
+    @pytest.fixture(scope="class")
+    def clean_grid(self):
+        return ParameterGrid(ks=(5, 4), ls=(3, 2),
+                             base=ProclusParams(a=20, b=4))
+
+    def test_duplicates_warn_and_run_once(self, data, dup_grid, clean_grid):
+        with pytest.warns(UserWarning, match="duplicate setting"):
+            duplicated = run_parameter_study(
+                data, grid=dup_grid, backend="fast", level=1, seed=0
+            )
+        clean = run_parameter_study(
+            data, grid=clean_grid, backend="fast", level=1, seed=0
+        )
+        assert duplicated.num_settings == clean.num_settings == 4
+        for key in clean.results:
+            assert duplicated.results[key].same_clustering(clean.results[key])
+
+    def test_duplicate_work_not_double_counted(self, data, dup_grid, clean_grid):
+        with pytest.warns(UserWarning):
+            duplicated = run_parameter_study(
+                data, grid=dup_grid, backend="fast", level=1, seed=0
+            )
+        clean = run_parameter_study(
+            data, grid=clean_grid, backend="fast", level=1, seed=0
+        )
+        assert duplicated.total_stats.modeled_seconds == pytest.approx(
+            clean.total_stats.modeled_seconds
+        )
+
+    def test_duplicate_counter_emitted(self, data, dup_grid):
+        from repro.obs import Tracer, use_tracer
+
+        tracer = Tracer()
+        with tracer.span("study-test"), use_tracer(tracer):
+            with pytest.warns(UserWarning):
+                run_parameter_study(
+                    data, grid=dup_grid, backend="fast", level=1, seed=0
+                )
+        counters = tracer.metrics.as_dict()["counters"]
+        # (5,5,4)x(3,2,2): 9 iterated combos, 4 unique -> 5 skips.
+        assert counters["study.duplicate_settings"] == 5
+
+    def test_resilient_study_also_dedupes(self, data, dup_grid, clean_grid):
+        from repro.resilience import run_resilient_study
+
+        with pytest.warns(UserWarning, match="duplicate setting"):
+            duplicated = run_resilient_study(
+                data, grid=dup_grid, backend="fast", level=1, seed=0
+            )
+        clean = run_parameter_study(
+            data, grid=clean_grid, backend="fast", level=1, seed=0
+        )
+        assert duplicated.num_settings == 4
+        for key in clean.results:
+            assert duplicated.results[key].same_clustering(clean.results[key])

@@ -1,0 +1,102 @@
+"""Tests for the load generator and its BENCH_serve.json report."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs import validate_serve_report
+from repro.serve import run_loadgen
+from repro.serve.loadgen import SERVE_BENCH_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_loadgen(num_requests=12, seed=0, workers=2)
+
+
+class TestLoadgenReport:
+    def test_report_is_ok_and_valid(self, report):
+        assert report["schema"] == SERVE_BENCH_SCHEMA
+        assert report["ok"] is True
+        assert validate_serve_report(report) == []
+
+    def test_no_determinism_violations(self, report):
+        assert report["determinism"]["checked"] == 12
+        assert report["determinism"]["violations"] == []
+
+    def test_coalesced_serving_strictly_saves_modeled_time(self, report):
+        totals = report["totals"]
+        assert totals["served_modeled_seconds"] > 0
+        assert totals["served_modeled_seconds"] < (
+            totals["naive_modeled_seconds"]
+        )
+        assert totals["saved_modeled_seconds"] == pytest.approx(
+            totals["naive_modeled_seconds"]
+            - totals["served_modeled_seconds"]
+        )
+        assert totals["speedup"] > 1.0
+
+    def test_served_work_counters_do_not_exceed_naive(self, report):
+        naive = report["totals"]["naive_counters"]
+        served = report["totals"]["served_counters"]
+        assert sum(served.values()) < sum(naive.values())
+
+    def test_report_is_json_serializable(self, report, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps(report))
+        assert validate_serve_report(json.loads(path.read_text())) == []
+
+    def test_events_and_latency_recorded(self, report):
+        kinds = {event["kind"] for event in report["events"]}
+        assert {"submit", "complete"} <= kinds
+        assert report["latency_seconds"]["p50"] > 0
+        assert report["latency_seconds"]["max"] >= (
+            report["latency_seconds"]["p95"]
+        )
+
+    def test_same_seed_reproduces_the_mix(self, report):
+        again = run_loadgen(num_requests=12, seed=0, workers=2)
+        assert again["unique_settings"] == report["unique_settings"]
+        assert again["totals"]["naive_modeled_seconds"] == pytest.approx(
+            report["totals"]["naive_modeled_seconds"]
+        )
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ParameterError, match="num_requests"):
+            run_loadgen(0)
+        with pytest.raises(ParameterError, match="unknown backend"):
+            run_loadgen(4, backends=("nope",))
+
+
+class TestValidateServeReport:
+    def test_rejects_non_objects_and_wrong_schema(self):
+        assert validate_serve_report([]) != []
+        problems = validate_serve_report({"schema": "other/1"})
+        assert any("schema" in problem for problem in problems)
+
+    def test_flags_missing_keys(self):
+        problems = validate_serve_report({"schema": SERVE_BENCH_SCHEMA})
+        assert any("totals" in problem for problem in problems)
+        assert any("determinism" in problem for problem in problems)
+
+    def test_flags_inconsistent_totals(self, report):
+        broken = copy.deepcopy(report)
+        broken["totals"]["saved_modeled_seconds"] += 1.0
+        problems = validate_serve_report(broken)
+        assert any("naive - served" in problem for problem in problems)
+
+    def test_flags_ok_mismatch(self, report):
+        broken = copy.deepcopy(report)
+        broken["determinism"]["violations"] = [{"request": 0}]
+        problems = validate_serve_report(broken)
+        assert any("'ok'" in problem for problem in problems)
+
+    def test_flags_negative_latency(self, report):
+        broken = copy.deepcopy(report)
+        broken["latency_seconds"]["p50"] = -1.0
+        problems = validate_serve_report(broken)
+        assert any("latency" in problem for problem in problems)

@@ -1,0 +1,302 @@
+"""Unit tests for the serving layer (repro.serve) components.
+
+The end-to-end determinism contract lives in
+``test_serve_coalescing.py``; these tests cover the parts: registry,
+request keys, scheduler admission/coalescing, the result cache, the
+event log, and the service's caching/dedup/observability behavior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AdmissionError, ParameterError, ServeError
+from repro.hardware.specs import GTX_1660_TI
+from repro.params import ProclusParams
+from repro.serve import (
+    ClusterRequest,
+    ClusterService,
+    DatasetRegistry,
+    JobScheduler,
+    ResultCache,
+    estimate_device_bytes,
+)
+from repro.serve.request import Job
+
+
+def small_params(**changes) -> ProclusParams:
+    base = dict(k=4, l=3, a=30, b=5)
+    base.update(changes)
+    return ProclusParams(**base)
+
+
+def make_job(job_id=0, fingerprint="f" * 64, backend="gpu-fast",
+             seed=0, priority=1, estimated_bytes=0, **params):
+    request = ClusterRequest(
+        fingerprint=fingerprint, backend=backend,
+        params=small_params(**params), seed=seed, priority=priority,
+    )
+    return Job(request=request, job_id=job_id,
+               estimated_bytes=estimated_bytes)
+
+
+class TestDatasetRegistry:
+    def test_register_is_idempotent_and_canonical(self):
+        registry = DatasetRegistry()
+        data = np.random.default_rng(0).random((40, 5))
+        fingerprint = registry.register(data)
+        assert registry.register(data.astype(np.float32)) == fingerprint
+        assert len(registry) == 1
+        stored = registry.get(fingerprint)
+        assert stored.dtype == np.float32
+        assert not stored.flags.writeable
+
+    def test_unknown_fingerprint_rejected(self):
+        with pytest.raises(ServeError, match="unknown dataset"):
+            DatasetRegistry().get("0" * 64)
+
+
+class TestRequestKeys:
+    def test_share_key_ignores_l(self):
+        a = ClusterRequest("f" * 64, "gpu-fast", small_params(l=3))
+        b = ClusterRequest("f" * 64, "gpu-fast", small_params(l=4))
+        assert a.share_key == b.share_key
+        assert a.cache_key != b.cache_key
+
+    def test_share_key_separates_seed_backend_and_k(self):
+        base = ClusterRequest("f" * 64, "gpu-fast", small_params())
+        for other in (
+            ClusterRequest("f" * 64, "gpu-fast", small_params(), seed=1),
+            ClusterRequest("f" * 64, "gpu", small_params()),
+            ClusterRequest("f" * 64, "gpu-fast", small_params(k=5, l=3)),
+            ClusterRequest("e" * 64, "gpu-fast", small_params()),
+        ):
+            assert other.share_key != base.share_key
+
+    def test_fingerprint_validated(self):
+        with pytest.raises(ParameterError):
+            ClusterRequest("", "gpu-fast", small_params())
+
+
+class TestEstimateDeviceBytes:
+    def test_cpu_backends_are_free(self):
+        assert estimate_device_bytes(10_000, 15, small_params(), "fast") == 0
+
+    def test_scales_with_n_and_k(self):
+        params = small_params()
+        small = estimate_device_bytes(1_000, 10, params, "gpu-fast")
+        bigger_n = estimate_device_bytes(100_000, 10, params, "gpu-fast")
+        bigger_k = estimate_device_bytes(
+            1_000, 10, small_params(k=8, l=3), "gpu-fast"
+        )
+        assert small < bigger_n
+        assert small < bigger_k
+
+    def test_paper_space_limit_on_the_6gb_card(self):
+        # Section 5: on the 6 GB GTX 1660 Ti space becomes the limit in
+        # the millions of points; a k=20 run at 8M points must exceed
+        # the usable VRAM while the 1M run still fits.
+        params = ProclusParams(k=20, l=5)
+        needed = estimate_device_bytes(8_000_000, 15, params, "gpu-fast")
+        assert needed > GTX_1660_TI.usable_bytes
+        fits = estimate_device_bytes(1_000_000, 15, params, "gpu-fast")
+        assert fits < GTX_1660_TI.usable_bytes
+
+    def test_variants_differ(self):
+        params = small_params()
+        star = estimate_device_bytes(50_000, 10, params, "gpu-fast-star")
+        fast = estimate_device_bytes(50_000, 10, params, "gpu-fast")
+        plain = estimate_device_bytes(50_000, 10, params, "gpu")
+        assert len({star, fast, plain}) == 3
+
+
+class TestJobScheduler:
+    def test_priority_order_with_fifo_tiebreak(self):
+        scheduler = JobScheduler(coalesce=False)
+        scheduler.push(make_job(0, seed=0, priority=2))
+        scheduler.push(make_job(1, seed=1, priority=1))
+        scheduler.push(make_job(2, seed=2, priority=1))
+        order = [scheduler.pop_group()[0].job_id for _ in range(3)]
+        assert order == [1, 2, 0]
+        assert scheduler.pop_group() == []
+
+    def test_pop_group_coalesces_share_key_siblings(self):
+        scheduler = JobScheduler()
+        scheduler.push(make_job(0, l=3, seed=0))
+        scheduler.push(make_job(1, l=4, seed=1))  # different share key
+        scheduler.push(make_job(2, l=4, seed=0))
+        scheduler.push(make_job(3, l=5, seed=0))
+        group = scheduler.pop_group()
+        assert [job.job_id for job in group] == [0, 2, 3]
+        assert scheduler.depth == 1
+        assert [job.job_id for job in scheduler.pop_group()] == [1]
+
+    def test_queue_depth_admission(self):
+        scheduler = JobScheduler(max_queue_depth=1)
+        scheduler.admit(make_job(0))
+        scheduler.push(make_job(0))
+        with pytest.raises(AdmissionError) as info:
+            scheduler.admit(make_job(1))
+        assert info.value.reason == "queue"
+
+    def test_memory_admission(self):
+        scheduler = JobScheduler(capacity_bytes=1_000)
+        scheduler.admit(make_job(0, estimated_bytes=999))
+        with pytest.raises(AdmissionError) as info:
+            scheduler.admit(make_job(1, estimated_bytes=1_001))
+        assert info.value.reason == "memory"
+
+    def test_backlog_admission_uses_observed_ewma(self):
+        scheduler = JobScheduler(max_backlog_seconds=1.0)
+        scheduler.observe("gpu-fast", 0.7)
+        scheduler.admit(make_job(0))
+        scheduler.push(make_job(0))
+        assert scheduler.backlog_seconds() == pytest.approx(0.7)
+        with pytest.raises(AdmissionError) as info:
+            scheduler.admit(make_job(1))
+        assert info.value.reason == "backlog"
+
+    def test_coalesce_off_pops_singletons(self):
+        scheduler = JobScheduler(coalesce=False)
+        scheduler.push(make_job(0, l=3))
+        scheduler.push(make_job(1, l=4))
+        assert len(scheduler.pop_group()) == 1
+        assert len(scheduler.pop_group()) == 1
+
+
+class TestResultCache:
+    def test_lru_eviction_and_counters(self):
+        cache = ResultCache(max_entries=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a": now "b" is oldest
+        evicted = cache.put("c", 3)
+        assert evicted == ["b"]
+        assert cache.get("b") is None
+        assert cache.stats() == {
+            "entries": 2, "max_entries": 2,
+            "hits": 1, "misses": 2, "evictions": 1,
+        }
+
+    def test_zero_entries_disables_caching(self):
+        cache = ResultCache(max_entries=0)
+        assert cache.put("a", 1) == []
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ParameterError):
+            ResultCache(max_entries=-1)
+
+
+@pytest.fixture(scope="module")
+def served(small_dataset):
+    """One service lifecycle shared by the behavior assertions below."""
+    data, _ = small_dataset
+    params = ProclusParams(k=4, l=3, a=30, b=5)
+    with ClusterService(workers=2, cache_entries=4) as service:
+        first = service.submit(data=data, backend="gpu-fast", params=params)
+        first.result(timeout=120)
+        repeat = service.submit(data=data, backend="gpu-fast", params=params)
+        repeat.result(timeout=120)
+        other = service.submit(
+            data=data, backend="gpu-fast", params=params.with_(l=4)
+        )
+        other.result(timeout=120)
+        stats = service.stats()
+        events = service.log.as_dicts()
+    return first, repeat, other, stats, events
+
+
+class TestClusterService:
+    def test_repeat_request_is_a_cache_hit(self, served):
+        first, repeat, _, stats, _ = served
+        assert not first.cached
+        assert repeat.cached
+        assert stats["cache"]["hits"] == 1
+        assert np.array_equal(
+            first.result().labels, repeat.result().labels
+        )
+
+    def test_events_and_counters_recorded(self, served):
+        *_, stats, events = served
+        kinds = {event["kind"] for event in events}
+        assert {"submit", "admit", "start", "complete", "cache_hit"} <= kinds
+        assert stats["counters"]["serve.requests"] == 3
+        assert stats["counters"]["serve.completed"] == 2
+        assert stats["executed_modeled_seconds"] > 0
+        assert stats["peak_reserved_bytes"] > 0
+
+    def test_latency_and_status(self, served):
+        first, repeat, other, _, _ = served
+        for handle in (first, repeat, other):
+            assert handle.done()
+            assert handle.status == "done"
+            assert handle.latency >= 0.0
+
+    def test_submit_requires_exactly_one_data_source(self, small_dataset):
+        data, _ = small_dataset
+        with ClusterService(workers=1) as service:
+            with pytest.raises(ServeError):
+                service.submit()
+            with pytest.raises(ServeError):
+                service.submit(data=data, fingerprint="a" * 64)
+            with pytest.raises(ServeError, match="unknown dataset"):
+                service.submit(fingerprint="a" * 64)
+
+    def test_submit_by_fingerprint_after_register(self, small_dataset):
+        data, _ = small_dataset
+        with ClusterService(workers=1) as service:
+            fingerprint = service.register(data)
+            handle = service.submit(
+                fingerprint=fingerprint, backend="fast",
+                params=ProclusParams(k=4, l=3, a=30, b=5),
+            )
+            assert handle.result(timeout=120).k == 4
+
+    def test_infeasible_memory_request_rejected(self, small_dataset):
+        import dataclasses
+
+        data, _ = small_dataset
+        # A card whose usable VRAM cannot even hold this tiny dataset.
+        tiny_card = dataclasses.replace(
+            GTX_1660_TI, name="tiny", memory_bytes=16_384,
+            reserved_bytes=8_192,
+        )
+        with ClusterService(workers=1, gpu_spec=tiny_card) as service:
+            with pytest.raises(AdmissionError) as info:
+                service.submit(
+                    data=data, backend="gpu-fast",
+                    params=ProclusParams(k=4, l=3, a=30, b=5),
+                )
+            assert info.value.reason == "memory"
+            assert service.log.count("reject") == 1
+            stats = service.stats()
+            assert stats["counters"]["serve.rejected"] == 1
+            assert stats["counters"]["serve.rejected.memory"] == 1
+
+    def test_close_fails_pending_handles(self, small_dataset):
+        data, _ = small_dataset
+        service = ClusterService(workers=1)
+        handle = service.submit(
+            data=data, backend="fast",
+            params=ProclusParams(k=4, l=3, a=30, b=5),
+        )
+        service.close(drain=False)
+        if handle.status == "failed":
+            with pytest.raises(ServeError, match="closed"):
+                handle.result(timeout=1)
+        else:
+            assert handle.result(timeout=1).k == 4
+
+    def test_closed_service_refuses_submissions(self, small_dataset):
+        data, _ = small_dataset
+        service = ClusterService(workers=1)
+        service.close()
+        with pytest.raises(ServeError):
+            service.submit(
+                data=data, backend="fast",
+                params=ProclusParams(k=4, l=3, a=30, b=5),
+            )

@@ -80,3 +80,64 @@ class TestTimeline:
         assert "only" in text
         assert "device timeline" not in text
         assert "final counters" not in text
+
+
+class TestServeLanes:
+    def test_empty_events(self):
+        from repro.viz import render_serve_lanes
+
+        assert render_serve_lanes([]) == "(no serve events recorded)"
+
+    def test_synthetic_event_log(self):
+        from repro.serve.events import ServeEvent
+        from repro.viz import render_serve_lanes
+
+        events = [
+            ServeEvent(ts=0.0, kind="submit", queued=1, running=0),
+            ServeEvent(ts=0.1, kind="admit", queued=2, running=0),
+            ServeEvent(ts=0.2, kind="coalesce", queued=0, running=2),
+            ServeEvent(ts=0.3, kind="cache_hit", queued=0, running=2),
+            ServeEvent(ts=0.4, kind="reject", queued=0, running=2),
+            ServeEvent(ts=0.5, kind="complete", queued=0, running=0),
+        ]
+        text = render_serve_lanes(events, width=30)
+        lines = text.splitlines()
+        assert "6 events" in lines[0]
+        queued = next(line for line in lines if line.startswith("queued"))
+        running = next(line for line in lines if line.startswith("running"))
+        marks = next(line for line in lines if line.startswith("events"))
+        assert "peak 2" in queued
+        assert "2" in running.split("|")[1]
+        assert "*" in marks and "h" in marks and "!" in marks
+        assert "coalesce=1" in lines[-1]
+
+    def test_accepts_dict_events_and_deep_queues(self):
+        from repro.viz import render_serve_lanes
+
+        events = [
+            {"ts": float(index), "kind": "submit",
+             "queued": index + 8, "running": 0}
+            for index in range(6)
+        ]
+        text = render_serve_lanes(events, width=20)
+        assert "+" in text  # depths >= 10 render as '+'
+        assert "peak 13" in text
+
+    def test_real_service_log_renders(self):
+        import numpy as np
+
+        from repro.serve import ClusterService
+        from repro.viz import render_serve_lanes
+        from repro.params import ProclusParams
+
+        data = np.random.default_rng(1).random((200, 6)).astype(np.float32)
+        with ClusterService(workers=1) as service:
+            handle = service.submit(
+                data=data, backend="fast",
+                params=ProclusParams(k=3, l=3, a=20, b=4),
+            )
+            handle.result(timeout=120)
+            text = render_serve_lanes(service.log.snapshot())
+        assert "serve timeline" in text
+        assert "running" in text
+        assert "submit=1" in text
