@@ -11,7 +11,26 @@ suite finishes in minutes on a laptop; set ``REPRO_BENCH_SCALE=paper``
 to sweep the paper's full dataset sizes (hours, needs tens of GB RAM).
 """
 
+from .baseline import (
+    QUICK_TIER,
+    QuickWorkload,
+    load_baselines,
+    run_quick_tier,
+    write_baselines,
+)
+from .regress import run_regression_check
 from .reporting import ExperimentReport
 from .workloads import bench_scale, default_n, repeats
 
-__all__ = ["ExperimentReport", "bench_scale", "default_n", "repeats"]
+__all__ = [
+    "ExperimentReport",
+    "bench_scale",
+    "default_n",
+    "repeats",
+    "QuickWorkload",
+    "QUICK_TIER",
+    "run_quick_tier",
+    "write_baselines",
+    "load_baselines",
+    "run_regression_check",
+]

@@ -1,0 +1,279 @@
+"""Performance baseline store: the quick tier and its on-disk format.
+
+The paper's headline claims are relative running-time shapes, so the
+repository freezes them as *committed baselines*: a small fixed tier of
+workloads (:data:`QUICK_TIER`) is run over fixed seeds and the modeled
+seconds + deterministic work counters of every run are written as one
+schema-versioned ``repro.bench_baseline/1`` JSON file per workload
+under ``benchmarks/baselines/``.  Because the repository measures
+*modeled* device time (a deterministic cost model, not wall clock), a
+clean re-run reproduces the baseline bit-for-bit on any machine — any
+delta is a code change, not noise.  :mod:`repro.bench.regress` turns
+that property into a CI gate.
+
+``repro bench quick --save-baseline`` regenerates the store;
+``repro regress`` compares a fresh run against it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from ..core import proclus
+from ..data.synthetic import generate_subspace_data
+from ..obs.export import report_envelope
+from .reporting import ExperimentReport, format_seconds
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BENCH_QUICK_SCHEMA",
+    "DEFAULT_BASELINE_DIR",
+    "EXACT_COUNTERS",
+    "QUICK_SEEDS",
+    "QUICK_TIER",
+    "QuickWorkload",
+    "run_workload",
+    "run_quick_tier",
+    "write_baselines",
+    "load_baselines",
+    "quick_report",
+    "bench_quick_record",
+]
+
+#: Per-workload baseline file schema (bump on incompatible changes).
+BASELINE_SCHEMA = "repro.bench_baseline/1"
+#: Aggregate quick-tier report schema (``BENCH_bench_quick.json``).
+BENCH_QUICK_SCHEMA = "repro.bench_quick/1"
+#: Where the committed baselines live, relative to the repo root.
+DEFAULT_BASELINE_DIR = "benchmarks/baselines"
+
+#: Seeds every quick-tier workload is run over.  Five paired samples
+#: give the sign test its resolution: all-five-slower has one-sided
+#: p = 1/32 < 0.05, so a consistent slowdown is significant while a
+#: mixed pattern is not.
+QUICK_SEEDS: tuple[int, ...] = (0, 1, 2, 3, 4)
+
+#: Work counters that must match a clean baseline EXACTLY (the modeled
+#: pipeline is deterministic, so any drift in these is a behavior
+#: change, not noise).  Counters absent from a run are skipped, so one
+#: list covers GPU and CPU backends.
+EXACT_COUNTERS: tuple[str, ...] = (
+    "cache.dist_rows_hit",
+    "cache.dist_rows_missed",
+    "gpu.flops",
+    "gpu.gmem_bytes",
+    "gpu.h2d_bytes",
+    "gpu.atomic_ops",
+    "gpu.kernel_launches",
+    "cpu.scalar_ops",
+    "cpu.vector_ops",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class QuickWorkload:
+    """One fixed benchmark configuration of the quick tier."""
+
+    name: str
+    backend: str
+    n: int
+    d: int = 15
+    n_clusters: int = 10
+    subspace_dims: int = 5
+    std: float = 5.0
+    k: int = 10
+    l: int = 5
+
+
+#: The quick tier: one workload per headline backend at n=8192 (where
+#: the Dist-cache advantage is already measurable) plus one larger
+#: gpu-fast point guarding the scaling shape.  Seconds of wall time in
+#: total — cheap enough for a per-PR CI gate.
+QUICK_TIER: tuple[QuickWorkload, ...] = (
+    QuickWorkload(name="gpu-n8k", backend="gpu", n=8192),
+    QuickWorkload(name="gpu-fast-n8k", backend="gpu-fast", n=8192),
+    QuickWorkload(name="gpu-fast-star-n8k", backend="gpu-fast-star", n=8192),
+    QuickWorkload(name="fast-n8k", backend="fast", n=8192),
+    QuickWorkload(name="gpu-fast-n16k", backend="gpu-fast", n=16384),
+)
+
+
+def run_workload(
+    workload: QuickWorkload,
+    seeds: Sequence[int] = QUICK_SEEDS,
+    backend: str | None = None,
+) -> dict[str, Any]:
+    """Run one workload over every seed; returns its baseline record.
+
+    ``backend`` overrides the workload's backend (the regression gate's
+    fault-injection hook: running ``gpu-fast`` workloads through
+    ``gpu-fast-h-only`` is exactly "the Dist cache was lost").  The
+    record always describes the *workload's* declared backend so it
+    stays comparable against the committed baseline.
+    """
+    actual_backend = backend if backend is not None else workload.backend
+    modeled: list[float] = []
+    wall: list[float] = []
+    cost: list[float] = []
+    counters: dict[str, list[float]] = {}
+    for seed in seeds:
+        dataset = generate_subspace_data(
+            n=workload.n,
+            d=workload.d,
+            n_clusters=workload.n_clusters,
+            subspace_dims=workload.subspace_dims,
+            std=workload.std,
+            seed=seed,
+        )
+        started = time.perf_counter()
+        result = proclus(
+            dataset.data,
+            k=workload.k,
+            l=workload.l,
+            backend=actual_backend,
+            seed=seed,
+        )
+        wall.append(time.perf_counter() - started)
+        modeled.append(result.stats.modeled_seconds)
+        cost.append(float(result.cost))
+        for name in EXACT_COUNTERS:
+            if name in result.stats.counters:
+                counters.setdefault(name, []).append(
+                    float(result.stats.counters[name])
+                )
+    return {
+        **report_envelope(BASELINE_SCHEMA),
+        "workload": asdict(workload),
+        "seeds": list(seeds),
+        "modeled_seconds": modeled,
+        "wall_seconds": wall,  # informational only; machine-dependent
+        "cost": cost,
+        "counters": counters,
+    }
+
+
+def run_quick_tier(
+    seeds: Sequence[int] = QUICK_SEEDS,
+    tier: Sequence[QuickWorkload] = QUICK_TIER,
+    backend_map: Mapping[str, str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[dict[str, Any]]:
+    """Run the whole quick tier; returns one baseline record per workload.
+
+    ``backend_map`` remaps workload backends before running (the
+    deliberate-slowdown injection used by ``repro regress --inject``
+    and its tests); unmapped backends run unchanged.
+    """
+    records = []
+    for workload in tier:
+        backend = (backend_map or {}).get(workload.backend)
+        if progress is not None:
+            note = f" (as {backend})" if backend else ""
+            progress(f"running {workload.name}{note} ...")
+        records.append(run_workload(workload, seeds, backend=backend))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Store IO
+# ----------------------------------------------------------------------
+def write_baselines(
+    records: Sequence[dict[str, Any]], directory: str | Path
+) -> list[Path]:
+    """Write one ``<workload-name>.json`` per record; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for record in records:
+        path = directory / f"{record['workload']['name']}.json"
+        with open(path, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        paths.append(path)
+    return paths
+
+
+def load_baselines(directory: str | Path) -> dict[str, dict[str, Any]]:
+    """Load every baseline record from a store directory, keyed by name.
+
+    Returns an empty dict for a missing or empty directory (the
+    regression gate treats that as an invalid baseline, exit 2).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return {}
+    records: dict[str, dict[str, Any]] = {}
+    for path in sorted(directory.glob("*.json")):
+        record = json.loads(path.read_text())
+        name = record.get("workload", {}).get("name", path.stem)
+        records[name] = record
+    return records
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def quick_report(records: Sequence[dict[str, Any]]) -> ExperimentReport:
+    """Render quick-tier records as the harness's standard report."""
+    report = ExperimentReport(
+        experiment_id="quick",
+        title="Quick-tier baseline workloads (modeled seconds over seeds)",
+        columns=["workload", "backend", "n", "modeled mean", "modeled min",
+                 "modeled max", "dist hit-rate"],
+        paper_reference=(
+            "not a paper figure; the committed performance baseline the "
+            "regression gate (repro regress) compares against"
+        ),
+    )
+    for record in records:
+        workload = record["workload"]
+        modeled = record["modeled_seconds"]
+        mean = sum(modeled) / len(modeled)
+        hits = sum(record["counters"].get("cache.dist_rows_hit", [0.0]))
+        misses = sum(record["counters"].get("cache.dist_rows_missed", [0.0]))
+        rate = hits / (hits + misses) if hits + misses else 0.0
+        report.add_row(
+            workload["name"],
+            workload["backend"],
+            workload["n"],
+            format_seconds(mean).strip(),
+            format_seconds(min(modeled)).strip(),
+            format_seconds(max(modeled)).strip(),
+            f"{rate:.3f}",
+        )
+        report.add_series("modeled_mean", workload["name"], mean)
+        report.key_numbers[f"{workload['name']}_modeled_mean"] = mean
+    return report
+
+
+def bench_quick_record(
+    records: Sequence[dict[str, Any]], wall_seconds: float
+) -> dict[str, Any]:
+    """The aggregate ``BENCH_bench_quick.json`` payload."""
+    workloads = []
+    for record in records:
+        modeled = record["modeled_seconds"]
+        workloads.append(
+            {
+                "name": record["workload"]["name"],
+                "backend": record["workload"]["backend"],
+                "n": record["workload"]["n"],
+                "seeds": record["seeds"],
+                "modeled_seconds": modeled,
+                "modeled_mean": sum(modeled) / len(modeled),
+                "counters": {
+                    name: sum(values)
+                    for name, values in record["counters"].items()
+                },
+            }
+        )
+    return {
+        **report_envelope(BENCH_QUICK_SCHEMA),
+        "ok": True,
+        "wall_seconds": wall_seconds,
+        "workloads": workloads,
+    }

@@ -1,0 +1,246 @@
+"""The performance-regression gate: fresh quick-tier run vs baseline.
+
+Compares a fresh :mod:`repro.bench.baseline` run against the committed
+store with two noise-aware detectors:
+
+* **Modeled seconds** — per-seed paired deltas.  A workload regresses
+  only when the mean relative slowdown exceeds ``rel_threshold`` AND a
+  one-sided sign test over the non-tied pairs is significant (``p <=
+  alpha``): a consistent all-seeds-slower pattern at 5 seeds has
+  p = 1/32 < 0.05, while a mixed faster/slower pattern does not reach
+  significance.  Because modeled time is a deterministic cost model, a
+  clean re-run produces all-ties (p = 1) and can never trip the gate.
+* **Exact metrics** — deterministic work counters
+  (:data:`~repro.bench.baseline.EXACT_COUNTERS`) and the final
+  clustering cost must match the baseline bit-for-bit, per seed.  Any
+  drift is a behavior change: a lost cache shows up here as a hit-rate
+  collapse long before the time delta is large.
+
+The verdict is a schema-versioned ``repro.regress/1`` report with the
+CLI exit code embedded: 0 ok, 1 regression, 2 invalid baseline
+(missing store, seed/workload mismatch, malformed record).
+``repro regress`` writes it as ``BENCH_regress.json``.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Any, Mapping, Sequence
+
+from ..obs.export import report_envelope
+from .baseline import BASELINE_SCHEMA, EXACT_COUNTERS
+
+__all__ = [
+    "REGRESS_SCHEMA",
+    "EXIT_OK",
+    "EXIT_REGRESSION",
+    "EXIT_INVALID_BASELINE",
+    "sign_test_p",
+    "compare_samples",
+    "compare_workload",
+    "run_regression_check",
+]
+
+#: Verdict report schema (``BENCH_regress.json``).
+REGRESS_SCHEMA = "repro.regress/1"
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_INVALID_BASELINE = 2
+
+#: Default mean-relative-slowdown threshold.  Deterministic modeled
+#: time makes clean runs all-ties, so this guards only against flagging
+#: a significant-but-negligible drift (e.g. a deliberate constant
+#: tweak); 0.5% is far below any real lost optimization.
+DEFAULT_REL_THRESHOLD = 0.005
+#: Sign-test significance level.
+DEFAULT_ALPHA = 0.05
+
+
+def sign_test_p(slower: int, faster: int) -> float:
+    """One-sided sign test: P(>= ``slower`` of n pairs slow by chance).
+
+    ``slower``/``faster`` are the non-tied pair counts (ties carry no
+    directional evidence and must be excluded by the caller).  Returns
+    1.0 when there are no non-tied pairs.
+    """
+    if slower < 0 or faster < 0:
+        raise ValueError(
+            f"pair counts must be non-negative, got {slower}, {faster}"
+        )
+    n = slower + faster
+    if n == 0:
+        return 1.0
+    return sum(comb(n, i) for i in range(slower, n + 1)) / 2.0**n
+
+
+def compare_samples(
+    baseline: Sequence[float],
+    fresh: Sequence[float],
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    alpha: float = DEFAULT_ALPHA,
+) -> dict[str, Any]:
+    """Compare paired modeled-seconds samples; returns the verdict dict.
+
+    Regression requires BOTH a mean relative slowdown above
+    ``rel_threshold`` and sign-test significance over the non-tied
+    pairs — magnitude alone (one bad seed) or consistency alone (five
+    seeds each 0.01% slower) is not enough.
+    """
+    if len(baseline) != len(fresh):
+        raise ValueError(
+            f"paired samples differ in length: {len(baseline)} vs {len(fresh)}"
+        )
+    if not baseline:
+        raise ValueError("cannot compare empty samples")
+    deltas = [
+        (new - old) / old if old else 0.0
+        for old, new in zip(baseline, fresh)
+    ]
+    mean_rel_delta = sum(deltas) / len(deltas)
+    slower = sum(1 for old, new in zip(baseline, fresh) if new > old)
+    faster = sum(1 for old, new in zip(baseline, fresh) if new < old)
+    p_slower = sign_test_p(slower, faster)
+    return {
+        "baseline": list(baseline),
+        "fresh": list(fresh),
+        "rel_deltas": deltas,
+        "mean_rel_delta": mean_rel_delta,
+        "slower": slower,
+        "faster": faster,
+        "ties": len(deltas) - slower - faster,
+        "p_slower": p_slower,
+        "regression": mean_rel_delta > rel_threshold and p_slower <= alpha,
+    }
+
+
+def compare_workload(
+    baseline: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    alpha: float = DEFAULT_ALPHA,
+) -> dict[str, Any]:
+    """Compare one fresh workload record against its committed baseline.
+
+    Returns a per-workload verdict: ``invalid`` problems (the records
+    are not comparable — wrong schema, different workload definition or
+    seeds), ``regressions`` (human-readable, offending metric named),
+    and the modeled-seconds comparison detail.
+    """
+    name = fresh.get("workload", {}).get("name", "?")
+    invalid: list[str] = []
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        invalid.append(
+            f"baseline schema must be {BASELINE_SCHEMA!r}, "
+            f"got {baseline.get('schema')!r}"
+        )
+    if baseline.get("workload") != fresh.get("workload"):
+        invalid.append(
+            "workload definitions differ between baseline and fresh run "
+            f"({baseline.get('workload')} vs {fresh.get('workload')})"
+        )
+    if baseline.get("seeds") != fresh.get("seeds"):
+        invalid.append(
+            f"seeds differ: baseline {baseline.get('seeds')} vs "
+            f"fresh {fresh.get('seeds')}"
+        )
+    for key in ("modeled_seconds", "cost", "counters"):
+        if key not in baseline:
+            invalid.append(f"baseline record is missing {key!r}")
+    if invalid:
+        return {"name": name, "invalid": invalid, "regressions": [],
+                "modeled": None, "ok": False}
+
+    regressions: list[str] = []
+    modeled = compare_samples(
+        baseline["modeled_seconds"], fresh["modeled_seconds"],
+        rel_threshold=rel_threshold, alpha=alpha,
+    )
+    if modeled["regression"]:
+        regressions.append(
+            f"modeled_seconds: mean +{modeled['mean_rel_delta'] * 100:.2f}% "
+            f"({modeled['slower']}/{len(baseline['seeds'])} seeds slower, "
+            f"sign-test p={modeled['p_slower']:.4f})"
+        )
+
+    # Deterministic metrics: exact per-seed equality or it is a change.
+    for counter in EXACT_COUNTERS:
+        old = baseline["counters"].get(counter)
+        new = fresh["counters"].get(counter)
+        if old == new:
+            continue
+        regressions.append(
+            f"exact counter {counter}: baseline {_summarize(old)} vs "
+            f"fresh {_summarize(new)}"
+        )
+    if baseline["cost"] != fresh["cost"]:
+        regressions.append(
+            f"clustering cost drifted: baseline {_summarize(baseline['cost'])} "
+            f"vs fresh {_summarize(fresh['cost'])} (determinism change)"
+        )
+    return {
+        "name": name,
+        "invalid": [],
+        "regressions": regressions,
+        "modeled": modeled,
+        "ok": not regressions,
+    }
+
+
+def _summarize(values: Any) -> str:
+    if isinstance(values, list) and len(values) > 3:
+        return f"[{values[0]:g}, {values[1]:g}, ...] (sum {sum(values):g})"
+    return repr(values)
+
+
+def run_regression_check(
+    baselines: Mapping[str, Mapping[str, Any]],
+    fresh: Sequence[Mapping[str, Any]],
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    alpha: float = DEFAULT_ALPHA,
+) -> dict[str, Any]:
+    """Full gate: every fresh workload vs the store; returns the verdict.
+
+    The report embeds ``exit_code``: 2 when the baseline store is
+    unusable (empty, missing workloads, or any per-workload
+    comparability problem), 1 when any workload regressed, else 0.
+    """
+    workloads = []
+    invalid: list[str] = []
+    regressed: list[str] = []
+    if not baselines:
+        invalid.append(
+            "baseline store is empty — run "
+            "'repro bench quick --save-baseline' and commit the result"
+        )
+    for record in fresh:
+        name = record.get("workload", {}).get("name", "?")
+        base = baselines.get(name)
+        if base is None:
+            if baselines:
+                invalid.append(f"no committed baseline for workload {name!r}")
+            continue
+        verdict = compare_workload(
+            base, record, rel_threshold=rel_threshold, alpha=alpha
+        )
+        workloads.append(verdict)
+        if verdict["invalid"]:
+            invalid.extend(f"{name}: {issue}" for issue in verdict["invalid"])
+        elif verdict["regressions"]:
+            regressed.append(name)
+    if invalid:
+        exit_code = EXIT_INVALID_BASELINE
+    elif regressed:
+        exit_code = EXIT_REGRESSION
+    else:
+        exit_code = EXIT_OK
+    return {
+        **report_envelope(REGRESS_SCHEMA),
+        "ok": exit_code == EXIT_OK,
+        "exit_code": exit_code,
+        "rel_threshold": rel_threshold,
+        "alpha": alpha,
+        "regressed": regressed,
+        "invalid": invalid,
+        "workloads": workloads,
+    }

@@ -14,6 +14,8 @@ Subcommands::
     python -m repro serve     # process a spool of clustering requests
     python -m repro submit    # drop one request into a spool directory
     python -m repro loadgen   # replay a seeded request mix -> BENCH_serve.json
+    python -m repro monitor   # SLO health dashboard over a monitor directory
+    python -m repro regress   # quick bench tier vs committed baseline (CI gate)
     python -m repro info      # list backends, datasets, hardware models
 
 Examples::
@@ -28,6 +30,9 @@ Examples::
     python -m repro bench all --out results/
     python -m repro submit spool/ --k 8 --l 4 --n 5000 && python -m repro serve spool/
     python -m repro loadgen --requests 24 --json BENCH_serve.json
+    python -m repro bench quick --save-baseline       # refresh the committed baseline
+    python -m repro regress --json BENCH_regress.json # gate: exit 1 on regression
+    python -m repro monitor monitor/ --once --json -  # one-shot SLO health report
 
 Errors are reported as a one-line ``repro: error: ...`` message with
 exit code 2 (interruption exits 130); pass ``--strict`` before the
@@ -198,6 +203,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.experiment == "quick":
+        return _bench_quick(args)
     if args.experiment == "all":
         from .bench.runner import run_all_experiments
 
@@ -220,6 +227,156 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         path = report.to_json(args.json)
         print(f"report written to {path}")
     return 0
+
+
+def _bench_quick(args: argparse.Namespace) -> int:
+    """The ``repro bench quick`` path: run the baseline tier."""
+    import json
+    import time as _time
+
+    from .bench.baseline import (
+        bench_quick_record,
+        quick_report,
+        run_quick_tier,
+        write_baselines,
+    )
+
+    started = _time.perf_counter()
+    records = run_quick_tier(progress=print)
+    wall = _time.perf_counter() - started
+    report = quick_report(records)
+    print()
+    print(report.render())
+    if args.plot:
+        print()
+        print(report.render_plot())
+    if args.csv:
+        print(f"\nrows written to {report.to_csv(args.csv)}")
+    if args.save_baseline:
+        paths = write_baselines(records, args.baseline_dir)
+        print(f"\n{len(paths)} baseline files written to {args.baseline_dir} "
+              f"(commit them to move the regression gate)")
+    if args.json:
+        payload = bench_quick_record(records, wall)
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+        else:
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"report written to {args.json}")
+    return 0
+
+
+#: ``repro regress --inject`` choice -> backend remap simulating the
+#: named lost optimization (the gate's negative control).
+REGRESS_INJECTIONS: dict[str, dict[str, str]] = {
+    # Lose the FAST Dist cache: FAST variants keep only the
+    # incremental-H strategy (or nothing, for the star variant which
+    # has no published H-only ablation).
+    "no-dist-cache": {
+        "gpu-fast": "gpu-fast-h-only",
+        "gpu-fast-star": "gpu",
+        "fast": "fast-h-only",
+    },
+}
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.baseline import load_baselines, run_quick_tier
+    from .bench.regress import run_regression_check
+
+    baselines = load_baselines(args.baseline_dir)
+    backend_map = REGRESS_INJECTIONS[args.inject] if args.inject else None
+    if args.inject:
+        print(f"injecting slowdown {args.inject!r}: "
+              + ", ".join(f"{a}->{b}" for a, b in backend_map.items()))
+    fresh = run_quick_tier(backend_map=backend_map, progress=print)
+    verdict = run_regression_check(
+        baselines, fresh,
+        rel_threshold=args.rel_threshold, alpha=args.alpha,
+    )
+    print()
+    for workload in verdict["workloads"]:
+        modeled = workload["modeled"]
+        if modeled is None:
+            print(f"{workload['name']:<20} INVALID")
+            continue
+        status = "ok" if workload["ok"] else "REGRESSION"
+        print(f"{workload['name']:<20} modeled "
+              f"{modeled['mean_rel_delta'] * 100:+.2f}% "
+              f"({modeled['slower']} slower / {modeled['faster']} faster / "
+              f"{modeled['ties']} ties, p={modeled['p_slower']:.4f})  "
+              f"{status}")
+        for regression in workload["regressions"]:
+            print(f"  {regression}")
+    for issue in verdict["invalid"]:
+        print(f"invalid baseline: {issue}", file=sys.stderr)
+    print()
+    if verdict["exit_code"] == 0:
+        print("no regression against the committed baseline")
+    elif verdict["exit_code"] == 1:
+        print(f"REGRESSION in: {', '.join(verdict['regressed'])}",
+              file=sys.stderr)
+    else:
+        print("baseline store is unusable — regenerate it with "
+              "'repro bench quick --save-baseline'", file=sys.stderr)
+    if args.json:
+        if args.json == "-":
+            json.dump(verdict, sys.stdout, indent=2)
+            print()
+        else:
+            with open(args.json, "w") as handle:
+                json.dump(verdict, handle, indent=2)
+            print(f"verdict written to {args.json}")
+    return verdict["exit_code"]
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+    import time as _time
+
+    from .obs.monitor import load_health
+    from .viz import render_health
+
+    if args.once:
+        health = load_health(args.dir)  # missing -> OSError -> exit 2
+        if args.json:
+            if args.json == "-":
+                json.dump(health, sys.stdout, indent=2)
+                print()
+            else:
+                with open(args.json, "w") as handle:
+                    json.dump(health, handle, indent=2)
+                print(f"health report written to {args.json}")
+        else:
+            print(render_health(health))
+        return 0 if health["ok"] else 1
+
+    health = None
+    updates = 0
+    while True:
+        try:
+            health = load_health(args.dir)
+        except FileNotFoundError:
+            print(f"waiting for {args.dir}/health.json ...")
+        else:
+            print(render_health(health))
+            print()
+        updates += 1
+        if health is not None and health.get("final"):
+            print("service flushed its final snapshot; exiting")
+            break
+        if args.max_updates is not None and updates >= args.max_updates:
+            break
+        _time.sleep(args.interval)
+    if health is None:
+        print(f"no health report ever appeared in {args.dir}",
+              file=sys.stderr)
+        return 2
+    return 0 if health["ok"] else 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -440,8 +597,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.json:
         import json
 
+        from .obs import report_envelope
+
         payload = {
-            "schema": "repro.chaos/1",
+            **report_envelope("repro.chaos/1"),
             "n": int(data.shape[0]),
             "d": int(data.shape[1]),
             "k": params.k,
@@ -480,16 +639,30 @@ GPU_SPECS = {"gtx1660ti": GTX_1660_TI, "rtx3090": RTX_3090}
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from .serve import ClusterService, serve_spool
-    from .viz import render_serve_lanes
+    from .viz import render_health, render_serve_lanes
 
     service = ClusterService(
         workers=args.workers,
         gpu_spec=GPU_SPECS[args.gpu],
         cache_entries=args.cache_entries,
+        monitor_dir=args.monitor_dir,
     )
     print(f"serving spool {args.spool} on modeled {GPU_SPECS[args.gpu].name} "
           f"({args.workers} workers)")
+    if args.monitor_dir:
+        print(f"monitoring output in {args.monitor_dir} "
+              f"(watch with: repro monitor {args.monitor_dir})")
+
+    def _on_sigterm(signum, frame):
+        # Unwind through the KeyboardInterrupt path so the finally
+        # block below flushes the final monitoring snapshot.
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    handled = 0
     try:
         handled = serve_spool(
             args.spool, service,
@@ -499,7 +672,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             progress=print,
         )
     finally:
-        service.close()
+        signal.signal(signal.SIGTERM, previous)
+        health = service.shutdown()
+        if health is not None:
+            print()
+            print(render_health(health))
     stats = service.stats()
     print(f"\n{handled} requests handled "
           f"(cache hits {stats['cache']['hits']}, "
@@ -562,9 +739,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
-    from .obs import validate_serve_report
+    from .obs import validate_bench_report
     from .serve import run_loadgen
-    from .viz import render_serve_lanes
+    from .viz import render_health, render_serve_lanes
 
     report = run_loadgen(
         args.requests,
@@ -582,6 +759,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         b=args.b,
         cache_entries=args.cache_entries,
         gpu_spec=GPU_SPECS[args.gpu],
+        monitor_dir=args.monitor_dir,
         progress=print,
     )
     totals = report["totals"]
@@ -605,7 +783,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if args.timeline:
         print()
         print(render_serve_lanes(report["events"]))
-    problems = validate_serve_report(report)
+    if "health" in report:
+        print()
+        print(render_health(report["health"]))
+    problems = validate_bench_report(report, "repro.serve_bench/1")
     for problem in problems:
         print(f"report problem: {problem}", file=sys.stderr)
     if args.json:
@@ -687,15 +868,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     study.set_defaults(func=_cmd_study)
 
+    from .bench.baseline import DEFAULT_BASELINE_DIR
+
     bench = sub.add_parser("bench", help="regenerate a paper experiment")
-    bench.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    bench.add_argument("experiment",
+                       choices=sorted(EXPERIMENTS) + ["all", "quick"])
     bench.add_argument("--csv", metavar="PATH", help="also write rows as CSV")
-    bench.add_argument("--json", metavar="PATH", help="also write report as JSON")
+    bench.add_argument("--json", metavar="PATH",
+                       help="also write report as JSON ('-' = stdout for "
+                            "'quick')")
     bench.add_argument("--plot", action="store_true",
                        help="render the series as an ASCII log-log chart")
     bench.add_argument("--out", metavar="DIR",
                        help="(with 'all') write CSV/JSON/SUMMARY.md here")
+    bench.add_argument("--save-baseline", action="store_true",
+                       help="(with 'quick') write the run as the committed "
+                            "baseline store")
+    bench.add_argument("--baseline-dir", metavar="DIR",
+                       default=DEFAULT_BASELINE_DIR,
+                       help=f"baseline store location "
+                            f"(default {DEFAULT_BASELINE_DIR})")
     bench.set_defaults(func=_cmd_bench)
+
+    regress = sub.add_parser(
+        "regress",
+        help="run the quick bench tier against the committed baseline "
+             "(exit 0 ok / 1 regression / 2 invalid baseline)",
+    )
+    regress.add_argument("--baseline-dir", metavar="DIR",
+                         default=DEFAULT_BASELINE_DIR,
+                         help=f"baseline store to compare against "
+                              f"(default {DEFAULT_BASELINE_DIR})")
+    regress.add_argument("--rel-threshold", type=float, default=0.005,
+                         help="mean relative modeled-seconds slowdown "
+                              "required to flag (default 0.005)")
+    regress.add_argument("--alpha", type=float, default=0.05,
+                         help="sign-test significance level (default 0.05)")
+    regress.add_argument("--inject", choices=sorted(REGRESS_INJECTIONS),
+                         help="deliberately slow the fresh run (negative "
+                              "control; must exit 1 against a good baseline)")
+    regress.add_argument("--json", metavar="PATH",
+                         help="write the verdict as JSON ('-' = stdout)")
+    regress.set_defaults(func=_cmd_regress)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="SLO health dashboard over a service's monitor directory",
+    )
+    monitor.add_argument("dir", help="monitor directory written by "
+                                     "'repro serve --monitor-dir' or loadgen")
+    monitor.add_argument("--once", action="store_true",
+                         help="print the current health once and exit "
+                              "(0 healthy / 1 SLO failing / 2 no report)")
+    monitor.add_argument("--json", metavar="PATH",
+                         help="(with --once) write the health report as "
+                              "JSON ('-' = stdout)")
+    monitor.add_argument("--interval", type=float, default=1.0,
+                         help="live-view refresh seconds (default 1.0)")
+    monitor.add_argument("--max-updates", type=int, default=None,
+                         help="stop the live view after this many redraws")
+    monitor.set_defaults(func=_cmd_monitor)
 
     profile = sub.add_parser(
         "profile", help="nvprof-style kernel profile of one GPU run"
@@ -817,6 +1049,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stop after this many non-empty sweeps")
     serve.add_argument("--timeline", action="store_true",
                        help="print the queue/occupancy lanes at exit")
+    serve.add_argument("--monitor-dir", metavar="DIR",
+                       help="write live monitoring output (event log, "
+                            "Prometheus scrape, health.json) here; flushed "
+                            "on exit and on SIGTERM")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -876,6 +1112,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the queue/occupancy lanes")
     loadgen.add_argument("--json", metavar="PATH",
                          help="write the serve-bench report here")
+    loadgen.add_argument("--monitor-dir", metavar="DIR",
+                         help="also write live monitoring output here "
+                              "(inspect with 'repro monitor DIR --once')")
     loadgen.set_defaults(func=_cmd_loadgen)
 
     info = sub.add_parser("info", help="list backends, datasets, hardware")

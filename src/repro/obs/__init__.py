@@ -39,13 +39,23 @@ from .export import (
     chrome_trace,
     kernel_pipeline,
     read_jsonl,
+    report_envelope,
     run_record,
     study_record,
+    validate_bench_report,
     validate_chrome_trace,
     validate_serve_report,
     write_chrome_trace,
     write_jsonl,
 )
+from .monitor import (
+    ServiceMonitor,
+    SloObjective,
+    SloTracker,
+    default_slos,
+    load_health,
+)
+from .prometheus import parse_prometheus_text, prometheus_text
 
 __all__ = [
     "Counter",
@@ -66,8 +76,17 @@ __all__ = [
     "write_chrome_trace",
     "validate_chrome_trace",
     "validate_serve_report",
+    "validate_bench_report",
+    "report_envelope",
     "run_record",
     "study_record",
     "write_jsonl",
     "read_jsonl",
+    "ServiceMonitor",
+    "SloObjective",
+    "SloTracker",
+    "default_slos",
+    "load_health",
+    "prometheus_text",
+    "parse_prometheus_text",
 ]

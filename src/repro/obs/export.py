@@ -20,7 +20,9 @@ Three machine-readable views of one traced run:
 from __future__ import annotations
 
 import json
+import re
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable
 
@@ -37,6 +39,8 @@ __all__ = [
     "write_chrome_trace",
     "validate_chrome_trace",
     "validate_serve_report",
+    "report_envelope",
+    "validate_bench_report",
     "run_record",
     "study_record",
     "write_jsonl",
@@ -45,6 +49,69 @@ __all__ = [
 
 #: Telemetry record schema identifier (bump on incompatible changes).
 TELEMETRY_SCHEMA = "repro.telemetry/1"
+
+#: Every schema tag is ``repro.<name>/<version>``.
+_SCHEMA_RE = re.compile(r"^repro\.[a-z0-9_]+/([1-9][0-9]*)$")
+
+
+def report_envelope(schema: str) -> dict[str, Any]:
+    """The shared ``schema``/``version``/``created`` report envelope.
+
+    Every ``BENCH_*.json`` emitter (trace smoke, chaos, serve loadgen,
+    bench runner, regression gate, health reports) spreads this at the
+    top of its payload so downstream tooling can dispatch on one
+    uniform header.  ``version`` duplicates the schema suffix as an
+    integer for convenience; ``created`` is a UTC ISO-8601 timestamp.
+    """
+    match = _SCHEMA_RE.match(schema)
+    if match is None:
+        raise ValueError(
+            f"schema must look like 'repro.<name>/<version>', got {schema!r}"
+        )
+    return {
+        "schema": schema,
+        "version": int(match.group(1)),
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def validate_bench_report(
+    report: Any, expected_schema: str | None = None
+) -> list[str]:
+    """Validate any ``BENCH_*.json`` report's shared envelope.
+
+    Returns a list of problems (empty when clean): the report must be
+    an object carrying a well-formed ``schema`` tag (optionally equal
+    to ``expected_schema``), a ``version`` integer matching the tag's
+    suffix, and a string ``created`` timestamp.  Reports with a
+    schema-specific structural validator (currently
+    ``repro.serve_bench/1``) are additionally checked in depth.
+    """
+    if not isinstance(report, dict):
+        return ["report must be a JSON object"]
+    problems: list[str] = []
+    schema = report.get("schema")
+    if not isinstance(schema, str) or _SCHEMA_RE.match(schema) is None:
+        problems.append(
+            f"'schema' must look like 'repro.<name>/<version>', got {schema!r}"
+        )
+        return problems
+    if expected_schema is not None and schema != expected_schema:
+        problems.append(
+            f"'schema' must be {expected_schema!r}, got {schema!r}"
+        )
+    suffix = int(schema.rsplit("/", 1)[1])
+    version = report.get("version")
+    if version != suffix:
+        problems.append(
+            f"'version' must be {suffix} (the schema suffix), got {version!r}"
+        )
+    created = report.get("created")
+    if not isinstance(created, str) or not created:
+        problems.append(f"'created' must be a timestamp string, got {created!r}")
+    if schema == "repro.serve_bench/1":
+        problems.extend(validate_serve_report(report))
+    return problems
 
 #: The paper's seven kernel pipelines, in dependency order.  Every
 #: modeled kernel launch maps onto exactly one of these device tracks.
@@ -322,7 +389,7 @@ def run_record(
     """One flat telemetry record for a single run (JSON-serializable)."""
     stats = result.stats
     record: dict[str, Any] = {
-        "schema": TELEMETRY_SCHEMA,
+        **report_envelope(TELEMETRY_SCHEMA),
         "kind": "run",
         "label": label,
         "timestamp": time.time(),
@@ -361,7 +428,7 @@ def study_record(
 ) -> dict[str, Any]:
     """One flat telemetry record summarizing a multi-parameter study."""
     record: dict[str, Any] = {
-        "schema": TELEMETRY_SCHEMA,
+        **report_envelope(TELEMETRY_SCHEMA),
         "kind": "study",
         "label": label,
         "timestamp": time.time(),

@@ -19,14 +19,25 @@ single-writer, which holds for the engine-per-thread usage pattern).
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Mapping
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from ..hardware.cost_model import HardwareModel
     from ..hardware.counters import WorkCounter
     from ..result import RunStats
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default histogram bucket upper bounds (seconds-flavoured, 1-2.5-5 per
+#: decade).  Modeled kernel times live in the microsecond decades and
+#: service latencies in the millisecond-to-second decades, so the range
+#: spans both; values above the last bound land in the +Inf bucket.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    float(f"{mantissa}e{exponent}")
+    for exponent in range(-6, 2)
+    for mantissa in (1, 2.5, 5)
+)
 
 
 class Counter:
@@ -54,15 +65,32 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/total/min/max)."""
+    """Streaming summary of observed values with fixed buckets.
 
-    __slots__ = ("count", "total", "min", "max")
+    Tracks count/total/min/max exactly plus a per-bucket count over
+    :data:`DEFAULT_BUCKETS`-style upper bounds (Prometheus ``le``
+    semantics: a value lands in the first bucket whose bound is >= it;
+    values above every bound land in the implicit +Inf overflow
+    bucket).  :meth:`percentile` interpolates within buckets, clamped
+    to the exact observed ``[min, max]`` — so an empty histogram
+    reports 0, and a single sample or all-equal samples report the
+    exact value.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("count", "total", "min", "max", "buckets", "bucket_counts")
+
+    def __init__(self, buckets: Sequence[float] | None = None) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.buckets = (
+            tuple(sorted(float(b) for b in buckets))
+            if buckets is not None
+            else DEFAULT_BUCKETS
+        )
+        #: Per-bucket (non-cumulative) counts; last slot is +Inf overflow.
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -72,20 +100,65 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``0 <= q <= 100``).
+
+        Exact when the histogram is empty (0), has one sample, or all
+        samples are equal; otherwise linearly interpolated inside the
+        bucket containing the target rank and clamped to ``[min, max]``.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.count:
+            return 0.0
+        if self.min == self.max:
+            return self.min
+        target = q / 100.0 * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if not bucket_count:
+                continue
+            lower = self.buckets[index - 1] if index > 0 else self.min
+            upper = (
+                self.buckets[index] if index < len(self.buckets) else self.max
+            )
+            if cumulative + bucket_count >= target:
+                fraction = (target - cumulative) / bucket_count
+                value = lower + fraction * (upper - lower)
+                return min(max(value, self.min), self.max)
+            cumulative += bucket_count
+        return self.max
+
+    def bucket_pairs(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending with +Inf."""
+        pairs: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.buckets, self.bucket_counts):
+            cumulative += bucket_count
+            pairs.append((bound, cumulative))
+        pairs.append((float("inf"), cumulative + self.bucket_counts[-1]))
+        return pairs
+
     def as_dict(self) -> dict[str, float]:
         if not self.count:
-            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                "mean": 0.0, "p50": 0.0, "p95": 0.0,
+            }
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
         }
 
 
@@ -118,6 +191,21 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def sorted_counters(self) -> list[tuple[str, Counter]]:
+        """Snapshot of ``(name, counter)`` pairs in name order."""
+        with self._lock:
+            return sorted(self._counters.items())
+
+    def sorted_gauges(self) -> list[tuple[str, Gauge]]:
+        """Snapshot of ``(name, gauge)`` pairs in name order."""
+        with self._lock:
+            return sorted(self._gauges.items())
+
+    def sorted_histograms(self) -> list[tuple[str, Histogram]]:
+        """Snapshot of ``(name, histogram)`` pairs in name order."""
+        with self._lock:
+            return sorted(self._histograms.items())
 
     # ------------------------------------------------------------------
     # Adapters for the pre-existing accounting structures

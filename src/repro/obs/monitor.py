@@ -1,0 +1,450 @@
+"""SLO monitoring: declarative objectives, structured logs, health files.
+
+PR 2 gave the repository raw telemetry; this module turns the serving
+layer's telemetry into *judgment*.  Three pieces:
+
+* :class:`SloObjective` / :func:`default_slos` — declarative service
+  level objectives (p95 queued latency, admission-rejection rate, a
+  hard zero on determinism violations, error-budget burn over a
+  sliding window);
+* :class:`SloTracker` — consumes the service's
+  :class:`~repro.serve.events.ServeEvent` stream and evaluates every
+  objective against it;
+* :class:`ServiceMonitor` — the on-disk side: one structured JSON log
+  record per event (carrying the tracer's trace/span ids for
+  correlation), periodic metric snapshots, the latest Prometheus
+  scrape (``metrics.prom``), and a ``health.json`` report consumed by
+  ``repro monitor``.
+
+The monitor directory layout::
+
+    monitor/
+      events.jsonl     one JSON record per service event
+      snapshots.jsonl  periodic metric snapshots
+      metrics.prom     latest Prometheus text-format scrape
+      health.json      latest SLO health report (repro.health/1)
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+from .export import report_envelope
+from .metrics import MetricsRegistry
+from .prometheus import prometheus_text
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from ..serve.events import ServeEvent
+
+__all__ = [
+    "HEALTH_SCHEMA",
+    "MONITOR_EVENT_SCHEMA",
+    "SNAPSHOT_SCHEMA",
+    "SloObjective",
+    "SloResult",
+    "SloReport",
+    "SloTracker",
+    "ServiceMonitor",
+    "default_slos",
+    "load_health",
+    "read_monitor_events",
+]
+
+#: Health report schema identifier (bump on incompatible changes).
+HEALTH_SCHEMA = "repro.health/1"
+#: Structured per-event log record schema.
+MONITOR_EVENT_SCHEMA = "repro.monitor_event/1"
+#: Periodic metric snapshot record schema.
+SNAPSHOT_SCHEMA = "repro.monitor_snapshot/1"
+
+
+@dataclass(frozen=True, slots=True)
+class SloObjective:
+    """One declarative objective: ``metric op threshold``.
+
+    ``op`` is ``"<="`` (budget-style objectives) or ``"=="`` (hard
+    invariants like the determinism-violation count).  Rate metrics are
+    evaluated over the trailing ``window_seconds`` of the event stream.
+    """
+
+    name: str
+    metric: str
+    op: str
+    threshold: float
+    description: str = ""
+    window_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.op not in ("<=", "=="):
+            raise ValueError(f"op must be '<=' or '==', got {self.op!r}")
+        if self.window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive, got {self.window_seconds}"
+            )
+
+    def met(self, value: float) -> bool:
+        if self.op == "==":
+            return value == self.threshold
+        return value <= self.threshold
+
+
+@dataclass(frozen=True, slots=True)
+class SloResult:
+    """One evaluated objective."""
+
+    objective: SloObjective
+    value: float
+    ok: bool
+
+    def as_dict(self) -> dict[str, Any]:
+        obj = self.objective
+        return {
+            "name": obj.name,
+            "metric": obj.metric,
+            "op": obj.op,
+            "threshold": obj.threshold,
+            "window_seconds": obj.window_seconds,
+            "description": obj.description,
+            "value": self.value,
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class SloReport:
+    """Every objective evaluated at one instant."""
+
+    now: float
+    results: tuple[SloResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "now": self.now,
+            "ok": self.ok,
+            "slos": [result.as_dict() for result in self.results],
+        }
+
+
+def default_slos(
+    queued_p95_seconds: float = 0.5,
+    rejection_rate: float = 0.1,
+    burn_rate: float = 1.0,
+    window_seconds: float = 60.0,
+) -> tuple[SloObjective, ...]:
+    """The service's default objectives (see ``docs/observability.md``)."""
+    return (
+        SloObjective(
+            name="queued-latency-p95",
+            metric="queued_latency_p95_seconds",
+            op="<=",
+            threshold=queued_p95_seconds,
+            description="p95 seconds a job waits between submit and start",
+            window_seconds=window_seconds,
+        ),
+        SloObjective(
+            name="rejection-rate",
+            metric="rejection_rate",
+            op="<=",
+            threshold=rejection_rate,
+            description="fraction of submissions refused by admission control",
+            window_seconds=window_seconds,
+        ),
+        SloObjective(
+            name="determinism-violations",
+            metric="determinism_violations",
+            op="==",
+            threshold=0.0,
+            description="served responses differing from their solo reference",
+            window_seconds=window_seconds,
+        ),
+        SloObjective(
+            name="error-budget-burn",
+            metric="error_budget_burn",
+            op="<=",
+            threshold=burn_rate,
+            description="failure rate over the window divided by the budget",
+            window_seconds=window_seconds,
+        ),
+    )
+
+
+def _event_dict(event: "ServeEvent | dict") -> dict[str, Any]:
+    return event.as_dict() if hasattr(event, "as_dict") else dict(event)
+
+
+class SloTracker:
+    """Evaluates objectives against a live serve-event stream.
+
+    Feed every :class:`~repro.serve.events.ServeEvent` (or its
+    ``as_dict()`` form) to :meth:`observe`; determinism violations are
+    detected outside the service (the loadgen oracle) and arrive via
+    :meth:`record_violations`.  :meth:`evaluate` computes each
+    objective's metric over its trailing window and returns an
+    :class:`SloReport`.  Thread-safe.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[SloObjective] | None = None,
+        error_budget: float = 0.01,
+    ) -> None:
+        if not 0.0 < error_budget <= 1.0:
+            raise ValueError(
+                f"error_budget must be in (0, 1], got {error_budget}"
+            )
+        self.objectives = (
+            tuple(objectives) if objectives is not None else default_slos()
+        )
+        self.error_budget = error_budget
+        self._lock = threading.Lock()
+        self._last_ts = 0.0
+        self._submit_ts: dict[int, float] = {}
+        #: (ts, seconds waited in the queue), one per started/shortcut job.
+        self._queued: list[tuple[float, float]] = []
+        self._submits: list[float] = []
+        self._rejects: list[float] = []
+        #: (ts, succeeded) per terminal outcome (complete/fail).
+        self._outcomes: list[tuple[float, bool]] = []
+        self._violations = 0.0
+
+    def observe(self, event: "ServeEvent | dict") -> None:
+        record = _event_dict(event)
+        kind = record["kind"]
+        ts = float(record["ts"])
+        job_id = int(record.get("job_id", -1))
+        with self._lock:
+            self._last_ts = max(self._last_ts, ts)
+            if kind == "submit":
+                self._submits.append(ts)
+                self._submit_ts[job_id] = ts
+            elif kind in ("cache_hit", "dedupe"):
+                # Answered (or attached) without waiting for a start.
+                submitted = self._submit_ts.pop(job_id, ts)
+                self._queued.append((ts, max(0.0, ts - submitted)))
+            elif kind == "start":
+                submitted = self._submit_ts.pop(job_id, ts)
+                self._queued.append((ts, max(0.0, ts - submitted)))
+            elif kind == "reject":
+                self._submit_ts.pop(job_id, None)
+                self._rejects.append(ts)
+            elif kind == "complete":
+                self._outcomes.append((ts, True))
+            elif kind == "fail":
+                self._outcomes.append((ts, False))
+
+    def record_violations(self, count: int = 1) -> None:
+        """Register determinism violations found by an external oracle."""
+        with self._lock:
+            self._violations += count
+
+    def metric_value(self, metric: str, window: float, now: float) -> float:
+        """Compute one metric over ``[now - window, now]``."""
+        cutoff = now - window
+        if metric == "queued_latency_p95_seconds":
+            waits = [w for ts, w in self._queued if ts >= cutoff]
+            return float(np.percentile(waits, 95)) if waits else 0.0
+        if metric == "rejection_rate":
+            submits = sum(1 for ts in self._submits if ts >= cutoff)
+            rejects = sum(1 for ts in self._rejects if ts >= cutoff)
+            return rejects / submits if submits else 0.0
+        if metric == "determinism_violations":
+            return self._violations
+        if metric == "error_budget_burn":
+            outcomes = [ok for ts, ok in self._outcomes if ts >= cutoff]
+            if not outcomes:
+                return 0.0
+            failure_rate = sum(1 for ok in outcomes if not ok) / len(outcomes)
+            return failure_rate / self.error_budget
+        raise ValueError(f"unknown SLO metric {metric!r}")
+
+    def evaluate(self, now: float | None = None) -> SloReport:
+        """Evaluate every objective at ``now`` (default: last event ts)."""
+        with self._lock:
+            at = now if now is not None else self._last_ts
+            results = []
+            for objective in self.objectives:
+                value = self.metric_value(
+                    objective.metric, objective.window_seconds, at
+                )
+                results.append(
+                    SloResult(
+                        objective=objective,
+                        value=value,
+                        ok=objective.met(value),
+                    )
+                )
+        return SloReport(now=at, results=tuple(results))
+
+
+class ServiceMonitor:
+    """Writes structured logs, metric snapshots, and health reports.
+
+    One instance belongs to one :class:`~repro.serve.service.ClusterService`
+    (which forwards every event); it can also be driven manually in
+    tests.  All writes are serialized by an internal lock; the scrape
+    and health files are replaced atomically so a concurrent reader
+    never sees a torn file.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        metrics: MetricsRegistry | None = None,
+        objectives: Sequence[SloObjective] | None = None,
+        snapshot_every: float = 1.0,
+        error_budget: float = 0.01,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.slo = SloTracker(objectives, error_budget=error_budget)
+        self.snapshot_every = snapshot_every
+        #: Correlates every log record of this service lifetime.
+        self.trace_id = uuid.uuid4().hex[:16]
+        self._lock = threading.Lock()
+        self._events = 0
+        self._last_snapshot = -math.inf
+        # Truncate leftovers from a previous lifetime in the same dir.
+        for name in ("events.jsonl", "snapshots.jsonl"):
+            (self.directory / name).write_text("")
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    def on_event(self, event: "ServeEvent | dict") -> None:
+        """Log one event and fold it into the SLO tracker."""
+        record = _event_dict(event)
+        self.slo.observe(record)
+        line = json.dumps(
+            {
+                "schema": MONITOR_EVENT_SCHEMA,
+                "trace_id": self.trace_id,
+                **record,
+            }
+        )
+        with self._lock:
+            self._events += 1
+            with open(self.directory / "events.jsonl", "a") as handle:
+                handle.write(line + "\n")
+        self.maybe_snapshot(float(record["ts"]))
+
+    def record_violations(self, count: int = 1) -> None:
+        """Forward determinism violations to the tracker and metrics."""
+        self.slo.record_violations(count)
+        self.metrics.counter("serve.determinism.violations").inc(count)
+
+    # ------------------------------------------------------------------
+    # Snapshots and health
+    # ------------------------------------------------------------------
+    def maybe_snapshot(self, now: float) -> bool:
+        """Snapshot if at least ``snapshot_every`` seconds have passed."""
+        with self._lock:
+            if now - self._last_snapshot < self.snapshot_every:
+                return False
+            self._last_snapshot = now
+        self.snapshot(now)
+        return True
+
+    def snapshot(self, now: float | None = None, final: bool = False) -> dict:
+        """Write the scrape, a snapshot record, and the health report."""
+        report = self.health_report(now, final=final)
+        snapshot_record = {
+            "schema": SNAPSHOT_SCHEMA,
+            "trace_id": self.trace_id,
+            "ts": report["now"],
+            "ok": report["ok"],
+            "metrics": self.metrics.as_dict(),
+        }
+        with self._lock:
+            self._atomic_write(
+                self.directory / "metrics.prom", prometheus_text(self.metrics)
+            )
+            with open(self.directory / "snapshots.jsonl", "a") as handle:
+                handle.write(json.dumps(snapshot_record) + "\n")
+            self._atomic_write(
+                self.directory / "health.json",
+                json.dumps(report, indent=2) + "\n",
+            )
+        return report
+
+    def health_report(
+        self, now: float | None = None, final: bool = False
+    ) -> dict:
+        """The ``repro.health/1`` report: every SLO plus service state."""
+        slo_report = self.slo.evaluate(now)
+        counters = self.metrics.as_dict()
+        return {
+            **report_envelope(HEALTH_SCHEMA),
+            "trace_id": self.trace_id,
+            "final": final,
+            "now": slo_report.now,
+            "ok": slo_report.ok,
+            "slos": [result.as_dict() for result in slo_report.results],
+            "events": self._events,
+            "service": {
+                "counters": {
+                    name: value
+                    for name, value in counters["counters"].items()
+                    if name.startswith("serve.")
+                },
+                "gauges": counters["gauges"],
+                "latency_seconds": counters["histograms"].get(
+                    "serve.latency_seconds",
+                    {"count": 0, "p50": 0.0, "p95": 0.0},
+                ),
+            },
+        }
+
+    def flush(self, now: float | None = None) -> dict:
+        """Final snapshot + SLO summary (graceful-shutdown path)."""
+        return self.snapshot(now, final=True)
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(text)
+        tmp.replace(path)
+
+
+# ----------------------------------------------------------------------
+# Reader side (used by `repro monitor`)
+# ----------------------------------------------------------------------
+def load_health(directory: str | Path) -> dict:
+    """Read the latest ``health.json`` from a monitor directory.
+
+    Raises :class:`FileNotFoundError` when the directory has no health
+    report yet (the service has not snapshotted).
+    """
+    path = Path(directory) / "health.json"
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no health report at {path} (is the monitored service "
+            f"running with a monitor directory?)"
+        )
+    return json.loads(path.read_text())
+
+
+def read_monitor_events(directory: str | Path) -> list[dict]:
+    """Read the structured event log from a monitor directory."""
+    path = Path(directory) / "events.jsonl"
+    if not path.exists():
+        return []
+    records: list[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

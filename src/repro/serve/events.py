@@ -46,6 +46,7 @@ class ServeEvent:
     queued: int = 0  #: queue depth immediately after the event
     running: int = 0  #: jobs executing immediately after the event
     detail: str = ""
+    span_id: int | None = None  #: tracer span id for log correlation
 
     def as_dict(self) -> dict[str, Any]:
         """Plain-data form for JSON reports."""

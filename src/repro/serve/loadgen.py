@@ -29,6 +29,7 @@ from ..core.api import BACKENDS, proclus
 from ..data import generate_subspace_data, minmax_normalize
 from ..exceptions import ParameterError
 from ..hardware.specs import GTX_1660_TI, GpuSpec
+from ..obs.export import report_envelope
 from ..params import ProclusParams
 from ..result import ProclusResult, RunStats
 from .service import ClusterService
@@ -70,9 +71,18 @@ def run_loadgen(
     b: int = 5,
     cache_entries: int = 64,
     gpu_spec: GpuSpec | None = None,
+    monitor_dir: str | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> dict:
-    """Replay a seeded request mix; returns the serve-bench report."""
+    """Replay a seeded request mix; returns the serve-bench report.
+
+    With ``monitor_dir`` the service writes live monitoring output
+    there (structured event log, Prometheus scrape, ``health.json``)
+    and the report gains a ``health`` section — the final SLO summary
+    flushed at shutdown, *after* the determinism oracle has reported
+    its violations, so ``repro monitor --once`` on that directory sees
+    every declared objective evaluated against this run.
+    """
     if num_requests < 1:
         raise ParameterError(
             f"num_requests must be >= 1, got {num_requests}"
@@ -117,22 +127,26 @@ def run_loadgen(
     service = ClusterService(
         workers=workers, gpu_spec=spec, cache_entries=cache_entries,
         max_queue_depth=max(64, num_requests),
+        monitor_dir=monitor_dir,
     )
-    with service:
-        handles = []
-        for spec_dict in requests:
-            params = ProclusParams(
-                k=spec_dict["k"], l=spec_dict["l"], a=a, b=b
+    # Not a `with` block: the determinism oracle below must report its
+    # violations to the service *before* shutdown flushes the final
+    # monitoring snapshot, or the SLO summary would never see them.
+    handles = []
+    for spec_dict in requests:
+        params = ProclusParams(
+            k=spec_dict["k"], l=spec_dict["l"], a=a, b=b
+        )
+        handles.append(
+            service.submit(
+                data=datasets[spec_dict["dataset"]],
+                backend=spec_dict["backend"],
+                params=params,
+                seed=spec_dict["seed"],
             )
-            handles.append(
-                service.submit(
-                    data=datasets[spec_dict["dataset"]],
-                    backend=spec_dict["backend"],
-                    params=params,
-                    seed=spec_dict["seed"],
-                )
-            )
-        served = [handle.result(timeout=600) for handle in handles]
+        )
+    served = [handle.result(timeout=600) for handle in handles]
+    service.drain()
     wall_seconds = time.perf_counter() - wall_start
 
     # Naive baseline + determinism oracle: one solo run per unique
@@ -173,6 +187,10 @@ def run_loadgen(
                 }
             )
 
+    if violations:
+        service.record_violations(len(violations))
+    health = service.shutdown()
+
     served_stats = service.executed_stats
     latencies = np.array([handle.latency for handle in handles])
     saved = naive_stats.modeled_seconds - served_stats.modeled_seconds
@@ -183,8 +201,8 @@ def run_loadgen(
         f"{len(violations)} determinism violations"
     )
 
-    return {
-        "schema": SERVE_BENCH_SCHEMA,
+    report = {
+        **report_envelope(SERVE_BENCH_SCHEMA),
         "timestamp": time.time(),
         "ok": ok,
         "config": {
@@ -231,3 +249,6 @@ def run_loadgen(
         "serve": service.stats(),
         "events": service.log.as_dicts(),
     }
+    if health is not None:
+        report["health"] = health
+    return report

@@ -38,6 +38,7 @@ from ..core.multiparam import build_solo_shared_state
 from ..exceptions import ReproError, ServeError
 from ..gpu.memory import MemoryBudget
 from ..hardware.specs import GTX_1660_TI, GpuSpec
+from ..obs.monitor import ServiceMonitor, SloObjective
 from ..obs.tracer import Tracer, current_tracer, use_tracer
 from ..params import ProclusParams
 from ..resilience.policy import RetryPolicy
@@ -79,6 +80,15 @@ class ClusterService:
         one is installed, else a private always-on
         :class:`~repro.obs.tracer.Tracer` so ``serve.*`` metrics are
         always recorded.
+    monitor_dir:
+        When set, the service writes live monitoring output there via a
+        :class:`~repro.obs.monitor.ServiceMonitor` — one structured
+        JSON log record per event (with trace/span ids), periodic
+        metric snapshots, a Prometheus scrape, and a ``health.json``
+        SLO report.  ``repro monitor`` reads this directory.
+    slos, snapshot_every:
+        Objectives and snapshot cadence for that monitor (ignored
+        without ``monitor_dir``).
     """
 
     def __init__(
@@ -91,6 +101,9 @@ class ClusterService:
         max_backlog_seconds: float = float("inf"),
         coalesce: bool = True,
         tracer: Tracer | None = None,
+        monitor_dir: "str | None" = None,
+        slos: "tuple[SloObjective, ...] | None" = None,
+        snapshot_every: float = 1.0,
     ) -> None:
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
@@ -110,6 +123,19 @@ class ClusterService:
             coalesce=coalesce,
         )
         self.log = ServeLog()
+        #: Live monitoring sink (None unless ``monitor_dir`` was given).
+        #: Shares the tracer's registry so the Prometheus scrape carries
+        #: the same ``serve.*`` instruments the service increments.
+        self.monitor: ServiceMonitor | None = (
+            ServiceMonitor(
+                monitor_dir,
+                metrics=self.obs.metrics,
+                objectives=slos,
+                snapshot_every=snapshot_every,
+            )
+            if monitor_dir is not None
+            else None
+        )
         self.runner = ResilientRunner(policy)
         #: Aggregated stats of every engine run the service executed
         #: (cache hits and coalesced sharing make this smaller than the
@@ -251,11 +277,34 @@ class ClusterService:
                 for handle in job.handles:
                     handle._fail(error, self._clock())
 
+    def shutdown(self, drain: bool = True) -> dict | None:
+        """Graceful stop: close, then flush final monitoring output.
+
+        Returns the final ``repro.health/1`` report when a monitor is
+        attached (so even a short-lived service never exits with empty
+        monitoring output), else None.
+        """
+        self.close(drain=drain)
+        if self.monitor is None:
+            return None
+        return self.monitor.flush(self._clock())
+
+    def record_violations(self, count: int = 1) -> None:
+        """Report determinism violations found by an external oracle.
+
+        The service cannot detect these itself (they require re-running
+        each request solo); the loadgen harness calls this so the
+        violation count reaches the SLO tracker before the final flush.
+        """
+        self.obs.metrics.counter("serve.determinism.violations").inc(count)
+        if self.monitor is not None:
+            self.monitor.slo.record_violations(count)
+
     def __enter__(self) -> "ClusterService":
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.close()
+        self.shutdown()
 
     def stats(self) -> dict:
         """Aggregate service statistics (JSON-serializable)."""
@@ -438,14 +487,16 @@ class ClusterService:
             running=self._running,
             detail=detail,
         )
-        self.log.record(event)
         with self.obs.span(
             f"serve.{kind}", category="serve",
             job_id=job_id, backend=request.backend,
             k=request.params.k, l=request.params.l,
             detail=detail,
-        ):
-            pass
+        ) as span:
+            event.span_id = span.span_id
+        self.log.record(event)
+        if self.monitor is not None:
+            self.monitor.on_event(event)
 
     def _observe_latency(self, handle: JobHandle) -> None:
         self.obs.metrics.histogram("serve.latency_seconds").observe(

@@ -3,6 +3,7 @@
 from .ascii import bar_chart, line_chart, log_line_chart, sparkline
 from .timeline import (
     render_device_lanes,
+    render_health,
     render_serve_lanes,
     render_span_tree,
     render_timeline,
@@ -16,5 +17,6 @@ __all__ = [
     "render_span_tree",
     "render_device_lanes",
     "render_serve_lanes",
+    "render_health",
     "render_timeline",
 ]

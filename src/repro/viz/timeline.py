@@ -18,6 +18,7 @@ __all__ = [
     "render_span_tree",
     "render_device_lanes",
     "render_serve_lanes",
+    "render_health",
     "render_timeline",
 ]
 
@@ -178,6 +179,54 @@ def render_serve_lanes(events, width: int = 60) -> str:
         "counts: "
         + ", ".join(f"{kind}={counts[kind]}" for kind in sorted(counts)),
     ]
+    return "\n".join(lines)
+
+
+def render_health(health: dict) -> str:
+    """Render a ``repro.health/1`` report as an ASCII SLO dashboard.
+
+    One row per declared objective (value vs threshold, pass/fail),
+    then the service's headline counters and latency percentiles.  The
+    ``repro monitor`` live view redraws this from ``health.json``.
+    """
+    state = "OK" if health.get("ok") else "FAILING"
+    tag = " (final)" if health.get("final") else ""
+    lines = [
+        f"service health @ t={health.get('now', 0.0):.3f}s: {state}{tag}",
+        f"{'SLO':<26} {'value':>12} {'objective':>14}  status",
+        f"{'-' * 26} {'-' * 12} {'-' * 14}  ------",
+    ]
+    for slo in health.get("slos", []):
+        objective = f"{slo['op']} {slo['threshold']:g}"
+        lines.append(
+            f"{slo['name']:<26} {slo['value']:>12.4f} {objective:>14}  "
+            f"{'ok' if slo['ok'] else 'FAIL'}"
+        )
+    service = health.get("service", {})
+    counters = service.get("counters", {})
+    if counters:
+        headline = (
+            ("serve.requests", "requests"),
+            ("serve.completed", "completed"),
+            ("serve.cache.hits", "cache hits"),
+            ("serve.coalesced", "coalesced"),
+            ("serve.rejected", "rejected"),
+            ("serve.failed", "failed"),
+        )
+        lines.append(
+            "service:  "
+            + "  ".join(
+                f"{label}={int(counters.get(name, 0))}"
+                for name, label in headline
+            )
+        )
+    latency = service.get("latency_seconds")
+    if latency and latency.get("count"):
+        lines.append(
+            f"latency:  p50={latency['p50'] * 1e3:.1f}ms  "
+            f"p95={latency['p95'] * 1e3:.1f}ms  "
+            f"over {int(latency['count'])} responses"
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,264 @@
+"""Tests for the baseline store and the performance-regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    QUICK_TIER,
+    QuickWorkload,
+    load_baselines,
+    run_quick_tier,
+    run_regression_check,
+    write_baselines,
+)
+from repro.bench.baseline import (
+    BASELINE_SCHEMA,
+    EXACT_COUNTERS,
+    bench_quick_record,
+    quick_report,
+    run_workload,
+)
+from repro.bench.regress import (
+    EXIT_INVALID_BASELINE,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    compare_samples,
+    compare_workload,
+    sign_test_p,
+)
+from repro.obs import validate_bench_report
+
+#: A tiny workload keeping the real-run tests to well under a second.
+TINY = QuickWorkload(
+    name="tiny", backend="gpu-fast", n=512, d=8, n_clusters=4,
+    subspace_dims=3, k=4, l=3,
+)
+SEEDS = (0, 1, 2)
+
+
+def _record(**overrides) -> dict:
+    """A synthetic, well-formed baseline record (5 seeds: the sign test
+    needs 5 all-slower pairs to reach significance)."""
+    record = {
+        "schema": BASELINE_SCHEMA,
+        "version": 1,
+        "created": "2026-01-01T00:00:00+00:00",
+        "workload": {"name": "w", "backend": "gpu-fast", "n": 1024},
+        "seeds": [0, 1, 2, 3, 4],
+        "modeled_seconds": [1.0, 1.1, 0.9, 1.0, 1.0],
+        "wall_seconds": [0.1, 0.1, 0.1, 0.1, 0.1],
+        "cost": [10.0, 11.0, 9.0, 10.0, 10.0],
+        "counters": {"gpu.flops": [100.0] * 5},
+    }
+    record.update(overrides)
+    return record
+
+
+class TestSignTest:
+    def test_no_pairs_is_inconclusive(self):
+        assert sign_test_p(0, 0) == 1.0
+
+    def test_all_five_slower_is_significant(self):
+        assert sign_test_p(5, 0) == pytest.approx(1 / 32)
+
+    def test_four_of_five_is_not_significant(self):
+        assert sign_test_p(4, 1) == pytest.approx(6 / 32)
+
+    def test_balanced_pattern_is_chance(self):
+        assert sign_test_p(1, 1) == pytest.approx(0.75)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            sign_test_p(-1, 2)
+
+
+class TestCompareSamples:
+    def test_identical_samples_all_ties_no_regression(self):
+        verdict = compare_samples([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert verdict["ties"] == 3
+        assert verdict["p_slower"] == 1.0
+        assert not verdict["regression"]
+
+    def test_consistent_slowdown_regresses(self):
+        base = [1.0] * 5
+        verdict = compare_samples(base, [1.05] * 5)
+        assert verdict["slower"] == 5
+        assert verdict["mean_rel_delta"] == pytest.approx(0.05)
+        assert verdict["regression"]
+
+    def test_consistent_but_negligible_slowdown_passes(self):
+        # 0.01% mean slowdown: significant by sign test, below threshold.
+        verdict = compare_samples([1.0] * 5, [1.0001] * 5)
+        assert verdict["p_slower"] == pytest.approx(1 / 32)
+        assert not verdict["regression"]
+
+    def test_one_bad_seed_is_not_significant(self):
+        # Huge mean delta from a single seed: fails the sign test.
+        verdict = compare_samples([1.0] * 5, [3.0, 1.0, 1.0, 1.0, 1.0])
+        assert verdict["mean_rel_delta"] > 0.1
+        assert not verdict["regression"]
+
+    def test_speedup_never_regresses(self):
+        verdict = compare_samples([1.0] * 5, [0.5] * 5)
+        assert verdict["mean_rel_delta"] < 0
+        assert not verdict["regression"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            compare_samples([1.0], [1.0, 2.0])
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            compare_samples([], [])
+
+
+class TestCompareWorkload:
+    def test_identical_records_pass(self):
+        verdict = compare_workload(_record(), _record())
+        assert verdict["ok"]
+        assert verdict["invalid"] == [] and verdict["regressions"] == []
+
+    def test_wrong_schema_is_invalid(self):
+        verdict = compare_workload(_record(schema="bogus/1"), _record())
+        assert not verdict["ok"]
+        assert any("schema" in issue for issue in verdict["invalid"])
+
+    def test_workload_definition_drift_is_invalid(self):
+        changed = _record(
+            workload={"name": "w", "backend": "gpu-fast", "n": 2048}
+        )
+        verdict = compare_workload(_record(), changed)
+        assert any("definitions differ" in issue for issue in verdict["invalid"])
+
+    def test_seed_drift_is_invalid(self):
+        verdict = compare_workload(_record(), _record(seeds=[0, 1]))
+        assert any("seeds differ" in issue for issue in verdict["invalid"])
+
+    def test_missing_key_is_invalid(self):
+        broken = _record()
+        del broken["counters"]
+        verdict = compare_workload(broken, _record())
+        assert any("counters" in issue for issue in verdict["invalid"])
+
+    def test_exact_counter_mismatch_regresses(self):
+        fresh = _record(counters={"gpu.flops": [100.0, 100.0, 200.0, 100.0, 100.0]})
+        verdict = compare_workload(_record(), fresh)
+        assert not verdict["ok"]
+        assert any("gpu.flops" in line for line in verdict["regressions"])
+
+    def test_cost_drift_regresses_as_determinism_change(self):
+        fresh = _record(cost=[10.0, 11.0, 9.5, 10.0, 10.0])
+        verdict = compare_workload(_record(), fresh)
+        assert any(
+            "determinism change" in line for line in verdict["regressions"]
+        )
+
+    def test_modeled_slowdown_names_the_metric(self):
+        fresh = _record(modeled_seconds=[1.1, 1.21, 0.99, 1.1, 1.1])
+        verdict = compare_workload(_record(), fresh)
+        assert any(
+            line.startswith("modeled_seconds") for line in verdict["regressions"]
+        )
+
+
+class TestRunRegressionCheck:
+    def test_empty_store_exits_2(self):
+        verdict = run_regression_check({}, [_record()])
+        assert verdict["exit_code"] == EXIT_INVALID_BASELINE
+        assert not verdict["ok"]
+        assert any("store is empty" in issue for issue in verdict["invalid"])
+
+    def test_missing_workload_baseline_exits_2(self):
+        verdict = run_regression_check({"other": _record()}, [_record()])
+        assert verdict["exit_code"] == EXIT_INVALID_BASELINE
+        assert any("no committed baseline" in i for i in verdict["invalid"])
+
+    def test_clean_match_exits_0(self):
+        verdict = run_regression_check({"w": _record()}, [_record()])
+        assert verdict["exit_code"] == EXIT_OK and verdict["ok"]
+        assert validate_bench_report(verdict, "repro.regress/1") == []
+
+    def test_regression_exits_1_and_names_workload(self):
+        fresh = _record(modeled_seconds=[1.1, 1.21, 0.99, 1.1, 1.1])
+        verdict = run_regression_check({"w": _record()}, [fresh])
+        assert verdict["exit_code"] == EXIT_REGRESSION
+        assert verdict["regressed"] == ["w"]
+
+
+class TestRealTier:
+    """End-to-end over a genuinely executed (tiny) workload."""
+
+    def test_record_shape_and_determinism(self):
+        record = run_workload(TINY, SEEDS)
+        assert validate_bench_report(record, BASELINE_SCHEMA) == []
+        assert record["seeds"] == list(SEEDS)
+        assert len(record["modeled_seconds"]) == len(SEEDS)
+        assert all(t > 0 for t in record["modeled_seconds"])
+        assert set(record["counters"]) <= set(EXACT_COUNTERS)
+        # A re-run is bit-identical in everything deterministic.
+        again = run_workload(TINY, SEEDS)
+        assert again["modeled_seconds"] == record["modeled_seconds"]
+        assert again["cost"] == record["cost"]
+        assert again["counters"] == record["counters"]
+
+    def test_store_round_trip_and_clean_gate(self, tmp_path):
+        records = run_quick_tier(SEEDS, tier=(TINY,))
+        write_baselines(records, tmp_path)
+        store = load_baselines(tmp_path)
+        assert set(store) == {"tiny"}
+        fresh = run_quick_tier(SEEDS, tier=(TINY,))
+        verdict = run_regression_check(store, fresh)
+        assert verdict["exit_code"] == EXIT_OK
+        # Deterministic modeled time: a clean re-run is all ties.
+        assert verdict["workloads"][0]["modeled"]["ties"] == len(SEEDS)
+
+    def test_injected_backend_swap_is_caught(self, tmp_path):
+        write_baselines(run_quick_tier(SEEDS, tier=(TINY,)), tmp_path)
+        store = load_baselines(tmp_path)
+        # Losing the Dist cache: run gpu-fast as gpu-fast-h-only.
+        fresh = run_quick_tier(
+            SEEDS, tier=(TINY,), backend_map={"gpu-fast": "gpu-fast-h-only"}
+        )
+        verdict = run_regression_check(store, fresh)
+        assert verdict["exit_code"] == EXIT_REGRESSION
+        lines = verdict["workloads"][0]["regressions"]
+        assert any("cache.dist_rows_hit" in line for line in lines)
+
+    def test_load_baselines_missing_dir_is_empty(self, tmp_path):
+        assert load_baselines(tmp_path / "nope") == {}
+
+
+class TestReporting:
+    def test_quick_report_rows_and_key_numbers(self):
+        record = run_workload(TINY, SEEDS)
+        report = quick_report([record])
+        assert "tiny" in report.render()
+        assert "tiny_modeled_mean" in report.key_numbers
+
+    def test_bench_quick_record_envelope(self):
+        record = run_workload(TINY, SEEDS)
+        payload = bench_quick_record([record], wall_seconds=1.5)
+        assert validate_bench_report(payload, "repro.bench_quick/1") == []
+        assert payload["ok"] is True
+        summary = payload["workloads"][0]
+        assert summary["name"] == "tiny"
+        assert summary["modeled_mean"] == pytest.approx(
+            sum(record["modeled_seconds"]) / len(SEEDS)
+        )
+        json.dumps(payload)
+
+
+class TestCommittedStore:
+    """The seeded store in benchmarks/baselines/ must stay valid."""
+
+    def test_committed_baselines_cover_the_quick_tier(self):
+        from pathlib import Path
+
+        store_dir = Path(__file__).resolve().parents[1] / "benchmarks/baselines"
+        store = load_baselines(store_dir)
+        assert set(store) == {w.name for w in QUICK_TIER}
+        for name, record in store.items():
+            assert validate_bench_report(record, BASELINE_SCHEMA) == [], name

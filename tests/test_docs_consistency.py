@@ -123,3 +123,57 @@ class TestServingDoc:
         assert "serving.md" in read("docs/usage.md")
         assert "serving.md" in read("docs/architecture.md")
         assert "ClusterService" in read("docs/usage.md")
+
+
+class TestMonitoringDoc:
+    def test_cli_surfaces_documented(self):
+        text = read("docs/observability.md") + read("docs/usage.md")
+        for surface in ("repro monitor", "repro regress",
+                        "repro bench quick", "--save-baseline",
+                        "--monitor-dir"):
+            assert surface in text, surface
+
+    def test_schemas_match_the_code(self):
+        from repro.bench.baseline import BASELINE_SCHEMA, BENCH_QUICK_SCHEMA
+        from repro.bench.regress import REGRESS_SCHEMA
+        from repro.obs.monitor import HEALTH_SCHEMA
+
+        text = read("docs/observability.md")
+        for schema in (BASELINE_SCHEMA, BENCH_QUICK_SCHEMA,
+                       REGRESS_SCHEMA, HEALTH_SCHEMA):
+            assert schema in text, schema
+
+    def test_default_slos_documented_by_name(self):
+        from repro.obs import default_slos
+
+        text = read("docs/observability.md")
+        for objective in default_slos():
+            assert objective.name in text, objective.name
+
+    def test_baseline_store_location_matches_the_code(self):
+        from repro.bench.baseline import DEFAULT_BASELINE_DIR
+
+        assert DEFAULT_BASELINE_DIR in read("docs/observability.md")
+        assert DEFAULT_BASELINE_DIR in read("README.md")
+        assert (ROOT / DEFAULT_BASELINE_DIR).is_dir()
+
+    def test_injection_choices_documented(self):
+        from repro.cli import REGRESS_INJECTIONS
+
+        text = read("docs/observability.md") + read("docs/usage.md")
+        for name in REGRESS_INJECTIONS:
+            assert name in text, name
+
+    def test_readme_health_snippet_matches_renderer(self):
+        # The README shows a `repro monitor --once` transcript; keep its
+        # header line in sync with the actual renderer.
+        assert "service health @" in read("README.md")
+        from repro.viz import render_health
+
+        assert render_health is not None
+
+    def test_ci_runs_the_gate_and_the_health_check(self):
+        text = read(".github/workflows/ci.yml")
+        assert "repro regress" in text
+        assert "repro monitor" in text
+        assert "--monitor-dir" in text

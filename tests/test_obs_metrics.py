@@ -47,7 +47,78 @@ class TestInstruments:
         hist = MetricsRegistry().histogram("empty")
         assert hist.as_dict() == {
             "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "p50": 0.0, "p95": 0.0,
         }
+
+
+class TestHistogramPercentiles:
+    """Bucket-estimation edge cases: exact where exactness is possible."""
+
+    def test_empty_histogram_percentile_is_zero(self):
+        hist = MetricsRegistry().histogram("h")
+        for q in (0, 50, 95, 100):
+            assert hist.percentile(q) == 0.0
+
+    def test_single_sample_is_exact_at_every_quantile(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(3.3)
+        for q in (0, 1, 50, 95, 100):
+            assert hist.percentile(q) == 3.3
+
+    def test_all_equal_samples_are_exact(self):
+        hist = MetricsRegistry().histogram("h")
+        for _ in range(100):
+            hist.observe(7.0)
+        for q in (0, 50, 99, 100):
+            assert hist.percentile(q) == 7.0
+
+    def test_percentiles_clamped_to_observed_range(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (0.0011, 0.0012, 0.9, 1.7):
+            hist.observe(value)
+        for q in (0, 10, 50, 90, 100):
+            assert 0.0011 <= hist.percentile(q) <= 1.7
+        assert hist.percentile(100) == 1.7
+
+    def test_percentiles_monotone_in_q(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (1e-6, 5e-5, 3e-4, 0.002, 0.002, 0.4, 12.0):
+            hist.observe(value)
+        values = [hist.percentile(q) for q in range(0, 101, 5)]
+        assert values == sorted(values)
+
+    def test_out_of_range_quantile_rejected(self):
+        hist = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_overflow_bucket_catches_values_above_all_bounds(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(1e6)  # far above the last default bound
+        pairs = hist.bucket_pairs()
+        assert pairs[-1] == (float("inf"), 1)
+        assert all(count == 0 for _, count in pairs[:-1])
+        assert hist.percentile(50) == 1e6  # clamped to max: still exact
+
+    def test_bucket_pairs_are_cumulative_and_end_at_count(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (1e-6, 2e-6, 0.3, 0.9, 50.0, 1e9):
+            hist.observe(value)
+        pairs = hist.bucket_pairs()
+        counts = [count for _, count in pairs]
+        assert counts == sorted(counts)  # cumulative
+        assert pairs[-1][0] == float("inf")
+        assert pairs[-1][1] == hist.count
+
+    def test_as_dict_reports_p50_p95(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (1.0, 1.0, 1.0, 1.0):
+            hist.observe(value)
+        summary = hist.as_dict()
+        assert summary["p50"] == 1.0
+        assert summary["p95"] == 1.0
 
 
 class TestAdapters:

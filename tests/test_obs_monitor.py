@@ -1,0 +1,288 @@
+"""Tests for SLO tracking and the on-disk service monitor."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    ServiceMonitor,
+    SloObjective,
+    SloTracker,
+    default_slos,
+    load_health,
+    parse_prometheus_text,
+    validate_bench_report,
+)
+from repro.obs.monitor import HEALTH_SCHEMA, read_monitor_events
+from repro.serve.events import ServeEvent
+
+
+def _event(kind: str, ts: float, job_id: int = 1, **kwargs) -> ServeEvent:
+    return ServeEvent(ts=ts, kind=kind, job_id=job_id, **kwargs)
+
+
+class TestSloObjective:
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError, match="op must be"):
+            SloObjective(name="x", metric="m", op="<", threshold=1.0)
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError, match="window_seconds"):
+            SloObjective(
+                name="x", metric="m", op="<=", threshold=1.0,
+                window_seconds=0.0,
+            )
+
+    def test_le_and_eq_semantics(self):
+        budget = SloObjective(name="b", metric="m", op="<=", threshold=0.1)
+        assert budget.met(0.1) and budget.met(0.0) and not budget.met(0.2)
+        hard = SloObjective(name="h", metric="m", op="==", threshold=0.0)
+        assert hard.met(0.0) and not hard.met(1.0)
+
+    def test_default_slos_cover_the_four_objectives(self):
+        names = {obj.name for obj in default_slos()}
+        assert names == {
+            "queued-latency-p95", "rejection-rate",
+            "determinism-violations", "error-budget-burn",
+        }
+
+
+class TestSloTracker:
+    def test_queued_latency_from_submit_to_start(self):
+        tracker = SloTracker()
+        tracker.observe(_event("submit", ts=1.0, job_id=7))
+        tracker.observe(_event("start", ts=1.4, job_id=7))
+        value = tracker.metric_value(
+            "queued_latency_p95_seconds", window=60.0, now=2.0
+        )
+        assert value == pytest.approx(0.4)
+
+    def test_cache_hit_counts_as_zero_wait(self):
+        tracker = SloTracker()
+        tracker.observe(_event("submit", ts=1.0, job_id=7))
+        tracker.observe(_event("cache_hit", ts=1.0, job_id=7))
+        value = tracker.metric_value(
+            "queued_latency_p95_seconds", window=60.0, now=2.0
+        )
+        assert value == 0.0
+
+    def test_rejection_rate(self):
+        tracker = SloTracker()
+        for job_id in range(4):
+            tracker.observe(_event("submit", ts=1.0, job_id=job_id))
+        tracker.observe(_event("reject", ts=1.1, job_id=3, detail="shed"))
+        rate = tracker.metric_value("rejection_rate", window=60.0, now=2.0)
+        assert rate == pytest.approx(0.25)
+
+    def test_rate_metrics_respect_the_window(self):
+        tracker = SloTracker()
+        tracker.observe(_event("submit", ts=1.0, job_id=1))
+        tracker.observe(_event("reject", ts=1.0, job_id=1))
+        tracker.observe(_event("submit", ts=100.0, job_id=2))
+        tracker.observe(_event("start", ts=100.0, job_id=2))
+        # At t=100 with a 10 s window the early rejection is gone.
+        rate = tracker.metric_value("rejection_rate", window=10.0, now=100.0)
+        assert rate == 0.0
+
+    def test_error_budget_burn(self):
+        tracker = SloTracker(error_budget=0.1)
+        for ts, ok in ((1.0, True), (2.0, True), (3.0, True), (4.0, False)):
+            tracker.observe(_event("complete" if ok else "fail", ts=ts))
+        burn = tracker.metric_value("error_budget_burn", window=60.0, now=5.0)
+        assert burn == pytest.approx(0.25 / 0.1)
+
+    def test_violations_are_window_independent(self):
+        tracker = SloTracker()
+        tracker.record_violations(2)
+        value = tracker.metric_value(
+            "determinism_violations", window=1.0, now=1e9
+        )
+        assert value == 2.0
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown SLO metric"):
+            SloTracker().metric_value("nope", window=1.0, now=0.0)
+
+    def test_invalid_error_budget_rejected(self):
+        with pytest.raises(ValueError, match="error_budget"):
+            SloTracker(error_budget=0.0)
+
+    def test_evaluate_defaults_to_last_event_ts(self):
+        tracker = SloTracker()
+        tracker.observe(_event("submit", ts=5.5, job_id=1))
+        tracker.observe(_event("start", ts=5.5, job_id=1))
+        report = tracker.evaluate()
+        assert report.now == 5.5
+        assert report.ok
+
+    def test_evaluate_fails_on_violation(self):
+        tracker = SloTracker()
+        tracker.record_violations()
+        report = tracker.evaluate(now=1.0)
+        assert not report.ok
+        by_name = {r.objective.name: r for r in report.results}
+        assert not by_name["determinism-violations"].ok
+        assert by_name["determinism-violations"].value == 1.0
+
+    def test_report_as_dict_is_json_serializable(self):
+        tracker = SloTracker()
+        tracker.observe(_event("submit", ts=1.0))
+        payload = tracker.evaluate(now=1.0).as_dict()
+        json.dumps(payload)
+        assert payload["ok"] is True
+        assert len(payload["slos"]) == 4
+
+
+class TestServiceMonitor:
+    def _drive(self, monitor: ServiceMonitor) -> None:
+        monitor.on_event(_event("submit", ts=0.1, job_id=1))
+        monitor.on_event(_event("start", ts=0.2, job_id=1))
+        monitor.on_event(_event("complete", ts=0.5, job_id=1))
+
+    def test_writes_all_four_files(self, tmp_path):
+        monitor = ServiceMonitor(tmp_path / "mon")
+        self._drive(monitor)
+        monitor.flush(now=1.0)
+        names = {path.name for path in (tmp_path / "mon").iterdir()}
+        assert {"events.jsonl", "snapshots.jsonl", "metrics.prom",
+                "health.json"} <= names
+
+    def test_event_log_carries_trace_and_span_ids(self, tmp_path):
+        monitor = ServiceMonitor(tmp_path)
+        monitor.on_event(_event("submit", ts=0.1, job_id=1, span_id=42))
+        records = read_monitor_events(tmp_path)
+        assert len(records) == 1
+        assert records[0]["schema"] == "repro.monitor_event/1"
+        assert records[0]["trace_id"] == monitor.trace_id
+        assert records[0]["span_id"] == 42
+        assert records[0]["kind"] == "submit"
+
+    def test_health_report_envelope_and_content(self, tmp_path):
+        monitor = ServiceMonitor(tmp_path)
+        self._drive(monitor)
+        report = monitor.flush(now=1.0)
+        assert report["schema"] == HEALTH_SCHEMA
+        assert validate_bench_report(report, HEALTH_SCHEMA) == []
+        assert report["final"] is True
+        assert report["ok"] is True
+        assert report["events"] == 3
+        assert len(report["slos"]) == 4
+        assert report == load_health(tmp_path)
+
+    def test_violations_flip_health_to_failing(self, tmp_path):
+        monitor = ServiceMonitor(tmp_path)
+        self._drive(monitor)
+        monitor.record_violations(2)
+        report = monitor.flush(now=1.0)
+        assert report["ok"] is False
+        value = monitor.metrics.counter("serve.determinism.violations").value
+        assert value == 2
+
+    def test_scrape_file_parses_and_reflects_registry(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(5)
+        monitor = ServiceMonitor(tmp_path, metrics=registry)
+        monitor.flush(now=0.0)
+        scraped = parse_prometheus_text(
+            (tmp_path / "metrics.prom").read_text()
+        )
+        assert scraped["counters"]["repro_serve_requests"] == 5.0
+
+    def test_snapshot_throttling(self, tmp_path):
+        monitor = ServiceMonitor(tmp_path, snapshot_every=10.0)
+        assert monitor.maybe_snapshot(0.0) is True
+        assert monitor.maybe_snapshot(5.0) is False
+        assert monitor.maybe_snapshot(10.0) is True
+
+    def test_health_only_surfaces_serve_counters(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(1)
+        registry.counter("gpu.flops").inc(1e9)
+        monitor = ServiceMonitor(tmp_path, metrics=registry)
+        report = monitor.flush(now=0.0)
+        assert "serve.requests" in report["service"]["counters"]
+        assert "gpu.flops" not in report["service"]["counters"]
+
+    def test_init_truncates_previous_lifetime_logs(self, tmp_path):
+        first = ServiceMonitor(tmp_path)
+        first.on_event(_event("submit", ts=0.1))
+        ServiceMonitor(tmp_path)
+        assert read_monitor_events(tmp_path) == []
+
+    def test_custom_objectives(self, tmp_path):
+        strict = (
+            SloObjective(
+                name="no-queueing", metric="queued_latency_p95_seconds",
+                op="<=", threshold=0.0,
+            ),
+        )
+        monitor = ServiceMonitor(tmp_path, objectives=strict)
+        monitor.on_event(_event("submit", ts=1.0, job_id=1))
+        monitor.on_event(_event("start", ts=1.5, job_id=1))
+        report = monitor.flush()
+        assert report["ok"] is False
+        assert [slo["name"] for slo in report["slos"]] == ["no-queueing"]
+
+
+class TestReaderSide:
+    def test_load_health_missing_raises_with_hint(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no health report"):
+            load_health(tmp_path)
+
+    def test_read_monitor_events_missing_dir(self, tmp_path):
+        assert read_monitor_events(tmp_path / "nope") == []
+
+
+class TestServiceIntegration:
+    """ClusterService wired to a monitor directory."""
+
+    def _run_service(self, tmp_path, violations: int = 0):
+        import numpy as np
+
+        from repro.serve import ClusterService
+
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(400, 6))
+        service = ClusterService(monitor_dir=tmp_path / "mon")
+        handle = service.submit(data, backend="gpu-fast", k=3, l=3, seed=0)
+        handle.result(timeout=60)
+        service.drain()
+        if violations:
+            service.record_violations(violations)
+        return service, service.shutdown()
+
+    def test_shutdown_flushes_final_health(self, tmp_path):
+        service, health = self._run_service(tmp_path)
+        assert health is not None and health["final"] is True
+        assert health == load_health(tmp_path / "mon")
+        assert health["ok"] is True
+        assert health["service"]["counters"]["serve.requests"] >= 1
+
+    def test_events_logged_with_span_ids(self, tmp_path):
+        self._run_service(tmp_path)
+        records = read_monitor_events(tmp_path / "mon")
+        kinds = [record["kind"] for record in records]
+        assert "submit" in kinds and "complete" in kinds
+        assert all(record["span_id"] is not None for record in records)
+        assert len({record["trace_id"] for record in records}) == 1
+
+    def test_recorded_violations_reach_the_health_report(self, tmp_path):
+        _, health = self._run_service(tmp_path, violations=3)
+        assert health["ok"] is False
+        by_name = {slo["name"]: slo for slo in health["slos"]}
+        assert by_name["determinism-violations"]["value"] == 3.0
+
+    def test_service_without_monitor_dir_shutdown_returns_none(self):
+        import numpy as np
+
+        from repro.serve import ClusterService
+
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(200, 5))
+        service = ClusterService()
+        handle = service.submit(data, backend="gpu-fast", k=3, l=3, seed=0)
+        handle.result(timeout=60)
+        assert service.shutdown() is None

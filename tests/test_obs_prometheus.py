@@ -1,0 +1,159 @@
+"""Tests for Prometheus exposition and its scrape-side parser."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, parse_prometheus_text, prometheus_text
+from repro.obs.prometheus import prometheus_name
+
+
+class TestNameSanitization:
+    def test_dots_become_underscores_with_prefix(self):
+        assert prometheus_name("serve.cache.hits") == "repro_serve_cache_hits"
+
+    def test_arbitrary_chars_sanitized(self):
+        assert prometheus_name("gpu flops/s%") == "repro_gpu_flops_s_"
+
+    def test_leading_digit_guarded(self):
+        assert prometheus_name("1660ti.util", prefix="") == "_1660ti_util"
+
+    def test_empty_prefix(self):
+        assert prometheus_name("runs", prefix="") == "runs"
+
+
+class TestExposition:
+    def test_counter_gains_total_suffix_and_type_line(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(3)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 3.0" in text
+
+    def test_gauge_exposed_plain(self):
+        registry = MetricsRegistry()
+        registry.gauge("cache.hit_rate").set(0.75)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_cache_hit_rate gauge" in text
+        assert "repro_cache_hit_rate 0.75" in text
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        for value in (1.0, 2.0, 5.0, 1e9):
+            hist.observe(value)
+        text = prometheus_text(registry)
+        assert '# TYPE repro_latency histogram' in text
+        assert 'repro_latency_bucket{le="+Inf"} 4' in text
+        assert "repro_latency_count 4" in text
+        assert f"repro_latency_sum {hist.total!r}" in text
+
+    def test_output_ends_with_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        assert prometheus_text(registry).endswith("\n")
+
+
+class TestRoundTrip:
+    def test_full_registry_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(7)
+        registry.counter("gpu.flops").inc(1e9)
+        registry.gauge("queue.depth").set(3.0)
+        hist = registry.histogram("serve.latency_seconds")
+        for value in (0.0005, 0.003, 0.003, 0.9, 42.0):
+            hist.observe(value)
+
+        scraped = parse_prometheus_text(prometheus_text(registry))
+
+        assert scraped["counters"]["repro_serve_requests"] == 7.0
+        assert scraped["counters"]["repro_gpu_flops"] == 1e9
+        assert scraped["gauges"]["repro_queue_depth"] == 3.0
+        parsed = scraped["histograms"]["repro_serve_latency_seconds"]
+        assert parsed["count"] == 5
+        assert parsed["sum"] == pytest.approx(hist.total)
+        assert parsed["buckets"][-1] == (math.inf, 5)
+
+    def test_bucket_counts_match_registry(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in (0.1, 0.2, 30.0):
+            hist.observe(value)
+        scraped = parse_prometheus_text(prometheus_text(registry))
+        assert scraped["histograms"]["repro_h"]["buckets"] == list(
+            hist.bucket_pairs()
+        )
+
+    def test_empty_registry_round_trips_to_empty(self):
+        scraped = parse_prometheus_text(prometheus_text(MetricsRegistry()))
+        assert scraped == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestParserStrictness:
+    def test_sample_without_type_line_rejected(self):
+        with pytest.raises(ValueError, match="no preceding # TYPE"):
+            parse_prometheus_text("repro_orphan 1.0\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            parse_prometheus_text("# TYPE repro_x summary\nrepro_x 1.0\n")
+
+    def test_counter_without_total_suffix_rejected(self):
+        text = "# TYPE repro_requests counter\nrepro_requests 5.0\n"
+        with pytest.raises(ValueError, match="_total suffix"):
+            parse_prometheus_text(text)
+
+    def test_malformed_value_rejected(self):
+        text = "# TYPE repro_x_total counter\nrepro_x_total banana\n"
+        with pytest.raises(ValueError, match="malformed sample value"):
+            parse_prometheus_text(text)
+
+    def test_non_cumulative_buckets_rejected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 5\n'
+            'repro_h_bucket{le="1.0"} 3\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 5\n"
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_prometheus_text(text)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 2\n'
+            "repro_h_sum 0.1\n"
+            "repro_h_count 2\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf bucket"):
+            parse_prometheus_text(text)
+
+    def test_count_disagreeing_with_inf_bucket_rejected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 4\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 9\n"
+        )
+        with pytest.raises(ValueError, match="disagrees"):
+            parse_prometheus_text(text)
+
+    def test_bucket_without_le_label_rejected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{job="x"} 4\n'
+        )
+        with pytest.raises(ValueError, match="without le label"):
+            parse_prometheus_text(text)
+
+    def test_blank_lines_and_comments_ignored(self):
+        text = (
+            "\n# HELP repro_x_total whatever\n"
+            "# TYPE repro_x_total counter\n\n"
+            "repro_x_total 2.0\n"
+        )
+        assert parse_prometheus_text(text)["counters"] == {"repro_x": 2.0}
