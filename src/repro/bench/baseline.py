@@ -90,15 +90,20 @@ class QuickWorkload:
 
 
 #: The quick tier: one workload per headline backend at n=8192 (where
-#: the Dist-cache advantage is already measurable) plus one larger
-#: gpu-fast point guarding the scaling shape.  Seconds of wall time in
-#: total — cheap enough for a per-PR CI gate.
+#: the Dist-cache advantage is already measurable), one larger gpu-fast
+#: point guarding the scaling shape, and two sharded fleet points (the
+#: default two-device fleet) guarding the multi-device collective
+#: schedule — their exact counters pin both the kernel stream and the
+#: communication steps.  Seconds of wall time in total — cheap enough
+#: for a per-PR CI gate.
 QUICK_TIER: tuple[QuickWorkload, ...] = (
     QuickWorkload(name="gpu-n8k", backend="gpu", n=8192),
     QuickWorkload(name="gpu-fast-n8k", backend="gpu-fast", n=8192),
     QuickWorkload(name="gpu-fast-star-n8k", backend="gpu-fast-star", n=8192),
     QuickWorkload(name="fast-n8k", backend="fast", n=8192),
     QuickWorkload(name="gpu-fast-n16k", backend="gpu-fast", n=16384),
+    QuickWorkload(name="fleet-gpu-n8k", backend="fleet-gpu", n=8192),
+    QuickWorkload(name="fleet-gpu-fast-n8k", backend="fleet-gpu-fast", n=8192),
 )
 
 

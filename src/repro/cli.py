@@ -3,6 +3,7 @@
 Subcommands::
 
     python -m repro cluster   # run one clustering (synthetic or named data)
+    python -m repro fleet     # one clustering sharded across modeled devices
     python -m repro study     # run a (k, l) parameter study
     python -m repro bench     # regenerate paper experiments ('all' for every one)
     python -m repro profile   # nvprof-style kernel profile of a GPU run
@@ -30,6 +31,8 @@ Examples::
     python -m repro bench all --out results/
     python -m repro submit spool/ --k 8 --l 4 --n 5000 && python -m repro serve spool/
     python -m repro loadgen --requests 24 --json BENCH_serve.json
+    python -m repro fleet --devices 4 --check         # 4-way shard, verify vs solo
+    python -m repro bench fleet --json BENCH_fleet.json  # multi-device scaling curve
     python -m repro bench quick --save-baseline       # refresh the committed baseline
     python -m repro regress --json BENCH_regress.json # gate: exit 1 on regression
     python -m repro monitor monitor/ --once --json -  # one-shot SLO health report
@@ -205,6 +208,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.experiment == "quick":
         return _bench_quick(args)
+    if args.experiment == "fleet":
+        return _bench_fleet(args)
     if args.experiment == "all":
         from .bench.runner import run_all_experiments
 
@@ -265,6 +270,80 @@ def _bench_quick(args: argparse.Namespace) -> int:
             with open(args.json, "w") as handle:
                 json.dump(payload, handle, indent=2)
             print(f"report written to {args.json}")
+    return 0
+
+
+def _bench_fleet(args: argparse.Namespace) -> int:
+    """The ``repro bench fleet`` path: multi-device scaling curve."""
+    import json
+
+    from .fleet.bench import render_fleet_bench, run_fleet_bench, write_fleet_bench
+
+    payload = run_fleet_bench(devices=tuple(args.devices), progress=print)
+    print()
+    print(render_fleet_bench(payload))
+    if not payload["ok"]:
+        print("\nWARNING: a fleet run was NOT bit-identical to solo",
+              file=sys.stderr)
+    if args.json:
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+        else:
+            path = write_fleet_bench(payload, args.json)
+            print(f"\nreport written to {path}")
+    return 0 if payload["ok"] else 1
+
+
+def _build_fleet(args: argparse.Namespace):
+    from .fleet import default_fleet, mixed_fleet
+
+    if args.mixed:
+        large = args.devices // 2
+        return mixed_fleet(small=args.devices - large, large=large)
+    return default_fleet(args.devices)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .core.api import BACKENDS as _BACKENDS
+    from .fleet import FleetModel, fleet_report
+    from .viz.ascii import fleet_utilization_chart
+
+    data, _dataset = _load_data(args)
+    fleet = _build_fleet(args)
+    engine = _BACKENDS[args.backend](
+        params=_params_from(args), seed=args.seed, fleet=fleet
+    )
+    result = engine.fit(data)
+    assert isinstance(engine.model, FleetModel)
+    report = fleet_report(engine.model)
+    print(result.summary())
+    print()
+    print(fleet_utilization_chart(report))
+    if args.check:
+        solo_backend = args.backend.removeprefix("fleet-")
+        solo = proclus(
+            data, backend=solo_backend, params=_params_from(args),
+            seed=args.seed,
+        )
+        identical = (
+            np.array_equal(solo.labels, result.labels)
+            and solo.dimensions == result.dimensions
+            and solo.cost == result.cost
+        )
+        print()
+        if identical:
+            print(f"bit-identical to solo {solo_backend}: yes")
+        else:
+            print(f"bit-identical to solo {solo_backend}: NO",
+                  file=sys.stderr)
+            return 1
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"\nfleet report written to {args.json}")
     return 0
 
 
@@ -872,7 +951,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="regenerate a paper experiment")
     bench.add_argument("experiment",
-                       choices=sorted(EXPERIMENTS) + ["all", "quick"])
+                       choices=sorted(EXPERIMENTS) + ["all", "quick", "fleet"])
+    bench.add_argument("--devices", type=int, nargs="+", default=[1, 2, 3, 4],
+                       help="(with 'fleet') device counts of the scaling "
+                            "curve (default 1 2 3 4)")
     bench.add_argument("--csv", metavar="PATH", help="also write rows as CSV")
     bench.add_argument("--json", metavar="PATH",
                        help="also write report as JSON ('-' = stdout for "
@@ -889,6 +971,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"baseline store location "
                             f"(default {DEFAULT_BASELINE_DIR})")
     bench.set_defaults(func=_cmd_bench)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run one clustering sharded across a fleet of modeled devices",
+    )
+    _add_data_arguments(fleet)
+    _add_param_arguments(fleet)
+    fleet.add_argument(
+        "--backend",
+        choices=["fleet-gpu", "fleet-gpu-fast", "fleet-gpu-fast-star"],
+        default="fleet-gpu-fast",
+    )
+    fleet.add_argument("--devices", type=int, default=2,
+                       help="number of modeled devices (default 2)")
+    fleet.add_argument("--mixed", action="store_true",
+                       help="use a heterogeneous GTX 1660 Ti + RTX 3090 mix "
+                            "instead of identical cards")
+    fleet.add_argument("--check", action="store_true",
+                       help="also run the solo backend and verify the "
+                            "clustering is bit-identical (exit 1 if not)")
+    fleet.add_argument("--json", metavar="PATH",
+                       help="write the per-device fleet report as JSON")
+    fleet.set_defaults(func=_cmd_fleet)
 
     regress = sub.add_parser(
         "regress",

@@ -24,6 +24,7 @@ name                variant
 ``gpu-fast-star``   GPU-FAST*-PROCLUS
 ``multicore``       OpenMP-style multi-core PROCLUS
 ``multicore-fast``  OpenMP-style multi-core FAST-PROCLUS
+``fleet-gpu*``      any GPU variant sharded across a device fleet
 ==================  ==================================================
 """
 
@@ -39,6 +40,11 @@ from ..cpu_parallel.multicore import (
     MulticoreFastProclusEngine,
     MulticoreFastStarProclusEngine,
     MulticoreProclusEngine,
+)
+from ..fleet.engine import (
+    FleetGpuFastProclusEngine,
+    FleetGpuFastStarProclusEngine,
+    FleetGpuProclusEngine,
 )
 from ..gpu_impl.gpu_ablation import GpuFastDistOnlyEngine, GpuFastHOnlyEngine
 from ..gpu_impl.gpu_fast import GpuFastProclusEngine
@@ -61,6 +67,11 @@ BACKENDS: dict[str, type[EngineBase]] = {
     "gpu": GpuProclusEngine,
     "gpu-fast": GpuFastProclusEngine,
     "gpu-fast-star": GpuFastStarProclusEngine,
+    # Multi-device sharding of the GPU variants (repro.fleet): identical
+    # clustering, modeled across a fleet of devices.
+    "fleet-gpu": FleetGpuProclusEngine,
+    "fleet-gpu-fast": FleetGpuFastProclusEngine,
+    "fleet-gpu-fast-star": FleetGpuFastStarProclusEngine,
     "multicore": MulticoreProclusEngine,
     "multicore-fast": MulticoreFastProclusEngine,
     "multicore-fast-star": MulticoreFastStarProclusEngine,

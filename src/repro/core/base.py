@@ -32,7 +32,7 @@ from ..obs.tracer import Tracer, current_tracer
 from ..params import ProclusParams
 from ..result import OUTLIER_LABEL, ProclusResult, RunStats
 from ..rng import RandomSource
-from .distance import abs_diff_dim_sums
+from .distance import abs_diff_dim_sums, euclidean_to_point
 from .greedy import greedy_select
 from .phases import (
     assign_points,
@@ -282,6 +282,31 @@ class EngineBase(abc.ABC):
         """
 
     # ------------------------------------------------------------------
+    # Data-parallel primitives (the fleet backends shard these)
+    # ------------------------------------------------------------------
+    # Every primitive is row-local over the n points, so a sharded
+    # override may compute per-shard pieces and concatenate (rows) or
+    # merge exact partial sums (dim sums) and remain bit-identical to
+    # the solo implementation.
+    def _distance_row(self, point: np.ndarray) -> np.ndarray:
+        """Euclidean distances from every data point to ``point``."""
+        return euclidean_to_point(self._data, point)
+
+    def _dim_sums(self, mask: np.ndarray, point: np.ndarray) -> np.ndarray:
+        """Per-dimension |x - point| sums over ``data[mask]`` (exact)."""
+        return abs_diff_dim_sums(self._data[mask], point)
+
+    def _assign_points(
+        self, medoid_points: np.ndarray, dims: list
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Assign every point to its nearest medoid's subspace."""
+        return assign_points(self._data, medoid_points, dims)
+
+    def _evaluate_clusters(self, labels: np.ndarray, dims: list) -> float:
+        """Average within-cluster subspace deviation (Definition 1)."""
+        return evaluate_clusters(self._data, labels, dims)
+
+    # ------------------------------------------------------------------
     # The algorithm (Algorithm 1)
     # ------------------------------------------------------------------
     def fit(self, data: np.ndarray) -> ProclusResult:
@@ -453,12 +478,12 @@ class EngineBase(abc.ABC):
 
                     with obs.span("assign_points"):
                         medoid_points = data[self._medoid_ids[mcur]]
-                        labels, _seg = assign_points(data, medoid_points, dims)
+                        labels, _seg = self._assign_points(medoid_points, dims)
                         total_dims = sum(len(ds) for ds in dims)
                         self._account_assign(n, k, total_dims, d)
 
                     with obs.span("evaluate"):
-                        cost = evaluate_clusters(data, labels, dims)
+                        cost = self._evaluate_clusters(labels, dims)
                         sizes = cluster_sizes_from_labels(labels, k)
                         member_dims = int(
                             sum(sizes[i] * len(dims[i]) for i in range(k))
@@ -517,19 +542,17 @@ class EngineBase(abc.ABC):
                 medoid_points = data[self._medoid_ids[mbest]]
                 x_ref = np.zeros((k, d), dtype=np.float64)
                 for i in range(k):
-                    members = data[labels_best == i]
-                    if members.shape[0]:
-                        x_ref[i] = (
-                            abs_diff_dim_sums(members, medoid_points[i])
-                            / members.shape[0]
-                        )
+                    mask = labels_best == i
+                    count = int(np.count_nonzero(mask))
+                    if count:
+                        x_ref[i] = self._dim_sums(mask, medoid_points[i]) / count
                 self._account_refinement_x(n, d, k)
 
                 dims = find_dimensions(x_ref, p.l)
                 self._account_find_dimensions(k, d)
 
             with obs.span("assign_points"):
-                labels, seg = assign_points(data, medoid_points, dims)
+                labels, seg = self._assign_points(medoid_points, dims)
                 total_dims = sum(len(ds) for ds in dims)
                 self._account_assign(n, k, total_dims, d)
 
@@ -540,7 +563,7 @@ class EngineBase(abc.ABC):
                 labels[outliers] = OUTLIER_LABEL
 
             with obs.span("evaluate"):
-                refined_cost = evaluate_clusters(data, labels, dims)
+                refined_cost = self._evaluate_clusters(labels, dims)
                 sizes = cluster_sizes_from_labels(labels, k)
                 member_dims = int(sum(sizes[i] * len(dims[i]) for i in range(k)))
                 self._account_evaluate(member_dims, total_dims, k, d)

@@ -20,7 +20,6 @@ from __future__ import annotations
 import numpy as np
 
 from .base import EngineBase
-from .distance import abs_diff_dim_sums, euclidean_to_point
 from .state import MedoidCache
 
 __all__ = ["FastProclusEngine"]
@@ -58,7 +57,7 @@ class FastProclusEngine(EngineBase):
         missing = mcur[~cache.dist_found[mcur]]
         for mi in missing:
             point = data[self._medoid_ids[mi]]
-            cache.dist[mi] = euclidean_to_point(data, point)
+            cache.dist[mi] = self._distance_row(point)
         self._account_distance_rows(len(missing), n, d)
         cache.dist_found[missing] = True
 
@@ -85,7 +84,7 @@ class FastProclusEngine(EngineBase):
             total_changed += count
             if count:
                 point = data[self._medoid_ids[mi]]
-                cache.h[mi] += lam * abs_diff_dim_sums(data[mask], point)
+                cache.h[mi] += lam * self._dim_sums(mask, point)
                 cache.size_l[mi] += lam * count
             cache.prev_delta[mi] = current
             sizes[i] = cache.size_l[mi]

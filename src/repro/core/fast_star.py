@@ -14,7 +14,6 @@ from __future__ import annotations
 import numpy as np
 
 from .base import EngineBase
-from .distance import abs_diff_dim_sums, euclidean_to_point
 from .state import MedoidCache
 
 __all__ = ["FastStarProclusEngine"]
@@ -52,7 +51,7 @@ class FastStarProclusEngine(EngineBase):
             point_id = medoid_ids[i]
             if self._slot_ids[i] != point_id:
                 cache.reset_row(i)
-                cache.dist[i] = euclidean_to_point(data, data[point_id])
+                cache.dist[i] = self._distance_row(data[point_id])
                 cache.dist_found[i] = True
                 self._slot_ids[i] = point_id
                 recomputed += 1
@@ -80,7 +79,7 @@ class FastStarProclusEngine(EngineBase):
             total_changed += count
             if count:
                 point = data[medoid_ids[i]]
-                cache.h[i] += lam * abs_diff_dim_sums(data[mask], point)
+                cache.h[i] += lam * self._dim_sums(mask, point)
                 cache.size_l[i] += lam * count
             cache.prev_delta[i] = current
             sizes[i] = cache.size_l[i]

@@ -219,22 +219,36 @@ def run_coalesced_group(
         return results
 
 
-def _warn_duplicate_setting(obs, k: int, l: int) -> None:
-    """Record one skipped duplicate (k, l) grid entry.
+def _count_duplicate_setting(obs) -> None:
+    """Record one skipped duplicate (k, l) grid entry on the metrics.
 
     A grid like ``ks=(10, 10, 8)`` used to run the (10, l) settings
     twice — the second run silently overwrote the first in ``results``
     while double-counting its work in ``total_stats``.  Duplicates are
-    now executed once; each skip emits a :class:`UserWarning` plus a
+    now executed once; each skip increments the
     ``study.duplicate_settings`` metrics counter.
     """
-    warnings.warn(
-        f"parameter grid contains duplicate setting (k={k}, l={l}); "
-        f"computing it once",
-        stacklevel=3,
-    )
     if obs.enabled:
         obs.metrics.counter("study.duplicate_settings").inc()
+
+
+def _warn_duplicate_settings(duplicates: list[tuple[int, int]]) -> None:
+    """Emit ONE :class:`UserWarning` for all of a study's duplicates.
+
+    Warning once per study (rather than once per skipped pair, as an
+    earlier revision did) keeps a pathological grid from flooding the
+    warning log while still naming every skipped setting.
+    """
+    if not duplicates:
+        return
+    unique = sorted(set(duplicates))
+    listing = ", ".join(f"(k={k}, l={l})" for k, l in unique)
+    warnings.warn(
+        f"parameter grid contains {len(duplicates)} duplicate setting "
+        f"entr{'y' if len(duplicates) == 1 else 'ies'} [{listing}]; "
+        f"computing each setting once",
+        stacklevel=3,
+    )
 
 
 def run_study(
@@ -285,9 +299,11 @@ def run_study(
         previous_best: np.ndarray | None = None
         previous_span_id = None
         first = True
+        duplicates: list[tuple[int, int]] = []
         for params in grid:
             if (params.k, params.l) in study.results:
-                _warn_duplicate_setting(obs, params.k, params.l)
+                duplicates.append((params.k, params.l))
+                _count_duplicate_setting(obs)
                 continue
             initial = None
             if (
@@ -330,5 +346,6 @@ def run_study(
                 previous_best = engine.best_positions_
             previous_span_id = setting_span.span_id
             first = False
+        _warn_duplicate_settings(duplicates)
         study.total_stats.backend = engine_factory.backend_name
         return study

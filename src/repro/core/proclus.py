@@ -10,7 +10,6 @@ from __future__ import annotations
 import numpy as np
 
 from .base import EngineBase
-from .distance import abs_diff_dim_sums, euclidean_distances
 
 __all__ = ["ProclusEngine"]
 
@@ -31,7 +30,9 @@ class ProclusEngine(EngineBase):
 
         # Distances from every current medoid to every point (recomputed
         # from scratch every iteration — the baseline's main cost).
-        dist = euclidean_distances(data, medoid_points)
+        dist = np.empty((k, n), dtype=np.float32)
+        for i in range(k):
+            dist[i] = self._distance_row(medoid_points[i])
         self._account_distance_rows(k, n, d)
 
         # delta_i: distance to the nearest other medoid.
@@ -48,7 +49,7 @@ class ProclusEngine(EngineBase):
             count = int(np.count_nonzero(mask))
             sizes[i] = count
             total_in_l += count
-            x[i] = abs_diff_dim_sums(data[mask], medoid_points[i]) / count
+            x[i] = self._dim_sums(mask, medoid_points[i]) / count
         self._account_scan_l(n, k, total_in_l)
         self._account_x_sums(total_in_l, d, k)
         self._account_x_finalize(k, d)

@@ -1,0 +1,388 @@
+"""Multi-device facade behind the single-device :class:`Device` API.
+
+The GPU engines talk to exactly one device object: they allocate named
+arrays, upload the dataset, and record kernel launches.  A
+:class:`FleetDevice` satisfies that contract while running two books:
+
+* a **logical device** replays every call unchanged (full geometry,
+  solo spec, no tracing, no fault injection), so the run's
+  ``RunStats.counters`` are bit-identical to the solo run's;
+* **shard devices** — one :class:`ShardDevice` per fleet member with a
+  non-empty point range — receive the physically sharded version:
+  row-proportional work splits (exact largest-remainder apportionment,
+  so the per-device ledgers sum back to the solo totals), per-device
+  Perfetto tracks, per-device memory managers (a shard OOM raises the
+  usual :class:`~repro.exceptions.DeviceOutOfMemoryError`), and
+  fault-injection sites suffixed ``@dev{i}`` so chaos tests can target
+  one shard.
+
+Kernels are classified by name: per-point kernels shard; the small
+medoid/dimension kernels run on the root shard (device 0 of the
+members holding points).  Transitions between the two drive the
+collectives: accumulated partial sums are all-reduced before the next
+root kernel consumes them, and root-computed parameters (medoids,
+selected dimensions) are broadcast before the next sharded kernel.
+Every collective is a barrier: all shard clocks jump to the maximum
+plus the modeled communication time, which is exactly how the fleet
+makespan (critical path) accrues on the :class:`FleetModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..gpu.device import Device
+from ..gpu.memory import DeviceArray
+from ..hardware.specs import GpuSpec
+from ..obs.export import kernel_pipeline
+from ..obs.tracer import NULL_TRACER, Tracer
+from .fleet import Fleet
+from .interconnect import allreduce_seconds, broadcast_seconds
+from .model import FleetModel
+from .partition import ShardPlan, split_exact
+
+__all__ = ["ShardDevice", "LogicalDevice", "FleetDevice", "SHARDED_KERNELS"]
+
+#: Kernels whose work is proportional to the points they touch — these
+#: split across the shards.  Everything else (greedy over the sample,
+#: the k x k medoid kernels, dimension selection, bookkeeping) runs on
+#: the root shard at full size.
+SHARDED_KERNELS = frozenset(
+    {
+        "compute_l.distances",
+        "compute_l.build_l",
+        "find_dimensions.x_sums",
+        "assign_points",
+        "evaluate_cluster",
+        "refinement.x_sums",
+        "remove_outliers.check",
+    }
+)
+
+
+class ShardDevice(Device):
+    """One fleet member: its own model, memory, and Perfetto tracks."""
+
+    def __init__(
+        self,
+        spec: GpuSpec,
+        model,
+        tracer: Tracer,
+        index: int,
+    ) -> None:
+        super().__init__(spec, model=model, tracer=tracer)
+        self.index = index
+
+    def _pipeline(self, name: str) -> str:
+        base = name.split("@", 1)[0]
+        return f"gpu{self.index}:{kernel_pipeline(base)}"
+
+    def _transfer_pipeline(self) -> str:
+        return f"gpu{self.index}:transfer"
+
+
+class LogicalDevice(Device):
+    """Accounting-only replay of the solo run's device activity.
+
+    Never traces, never consults the fault injector (faults fire on
+    the physical shards), and its memory capacity is widened to the
+    fleet's total so a job only a *fleet* can hold still replays its
+    solo launch stream for the counter book.
+    """
+
+    fires_injector = False
+
+
+class FleetDevice:
+    """The :class:`Device`-shaped facade the fleet engines launch into."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        model: FleetModel,
+        tracer: Tracer,
+        plan: ShardPlan,
+    ) -> None:
+        self.fleet = fleet
+        self.model = model
+        self.tracer = tracer
+        self.plan = plan
+        self.n = plan.n
+        logical_spec = replace(
+            model.logical.spec,
+            memory_bytes=max(
+                model.logical.spec.memory_bytes,
+                fleet.total_usable_bytes + model.logical.spec.reserved_bytes,
+            ),
+        )
+        self.logical = LogicalDevice(
+            logical_spec, model=model.logical, tracer=NULL_TRACER
+        )
+        self.clock_offset = tracer.device_offset() if tracer.enabled else 0.0
+        #: One ShardDevice per member holding points; None for members
+        #: with an empty range (zero weight / zero capacity).
+        self.shards: list[ShardDevice | None] = []
+        for index, (spec, count) in enumerate(zip(fleet.specs, plan.counts)):
+            if count > 0:
+                shard = ShardDevice(
+                    spec, model=model.shards[index], tracer=tracer, index=index
+                )
+                shard.clock_offset = self.clock_offset
+                self.shards.append(shard)
+            else:
+                self.shards.append(None)
+        self._active = [shard for shard in self.shards if shard is not None]
+        self._active_specs = tuple(shard.spec for shard in self._active)
+        self._active_counts = tuple(
+            count for count in plan.counts if count > 0
+        )
+        #: Bytes of distributed partial state awaiting reduction, and
+        #: whether the root holds parameters the shards have not seen.
+        self._pending_reduce = 0.0
+        self._root_fresh = False
+        self._reduce_bytes: dict[str, float] = {}
+        self._bcast_bytes: dict[str, float] = {}
+        self._default_bcast = 0.0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def configure_collectives(
+        self,
+        reduce_bytes: dict[str, float],
+        bcast_bytes: dict[str, float],
+        default_bcast: float = 0.0,
+    ) -> None:
+        """Install the per-kernel collective payload sizes.
+
+        ``reduce_bytes[name]`` — partial-sum bytes a sharded kernel
+        leaves distributed (all-reduced before the next root kernel);
+        ``bcast_bytes[name]`` — parameter bytes a sharded kernel needs
+        from the root (broadcast when the root state is fresh).
+        """
+        self._reduce_bytes = dict(reduce_bytes)
+        self._bcast_bytes = dict(bcast_bytes)
+        self._default_bcast = float(default_bcast)
+
+    # ------------------------------------------------------------------
+    # Clocks
+    # ------------------------------------------------------------------
+    def _elapsed(self, shard: ShardDevice) -> float:
+        return (
+            shard.clock_offset - self.clock_offset + shard.model.total_seconds
+        )
+
+    def _fleet_elapsed(self) -> float:
+        if not self._active:
+            return 0.0
+        return max(self._elapsed(shard) for shard in self._active)
+
+    def _collective(self, kind: str, nbytes: float, phase: str) -> None:
+        """Barrier all shard clocks at ``max + comm`` and account it."""
+        if len(self._active) < 2:
+            return
+        if kind == "allreduce":
+            seconds = allreduce_seconds(nbytes, self._active_specs)
+        else:
+            seconds = broadcast_seconds(nbytes, self._active_specs)
+        target = self._fleet_elapsed() + seconds
+        for shard in self._active:
+            elapsed = self._elapsed(shard)
+            wait = target - elapsed
+            if wait <= 0:
+                continue
+            if self.tracer.enabled:
+                self.tracer.kernel(
+                    f"comm.{kind}@dev{shard.index}",
+                    f"gpu{shard.index}:comm",
+                    phase,
+                    self.clock_offset + elapsed,
+                    wait,
+                    clock="modeled",
+                )
+            self.model.sync_seconds[shard.index] += wait
+            shard.clock_offset = (
+                self.clock_offset + target - shard.model.total_seconds
+            )
+        counter = self.model.counter
+        counter.add("fleet.comm_bytes", nbytes)
+        counter.add("fleet.comm_seconds", seconds)
+        counter.add(f"fleet.{kind}_steps", 1)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def _split_shape(
+        self, shape: tuple[int, ...], count: int
+    ) -> tuple[int, ...]:
+        """Shard ``shape`` along its first n-sized axis (replicate else)."""
+        for axis, size in enumerate(shape):
+            if size == self.n:
+                sharded = list(shape)
+                sharded[axis] = count
+                return tuple(sharded)
+        return shape
+
+    def alloc(
+        self,
+        shape,
+        dtype=np.float32,
+        name: str = "unnamed",
+        fill: float | None = None,
+    ) -> DeviceArray:
+        """Allocate on every shard (split rows) and the logical book."""
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        array = self.logical.alloc(shape, dtype=dtype, name=name, fill=fill)
+        for shard, count in zip(self._active, self._active_counts):
+            shard.alloc(
+                self._split_shape(tuple(shape), count),
+                dtype=dtype,
+                name=f"{name}@dev{shard.index}",
+                fill=fill,
+            )
+        return array
+
+    def to_device(
+        self, host: np.ndarray, name: str, phase: str = "transfer"
+    ) -> DeviceArray:
+        """Upload ``host`` — each shard receives its row slice."""
+        before = self._fleet_elapsed()
+        array = self.logical.to_device(host, name, phase)
+        axis = next(
+            (a for a, size in enumerate(host.shape) if size == self.n), None
+        )
+        for shard, count in zip(self._active, self._active_counts):
+            if axis is None:
+                piece = host
+            else:
+                piece = self.plan.shard(host, shard.index, axis=axis)
+            shard.to_device(piece, f"{name}@dev{shard.index}", phase)
+        self.model._accrue(phase, self._fleet_elapsed() - before)
+        return array
+
+    def to_host(self, array: DeviceArray, phase: str = "transfer") -> np.ndarray:
+        before = self._fleet_elapsed()
+        host = self.logical.to_host(array, phase)
+        self.model._accrue(phase, self._fleet_elapsed() - before)
+        return host
+
+    @property
+    def memory(self):
+        return _FleetMemory(
+            [self.logical.memory]
+            + [shard.memory for shard in self._active]
+        )
+
+    @property
+    def peak_bytes(self) -> int:
+        """Largest per-device peak footprint (the binding constraint)."""
+        if not self._active:
+            return self.logical.peak_bytes
+        return max(shard.peak_bytes for shard in self._active)
+
+    def peak_bytes_per_device(self) -> tuple[int, ...]:
+        """Peak footprint of every fleet member (0 for empty shards)."""
+        return tuple(
+            0 if shard is None else shard.peak_bytes for shard in self.shards
+        )
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _split_work(value: float, counts: tuple[int, ...]) -> tuple[float, ...]:
+        """Split an (integral-valued) work quantity exactly by rows."""
+        total = int(round(value))
+        if total <= 0 or abs(value - total) > 1e-6:
+            share = sum(counts)
+            return tuple(value * count / share for count in counts)
+        return tuple(
+            float(part) for part in split_exact(total, [float(c) for c in counts])
+        )
+
+    def launch(
+        self,
+        name: str,
+        phase: str,
+        grid_blocks: int,
+        threads_per_block: int,
+        flops: float = 0.0,
+        gmem_bytes: float = 0.0,
+        atomic_ops: float = 0.0,
+        smem_bytes_per_block: int = 0,
+        registers_per_thread: int = 32,
+        ipc: float = 1.0,
+    ) -> float:
+        """Replay logically; dispatch physically; accrue fleet time."""
+        before = self._fleet_elapsed()
+        self.logical.launch(
+            name, phase, grid_blocks, threads_per_block,
+            flops=flops, gmem_bytes=gmem_bytes, atomic_ops=atomic_ops,
+            smem_bytes_per_block=smem_bytes_per_block,
+            registers_per_thread=registers_per_thread, ipc=ipc,
+        )
+        if name in SHARDED_KERNELS and len(self._active) > 0:
+            if self._root_fresh:
+                payload = self._bcast_bytes.get(name, self._default_bcast)
+                self._collective("broadcast", payload, phase)
+                self._root_fresh = False
+            flops_split = self._split_work(flops, self._active_counts)
+            gmem_split = self._split_work(gmem_bytes, self._active_counts)
+            atomic_split = self._split_work(atomic_ops, self._active_counts)
+            total_rows = sum(self._active_counts)
+            for i, shard in enumerate(self._active):
+                fraction = self._active_counts[i] / total_rows
+                shard.launch(
+                    f"{name}@dev{shard.index}",
+                    phase,
+                    grid_blocks=max(
+                        1, int(np.ceil(grid_blocks * fraction))
+                    ),
+                    threads_per_block=threads_per_block,
+                    flops=flops_split[i],
+                    gmem_bytes=gmem_split[i],
+                    atomic_ops=atomic_split[i],
+                    smem_bytes_per_block=smem_bytes_per_block,
+                    registers_per_thread=registers_per_thread,
+                    ipc=ipc,
+                )
+            self._pending_reduce += self._reduce_bytes.get(name, 0.0)
+        else:
+            if self._pending_reduce > 0:
+                self._collective("allreduce", self._pending_reduce, phase)
+                self._pending_reduce = 0.0
+            root = self._active[0]
+            root.launch(
+                f"{name}@dev{root.index}",
+                phase,
+                grid_blocks=grid_blocks,
+                threads_per_block=threads_per_block,
+                flops=flops,
+                gmem_bytes=gmem_bytes,
+                atomic_ops=atomic_ops,
+                smem_bytes_per_block=smem_bytes_per_block,
+                registers_per_thread=registers_per_thread,
+                ipc=ipc,
+            )
+            self._root_fresh = True
+        delta = self._fleet_elapsed() - before
+        self.model._accrue(phase, delta)
+        return delta
+
+    @property
+    def total_seconds(self) -> float:
+        return self.model.total_seconds
+
+
+class _FleetMemory:
+    """free_all() across the logical and every shard memory manager."""
+
+    def __init__(self, managers) -> None:
+        self.managers = managers
+
+    def free_all(self) -> None:
+        for manager in self.managers:
+            manager.free_all()

@@ -1,0 +1,59 @@
+"""Interconnect cost model for NCCL-style collective steps.
+
+The fleet's reductions (``H`` sums, cluster sizes, evaluate partials)
+and its parameter broadcasts (selected dimensions, medoid points) are
+modeled as ring all-reduce and tree broadcast collectives over the
+:class:`~repro.hardware.specs.GpuSpec` interconnect fields:
+
+* ring all-reduce of ``B`` bytes over ``D`` devices moves
+  ``2 * (D - 1) / D * B`` bytes per device in ``2 * (D - 1)`` latency
+  hops — the standard bandwidth-optimal schedule;
+* tree broadcast moves ``B`` bytes in ``ceil(log2 D)`` hops.
+
+A link between two devices runs at the *slower* endpoint's bandwidth
+and the *larger* endpoint latency, so a heterogeneous
+PCIe-plus-NVLink fleet is paced by its PCIe members — the pessimistic
+(and honest) assumption for a mixed 1660 Ti / 3090 box.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..hardware.specs import GpuSpec
+
+__all__ = [
+    "link_bandwidth",
+    "link_latency",
+    "allreduce_seconds",
+    "broadcast_seconds",
+]
+
+
+def link_bandwidth(specs: tuple[GpuSpec, ...]) -> float:
+    """Sustained collective bandwidth: the slowest member's link."""
+    return min(spec.interconnect_bandwidth_bytes_per_s for spec in specs)
+
+
+def link_latency(specs: tuple[GpuSpec, ...]) -> float:
+    """Per-hop latency: the slowest member's."""
+    return max(spec.interconnect_latency_s for spec in specs)
+
+
+def allreduce_seconds(nbytes: float, specs: tuple[GpuSpec, ...]) -> float:
+    """Modeled seconds of a ring all-reduce of ``nbytes`` over ``specs``."""
+    devices = len(specs)
+    if devices < 2 or nbytes <= 0:
+        return 0.0
+    bandwidth = link_bandwidth(specs)
+    hops = 2 * (devices - 1)
+    return (hops / devices) * (nbytes / bandwidth) + hops * link_latency(specs)
+
+
+def broadcast_seconds(nbytes: float, specs: tuple[GpuSpec, ...]) -> float:
+    """Modeled seconds of a tree broadcast of ``nbytes`` over ``specs``."""
+    devices = len(specs)
+    if devices < 2 or nbytes <= 0:
+        return 0.0
+    hops = math.ceil(math.log2(devices))
+    return nbytes / link_bandwidth(specs) + hops * link_latency(specs)

@@ -33,6 +33,12 @@ _TRANSFER_LATENCY_S = 10e-6
 class Device:
     """A simulated CUDA device with a calibrated performance model."""
 
+    #: Whether this device consults the ambient fault injector.  The
+    #: fleet's *logical* device replays the solo launch stream purely
+    #: for accounting and must not double-fire faults already injected
+    #: on the physical shard devices.
+    fires_injector = True
+
     def __init__(
         self,
         spec: GpuSpec = GTX_1660_TI,
@@ -41,7 +47,9 @@ class Device:
     ) -> None:
         self.spec = spec
         self.model = model if model is not None else GpuModel(spec)
-        self.memory = MemoryManager(spec.usable_bytes)
+        self.memory = MemoryManager(
+            spec.usable_bytes, fires_injector=self.fires_injector
+        )
         self.tracer = tracer if tracer is not None else current_tracer()
         #: Shift of this device's modeled clock on the shared trace
         #: timeline (non-zero when an earlier device already ran).
@@ -62,9 +70,21 @@ class Device:
         """Allocate device global memory (raises when the card is full)."""
         return self.memory.alloc(shape, dtype=dtype, name=name, fill=fill)
 
+    def _pipeline(self, name: str) -> str:
+        """Trace pipeline (Perfetto track) for a kernel launched here.
+
+        Fleet shard devices override this to place their launches on
+        per-device tracks (``gpu0:compute_l``, ...).
+        """
+        return kernel_pipeline(name)
+
+    def _transfer_pipeline(self) -> str:
+        """Trace pipeline for host<->device copies on this device."""
+        return "transfer"
+
     def to_device(self, host: np.ndarray, name: str, phase: str = "transfer") -> DeviceArray:
         """Copy a host array onto the device, accounting the transfer."""
-        injector = ambient_injector()
+        injector = ambient_injector() if self.fires_injector else None
         if injector is not None:
             injector.on_transfer("h2d", name, host.nbytes)
         array = self.memory.alloc(host.shape, dtype=host.dtype, name=name)
@@ -75,13 +95,14 @@ class Device:
         self.model.counter.add("gpu.h2d_bytes", host.nbytes)
         if self.tracer.enabled:
             self.tracer.kernel(
-                f"h2d:{name}", "transfer", phase, start, seconds, clock="modeled"
+                f"h2d:{name}", self._transfer_pipeline(), phase, start, seconds,
+                clock="modeled",
             )
         return array
 
     def to_host(self, array: DeviceArray, phase: str = "transfer") -> np.ndarray:
         """Copy a device array back to the host, accounting the transfer."""
-        injector = ambient_injector()
+        injector = ambient_injector() if self.fires_injector else None
         if injector is not None:
             injector.on_transfer("d2h", array.name, array.nbytes)
         seconds = _TRANSFER_LATENCY_S + array.nbytes / _PCIE_BANDWIDTH
@@ -90,8 +111,8 @@ class Device:
         self.model.counter.add("gpu.d2h_bytes", array.nbytes)
         if self.tracer.enabled:
             self.tracer.kernel(
-                f"d2h:{array.name}", "transfer", phase, start, seconds,
-                clock="modeled",
+                f"d2h:{array.name}", self._transfer_pipeline(), phase, start,
+                seconds, clock="modeled",
             )
         return array.copy_to_host()
 
@@ -117,7 +138,7 @@ class Device:
         ipc: float = 1.0,
     ) -> float:
         """Account one kernel launch; returns its modeled seconds."""
-        injector = ambient_injector()
+        injector = ambient_injector() if self.fires_injector else None
         if injector is not None:
             injector.on_launch(name, phase)
         launch = KernelLaunch(
@@ -137,7 +158,7 @@ class Device:
         if self.tracer.enabled:
             self.tracer.kernel(
                 name,
-                kernel_pipeline(name),
+                self._pipeline(name),
                 phase,
                 start,
                 seconds,

@@ -102,12 +102,15 @@ class DeviceArray:
 class MemoryManager:
     """Tracks allocations against a fixed device capacity."""
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: int, fires_injector: bool = True) -> None:
         if capacity_bytes <= 0:
             raise ParameterError(f"capacity must be positive, got {capacity_bytes}")
         self.capacity_bytes = int(capacity_bytes)
         self.allocated_bytes = 0
         self.peak_bytes = 0
+        #: Whether allocations consult the ambient fault injector (the
+        #: fleet's accounting-only logical device opts out).
+        self.fires_injector = fires_injector
         self._live: dict[int, DeviceArray] = {}
 
     @property
@@ -125,7 +128,7 @@ class MemoryManager:
         if isinstance(shape, (int, np.integer)):
             shape = (int(shape),)
         nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
-        injector = ambient_injector()
+        injector = ambient_injector() if self.fires_injector else None
         if injector is not None:
             injector.on_alloc(name, nbytes, self.free_bytes, self.capacity_bytes)
         if nbytes > self.free_bytes:

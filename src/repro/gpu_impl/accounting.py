@@ -75,13 +75,22 @@ class GpuEngineMixin:
     def _variant_device_arrays(self, n: int, d: int) -> None:
         """Allocate the variant-specific device arrays (Dist cache, H)."""
 
+    def _make_device(self, data: np.ndarray):
+        """Create the device facade kernels launch into.
+
+        The fleet variants override this to return a multi-device
+        facade; everything else in :meth:`_setup` (allocation sizes,
+        upload protocol, kernel accounting) is shared.
+        """
+        assert isinstance(self.model, GpuModel)
+        return Device(self.model.spec, model=self.model, tracer=self._obs)
+
     def _setup(self, data: np.ndarray) -> None:
         super()._setup(data)
         n, d = data.shape
         p = self.params
         k = p.k
-        assert isinstance(self.model, GpuModel)
-        self.device = Device(self.model.spec, model=self.model, tracer=self._obs)
+        self.device = self._make_device(data)
         # All memory is allocated once up front and reused across
         # iterations (Section 4.1).  Within a multi-parameter study the
         # dataset stays resident on the device, so only the first

@@ -100,6 +100,13 @@ class GpuSpec:
     #: Memory unavailable to the application (CUDA context, display).
     #: The paper reports only "4.2 GB of free memory" on the 6 GB card.
     reserved_bytes: int = 0
+    # --- interconnect (multi-device fleets) ---
+    #: Sustained device-to-device bandwidth for collective steps.  PCIe
+    #: 3.0 x16 class by default; NVLink-class parts override it.  A
+    #: link between two devices runs at the slower endpoint's rate.
+    interconnect_bandwidth_bytes_per_s: float = 12e9
+    #: Per-hop latency of one collective step on this device's link.
+    interconnect_latency_s: float = 1.5e-6
 
     @property
     def usable_bytes(self) -> int:
@@ -180,6 +187,10 @@ RTX_3090 = GpuSpec(
     registers_per_sm=65536,
     shared_mem_per_sm=100 * 1024,
     reserved_bytes=int(1.2 * 1024**3),
+    # GA102 exposes NVLink (112.5 GB/s per direction on the 3090);
+    # model a conservative sustained rate and a shorter hop latency.
+    interconnect_bandwidth_bytes_per_s=56e9,
+    interconnect_latency_s=0.7e-6,
 )
 
 #: Threshold above which the paper moves experiments to the big machine.

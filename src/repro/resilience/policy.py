@@ -133,6 +133,28 @@ DEFAULT_LADDERS: dict[str, tuple[LadderStep, ...]] = {
         LadderStep("gpu"),
         LadderStep("fast"),
     ),
+    # Sharded fleet backends degrade within the fleet first (chunked
+    # cache, simpler variant), then fall back to the solo card, then to
+    # CPU — the same answer at every rung, only the substrate changes.
+    "fleet-gpu-fast": (
+        LadderStep("fleet-gpu-fast"),
+        LadderStep("fleet-gpu-fast", {"dist_chunks": 2}),
+        LadderStep("fleet-gpu"),
+        LadderStep("gpu-fast"),
+        LadderStep("gpu"),
+        LadderStep("fast"),
+    ),
+    "fleet-gpu-fast-star": (
+        LadderStep("fleet-gpu-fast-star"),
+        LadderStep("fleet-gpu"),
+        LadderStep("gpu-fast-star"),
+        LadderStep("fast-star"),
+    ),
+    "fleet-gpu": (
+        LadderStep("fleet-gpu"),
+        LadderStep("gpu"),
+        LadderStep("fast"),
+    ),
 }
 
 

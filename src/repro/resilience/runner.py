@@ -46,6 +46,10 @@ __all__ = ["ResilienceEvent", "ResilientOutcome", "ResilientRunner", "resilient_
 #: rung degrades to a CPU backend.
 _GPU_ONLY_KWARGS = ("gpu_spec", "dist_chunks")
 
+#: Engine kwargs that only the sharded ``fleet-*`` backends accept;
+#: dropped when a ladder rung degrades to a solo backend.
+_FLEET_ONLY_KWARGS = ("fleet",)
+
 
 @dataclass(slots=True)
 class ResilienceEvent:
@@ -223,8 +227,11 @@ class ResilientRunner:
     @staticmethod
     def _merge_kwargs(step: LadderStep, engine_kwargs: dict[str, Any]) -> dict[str, Any]:
         merged = dict(engine_kwargs)
-        if not step.backend.startswith("gpu"):
+        if not step.backend.startswith(("gpu", "fleet-")):
             for key in _GPU_ONLY_KWARGS:
+                merged.pop(key, None)
+        if not step.backend.startswith("fleet-"):
+            for key in _FLEET_ONLY_KWARGS:
                 merged.pop(key, None)
         merged.update(step.engine_kwargs)
         return merged

@@ -28,7 +28,8 @@ from ..core.base import validate_data
 from ..core.multiparam import (
     MultiParamResult,
     ReuseLevel,
-    _warn_duplicate_setting,
+    _count_duplicate_setting,
+    _warn_duplicate_settings,
     build_shared_state,
 )
 from ..core.state import SharedStudyState
@@ -138,10 +139,12 @@ def run_resilient_study(
         study = MultiParamResult(level=level, backend=backend_name, events=events)
         previous_span_id = None
         first = not completed
+        duplicates: list[tuple[int, int]] = []
         for params in grid:
             key = (params.k, params.l)
             if key in study.results:
-                _warn_duplicate_setting(obs, params.k, params.l)
+                duplicates.append(key)
+                _count_duplicate_setting(obs)
                 continue
             if key in completed:
                 # Already persisted by the interrupted run; the master
@@ -216,5 +219,6 @@ def run_resilient_study(
                 )
                 if obs.enabled:
                     obs.metrics.counter("resilience.checkpoints").inc()
+        _warn_duplicate_settings(duplicates)
         study.total_stats.backend = backend_name
         return study

@@ -32,7 +32,7 @@ from .events import ServeEvent, ServeLog
 from .loadgen import run_loadgen
 from .registry import DatasetRegistry
 from .request import ClusterRequest, JobHandle
-from .scheduler import JobScheduler, estimate_device_bytes
+from .scheduler import JobScheduler, estimate_device_bytes, estimate_shard_bytes
 from .service import ClusterService
 from .spool import read_response, serve_spool, write_request
 
@@ -46,6 +46,7 @@ __all__ = [
     "ServeEvent",
     "ServeLog",
     "estimate_device_bytes",
+    "estimate_shard_bytes",
     "read_response",
     "run_loadgen",
     "serve_spool",

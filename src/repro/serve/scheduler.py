@@ -8,7 +8,11 @@ units the paper reports:
   (:meth:`repro.gpu_impl.accounting.GpuEngineMixin._setup`) will
   request, so a request that could never fit the modeled card
   (Section 5: space becomes the limit at 8M points on the 6 GB
-  GTX 1660 Ti) is rejected at submit time instead of failing mid-run;
+  GTX 1660 Ti) is rejected at submit time instead of failing mid-run.
+  ``fleet-*`` jobs carry per-shard estimates
+  (:func:`estimate_shard_bytes`) and are admitted componentwise
+  against the fleet's per-device capacities, so a job too big for any
+  single card still runs when its shards fit the fleet together;
 * **backlog** — completed runs feed an exponentially weighted average
   of modeled device seconds per backend, and the queue's summed
   estimate is capped, bounding modeled wait time;
@@ -29,31 +33,67 @@ import math
 import threading
 
 from ..exceptions import AdmissionError, ParameterError
+from ..fleet.fleet import Fleet
 from ..params import ProclusParams
 from .request import Job
 
-__all__ = ["JobScheduler", "estimate_device_bytes"]
+__all__ = ["JobScheduler", "estimate_device_bytes", "estimate_shard_bytes"]
 
 _F32 = 4
+_I64 = 8
+_BOOL = 1
 
-#: Backend -> variant-specific device arrays, mirroring each engine's
-#: ``_variant_device_arrays``.  Arguments: (n, d, k, m, window_rows).
-_VARIANT_BYTES = {
-    # GPU-PROCLUS: Dist rows for the k current medoids only.
-    "gpu": lambda n, d, k, m, w: k * n * _F32,
+
+def _variant_shapes(backend, n, d, k, m, w):
+    """Variant-specific device arrays as ``(shape, itemsize)`` entries,
+    mirroring each engine's ``_variant_device_arrays``."""
+    if backend == "gpu":
+        # GPU-PROCLUS: Dist rows for the k current medoids only.
+        return [((k, n), _F32)]
+    if backend == "gpu-fast-star":
+        # GPU-FAST*: k-row caches + slot ownership (O(k*n) space).
+        return [
+            ((k, n), _F32), ((k, d), _F32), ((k,), _F32), ((k,), _F32),
+            ((k,), _I64),
+        ]
+    if backend == "gpu-fast-dist-only":
+        return [((m, n), _F32), ((m,), _BOOL)]
+    if backend == "gpu-fast-h-only":
+        return [((k, n), _F32), ((m, d), _F32), ((m,), _F32), ((m,), _F32)]
     # GPU-FAST: Dist window + H + prev_delta + L_size_cache + DistFound.
-    "gpu-fast": lambda n, d, k, m, w: (
-        w * n * _F32 + m * d * _F32 + m * _F32 + m * _F32 + m
-    ),
-    # GPU-FAST*: k-row caches + slot ownership (O(k*n) space).
-    "gpu-fast-star": lambda n, d, k, m, w: (
-        k * n * _F32 + k * d * _F32 + k * _F32 + k * _F32 + k * 8
-    ),
-    "gpu-fast-dist-only": lambda n, d, k, m, w: m * n * _F32 + m,
-    "gpu-fast-h-only": lambda n, d, k, m, w: (
-        k * n * _F32 + m * d * _F32 + m * _F32 + m * _F32
-    ),
-}
+    return [
+        ((w, n), _F32), ((m, d), _F32), ((m,), _F32), ((m,), _F32),
+        ((m,), _BOOL),
+    ]
+
+
+def _device_shapes(n, d, params, backend, dist_chunks):
+    """Every up-front device allocation as ``(shape, itemsize)``.
+
+    Mirrors the one-shot allocation of
+    :class:`~repro.gpu_impl.accounting.GpuEngineMixin._setup` (data,
+    greedy distances, M, L/C worst-case sets, labels, X/Z, deltas, plus
+    the variant's cache arrays).
+    """
+    k = params.k
+    s = params.effective_sample_size(n)
+    m = params.effective_num_potential(n)
+    window = math.ceil(m / dist_chunks)
+    common = [
+        ((n, d), _F32),  # data
+        ((s,), _F32),  # greedy_dist
+        ((m,), _F32),  # M
+        ((k, n), _F32),  # L (worst-case size n per medoid)
+        ((k, n), _F32),  # C
+        ((k,), _F32),  # L_sizes
+        ((k,), _F32),  # C_sizes
+        ((n,), _F32),  # labels
+        ((k, d), _F32),  # X
+        ((k, d), _F32),  # Z
+        ((k,), _F32),  # delta
+        ((k, k), _F32),  # medoid_dist
+    ]
+    return common + _variant_shapes(backend, n, d, k, m, window)
 
 
 def estimate_device_bytes(
@@ -62,34 +102,68 @@ def estimate_device_bytes(
     params: ProclusParams,
     backend: str,
     dist_chunks: int = 1,
+    fleet: Fleet | None = None,
 ) -> int:
     """Modeled device bytes a run will allocate up front.
 
-    Mirrors the one-shot allocation of
-    :class:`~repro.gpu_impl.accounting.GpuEngineMixin` (data, greedy
-    distances, M, L/C worst-case sets, labels, X/Z, deltas, plus the
-    variant's cache arrays).  Returns 0 for CPU backends, which use no
-    device memory.
+    Returns 0 for CPU backends, which use no device memory.  For a
+    ``fleet-*`` backend this is the *largest single-device* footprint
+    of the sharded run (over a one-card fleet when ``fleet`` is
+    omitted); use :func:`estimate_shard_bytes` for the per-device
+    breakdown.
     """
+    if backend.startswith("fleet-"):
+        if fleet is None:
+            return estimate_device_bytes(
+                n, d, params, backend.removeprefix("fleet-"), dist_chunks
+            )
+        return max(estimate_shard_bytes(n, d, params, backend, fleet,
+                                        dist_chunks))
     if not backend.startswith("gpu"):
         return 0
-    k = params.k
-    s = params.effective_sample_size(n)
-    m = params.effective_num_potential(n)
-    window = math.ceil(m / dist_chunks)
-    common = (
-        n * d * _F32  # data
-        + s * _F32  # greedy_dist
-        + m * _F32  # M
-        + 2 * k * n * _F32  # L, C (worst-case size n per medoid)
-        + 2 * k * _F32  # L_sizes, C_sizes
-        + n * _F32  # labels
-        + 2 * k * d * _F32  # X, Z
-        + k * _F32  # delta
-        + k * k * _F32  # medoid_dist
+    return sum(
+        math.prod(shape) * itemsize
+        for shape, itemsize in _device_shapes(n, d, params, backend,
+                                              dist_chunks)
     )
-    variant = _VARIANT_BYTES.get(backend, _VARIANT_BYTES["gpu-fast"])
-    return common + variant(n, d, k, m, window)
+
+
+def estimate_shard_bytes(
+    n: int,
+    d: int,
+    params: ProclusParams,
+    backend: str,
+    fleet: Fleet,
+    dist_chunks: int = 1,
+) -> tuple[int, ...]:
+    """Per-device modeled bytes of a fleet-sharded run.
+
+    Mirrors :meth:`repro.fleet.device.FleetDevice.alloc`: every
+    allocation splits its first ``n``-sized axis per the fleet's shard
+    plan and is replicated on every active shard otherwise, so the
+    per-device estimates are exact for the same reason the solo
+    estimate is.  Members holding no points (zero weight or zero
+    capacity) estimate to 0.
+    """
+    solo = backend.removeprefix("fleet-")
+    if not solo.startswith("gpu"):
+        return tuple(0 for _ in fleet.specs)
+    shapes = _device_shapes(n, d, params, solo, dist_chunks)
+    out = []
+    for count in fleet.shard_plan(n).counts:
+        if count == 0:
+            out.append(0)
+            continue
+        total = 0
+        for shape, itemsize in shapes:
+            split = list(shape)
+            for axis, size in enumerate(shape):
+                if size == n:
+                    split[axis] = count
+                    break
+            total += math.prod(split) * itemsize
+        out.append(total)
+    return tuple(out)
 
 
 class JobScheduler:
@@ -104,6 +178,7 @@ class JobScheduler:
         max_backlog_seconds: float = math.inf,
         capacity_bytes: int | None = None,
         coalesce: bool = True,
+        device_capacities: "tuple[int, ...] | None" = None,
     ) -> None:
         if max_queue_depth < 1:
             raise ParameterError(
@@ -116,6 +191,10 @@ class JobScheduler:
         self.max_queue_depth = max_queue_depth
         self.max_backlog_seconds = max_backlog_seconds
         self.capacity_bytes = capacity_bytes
+        #: Per-device capacities of the fleet (when serving one); jobs
+        #: carrying per-shard estimates are admitted componentwise
+        #: against these instead of against ``capacity_bytes``.
+        self.device_capacities = device_capacities
         self.coalesce = coalesce
         self._lock = threading.Lock()
         self._heap: list[tuple[int, int, Job]] = []
@@ -136,6 +215,23 @@ class JobScheduler:
                     reason="queue",
                 )
             if (
+                job.shard_bytes is not None
+                and self.device_capacities is not None
+            ):
+                # Sharded job on a fleet: each shard must fit its own
+                # device.  A job too big for any single card is still
+                # admitted when its shards fit the fleet together.
+                for index, (need, cap) in enumerate(
+                    zip(job.shard_bytes, self.device_capacities)
+                ):
+                    if need > cap:
+                        raise AdmissionError(
+                            f"shard {index} needs {need} modeled device "
+                            f"bytes but device {index} has {cap}; it can "
+                            f"never run",
+                            reason="memory",
+                        )
+            elif (
                 self.capacity_bytes is not None
                 and job.estimated_bytes > self.capacity_bytes
             ):

@@ -35,7 +35,8 @@ import time
 import numpy as np
 
 from ..core.multiparam import build_solo_shared_state
-from ..exceptions import ReproError, ServeError
+from ..exceptions import DeviceOutOfMemoryError, ReproError, ServeError
+from ..fleet.fleet import Fleet
 from ..gpu.memory import MemoryBudget
 from ..hardware.specs import GTX_1660_TI, GpuSpec
 from ..obs.monitor import ServiceMonitor, SloObjective
@@ -49,7 +50,7 @@ from .cache import ResultCache
 from .events import ServeEvent, ServeLog
 from .registry import DatasetRegistry
 from .request import ClusterRequest, Job, JobHandle
-from .scheduler import JobScheduler, estimate_device_bytes
+from .scheduler import JobScheduler, estimate_device_bytes, estimate_shard_bytes
 
 __all__ = ["ClusterService"]
 
@@ -64,6 +65,14 @@ class ClusterService:
     gpu_spec:
         The modeled card (default: the paper's GTX 1660 Ti).  Its
         usable memory sizes the device budget; GPU jobs run against it.
+    fleet:
+        Serve against a :class:`~repro.fleet.Fleet` of modeled devices
+        instead of one card.  Each member gets its own
+        :class:`MemoryBudget` ledger; ``fleet-*`` jobs shard across the
+        fleet (reserving per-shard footprints componentwise), solo GPU
+        jobs are placed on the member with the most free modeled
+        memory.  Admission then bounds solo jobs by the largest member
+        and sharded jobs by the componentwise per-device capacities.
     policy:
         Retry/degradation policy for every job (default
         :class:`RetryPolicy`).
@@ -95,6 +104,7 @@ class ClusterService:
         self,
         workers: int = 2,
         gpu_spec: GpuSpec | None = None,
+        fleet: Fleet | None = None,
         policy: RetryPolicy | None = None,
         cache_entries: int = 64,
         max_queue_depth: int = 64,
@@ -115,12 +125,31 @@ class ClusterService:
             self.obs = ambient if ambient.enabled else Tracer()
         self.registry = DatasetRegistry()
         self.cache = ResultCache(cache_entries)
-        self.budget = MemoryBudget(self.gpu_spec.usable_bytes)
+        self.fleet = fleet
+        if fleet is not None:
+            #: Per-device reservation ledgers (None for zero-capacity
+            #: members, which hold no shards and run no jobs).
+            self.device_budgets: "list[MemoryBudget | None] | None" = [
+                MemoryBudget(spec.usable_bytes)
+                if spec.usable_bytes > 0 else None
+                for spec in fleet.specs
+            ]
+            self.budget = MemoryBudget(fleet.total_usable_bytes)
+            capacity_bytes = fleet.max_usable_bytes
+            device_capacities = tuple(
+                max(0, spec.usable_bytes) for spec in fleet.specs
+            )
+        else:
+            self.device_budgets = None
+            self.budget = MemoryBudget(self.gpu_spec.usable_bytes)
+            capacity_bytes = self.gpu_spec.usable_bytes
+            device_capacities = None
         self.scheduler = JobScheduler(
             max_queue_depth=max_queue_depth,
             max_backlog_seconds=max_backlog_seconds,
-            capacity_bytes=self.gpu_spec.usable_bytes,
+            capacity_bytes=capacity_bytes,
             coalesce=coalesce,
+            device_capacities=device_capacities,
         )
         self.log = ServeLog()
         #: Live monitoring sink (None unless ``monitor_dir`` was given).
@@ -226,10 +255,19 @@ class ClusterService:
                 return handle
 
             n, d = dataset.shape
+            shard_bytes = None
+            if backend.startswith("fleet-"):
+                shard_bytes = estimate_shard_bytes(
+                    n, d, params, backend, self._fleet_for()
+                )
+                estimated = max(shard_bytes)
+            else:
+                estimated = estimate_device_bytes(n, d, params, backend)
             job = Job(
                 request=request,
                 job_id=job_id,
-                estimated_bytes=estimate_device_bytes(n, d, params, backend),
+                estimated_bytes=estimated,
+                shard_bytes=shard_bytes,
                 handles=[handle],
             )
             try:
@@ -312,9 +350,23 @@ class ClusterService:
         serve_counters = {
             name: value
             for name, value in counters.items()
-            if name.startswith("serve.")
+            if name.startswith(("serve.", "fleet."))
         }
+        devices = None
+        if self.fleet is not None:
+            devices = [
+                {
+                    "spec": spec.name,
+                    "capacity_bytes": max(0, spec.usable_bytes),
+                    "peak_reserved_bytes": (
+                        budget.peak_reserved_bytes if budget is not None else 0
+                    ),
+                }
+                for spec, budget in zip(self.fleet.specs, self.device_budgets)
+            ]
         return {
+            "fleet": self.fleet.name if self.fleet is not None else None,
+            "devices": devices,
             "queued": self.scheduler.depth,
             "running": self._running,
             "datasets": len(self.registry),
@@ -351,12 +403,7 @@ class ClusterService:
         leader = group[0].request
         data = self.registry.get(leader.fingerprint)
         nbytes = max(job.estimated_bytes for job in group)
-        engine_kwargs = (
-            {"gpu_spec": self.gpu_spec}
-            if leader.backend.startswith("gpu")
-            else {}
-        )
-        self.budget.reserve(nbytes)
+        engine_kwargs, reservations = self._reserve_group(leader, group, nbytes)
         try:
             if len(group) > 1:
                 self._event(
@@ -399,7 +446,8 @@ class ClusterService:
                     handle._fail(error, now)
             return
         finally:
-            self.budget.release(nbytes)
+            for budget, amount in reservations:
+                budget.release(amount)
 
         for job, outcome in zip(group, outcomes):
             result = outcome.result
@@ -413,6 +461,11 @@ class ClusterService:
             self.obs.metrics.counter("serve.device_seconds").inc(
                 stats.modeled_seconds
             )
+            comm_seconds = stats.counters.get("fleet.comm_seconds", 0.0)
+            if comm_seconds > 0.0:
+                self.obs.metrics.counter("fleet.comm_seconds").inc(
+                    comm_seconds
+                )
             for evicted in self.cache.put(job.cache_key, result):
                 self._event(
                     "evict", -1, job.request,
@@ -429,6 +482,78 @@ class ClusterService:
             for handle in job.handles:
                 handle._resolve(result, now)
                 self._observe_latency(handle)
+
+    def _fleet_for(self) -> Fleet:
+        """The fleet sharded jobs run on (a one-card fleet without one)."""
+        if self.fleet is not None:
+            return self.fleet
+        return Fleet(specs=(self.gpu_spec,))
+
+    def _reserve_group(
+        self, leader: ClusterRequest, group: list[Job], nbytes: int
+    ) -> "tuple[dict, list[tuple[MemoryBudget, int]]]":
+        """Reserve modeled memory for one group; pick where it runs.
+
+        Returns the engine kwargs and the ``(budget, bytes)``
+        reservations to release when the group finishes.  Sharded jobs
+        reserve each shard's footprint on its device ledger; on a fleet
+        service, solo GPU jobs are placed on the device with the most
+        free modeled memory (ties to the lowest index).  ``self.budget``
+        stays the aggregate book either way.  Per-device budgets are
+        always acquired in index order, so concurrent workers cannot
+        deadlock against each other.
+        """
+        backend = leader.backend
+        reservations: "list[tuple[MemoryBudget, int]]" = []
+        if backend.startswith("fleet-"):
+            fleet = self._fleet_for()
+            engine_kwargs = {"fleet": fleet}
+            shard_bytes = tuple(
+                max(parts)
+                for parts in zip(*(job.shard_bytes for job in group))
+            )
+            if self.device_budgets is not None:
+                for budget, need in zip(self.device_budgets, shard_bytes):
+                    if budget is not None and need > 0:
+                        budget.reserve(need)
+                        reservations.append((budget, need))
+            total = sum(shard_bytes)
+            self.budget.reserve(total)
+            reservations.append((self.budget, total))
+            self.obs.metrics.counter("fleet.jobs").inc()
+        elif backend.startswith("gpu"):
+            if self.device_budgets is not None and self.fleet is not None:
+                index = self._place(nbytes)
+                budget = self.device_budgets[index]
+                budget.reserve(nbytes)
+                reservations.append((budget, nbytes))
+                engine_kwargs = {"gpu_spec": self.fleet.specs[index]}
+                self.obs.metrics.counter(
+                    f"fleet.placements.dev{index}"
+                ).inc()
+            else:
+                engine_kwargs = {"gpu_spec": self.gpu_spec}
+            self.budget.reserve(nbytes)
+            reservations.append((self.budget, nbytes))
+        else:
+            engine_kwargs = {}
+            self.budget.reserve(nbytes)
+            reservations.append((self.budget, nbytes))
+        return engine_kwargs, reservations
+
+    def _place(self, nbytes: int) -> int:
+        """Fleet member for a solo GPU job: most free modeled memory."""
+        best, best_free = None, -1
+        for index, budget in enumerate(self.device_budgets):
+            if budget is None or not budget.fits(nbytes):
+                continue
+            if budget.free_bytes > best_free:
+                best, best_free = index, budget.free_bytes
+        if best is None:  # pragma: no cover - admission checks this
+            raise DeviceOutOfMemoryError(
+                nbytes, 0, max(0, self.fleet.max_usable_bytes)
+            )
+        return best
 
     def _run_coalesced(
         self, data: np.ndarray, group: list[Job], engine_kwargs: dict

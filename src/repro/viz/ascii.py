@@ -11,7 +11,13 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-__all__ = ["sparkline", "bar_chart", "line_chart", "log_line_chart"]
+__all__ = [
+    "sparkline",
+    "bar_chart",
+    "line_chart",
+    "log_line_chart",
+    "fleet_utilization_chart",
+]
 
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
@@ -55,6 +61,44 @@ def bar_chart(
         lines.append(
             f"{label.rjust(label_width)} |{bar.ljust(width)}| "
             f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def fleet_utilization_chart(report: dict, width: int = 40) -> str:
+    """Per-device busy/sync bars for a :func:`repro.fleet.fleet_report`.
+
+    One row per fleet member: ``#`` is modeled busy time, ``.`` is time
+    spent waiting at (or inside) collective steps, scaled to the fleet
+    makespan.  An empty shard (zero points) renders an empty bar.
+    """
+    devices = report.get("devices", [])
+    if not devices:
+        return "(no devices)"
+    makespan = report.get("total_seconds", 0.0)
+    label_width = max(
+        len(f"gpu{entry['device']} {entry['spec']}") for entry in devices
+    )
+    lines = [
+        f"{report.get('name', 'fleet')}: modeled makespan "
+        f"{makespan * 1e3:.3f} ms, "
+        f"{report.get('communication_fraction', 0.0) * 100:.1f}% in "
+        f"{report.get('allreduce_steps', 0):.0f} all-reduce + "
+        f"{report.get('broadcast_steps', 0):.0f} broadcast steps"
+    ]
+    for entry in devices:
+        busy = entry["busy_seconds"]
+        sync = entry["sync_seconds"]
+        label = f"gpu{entry['device']} {entry['spec']}"
+        if makespan > 0:
+            busy_cells = round(busy / makespan * width)
+            sync_cells = round(sync / makespan * width)
+        else:
+            busy_cells = sync_cells = 0
+        bar = "#" * max(0, busy_cells) + "." * max(0, sync_cells)
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)[:width]}| "
+            f"busy {busy * 1e3:.3f} ms, sync {sync * 1e3:.3f} ms"
         )
     return "\n".join(lines)
 

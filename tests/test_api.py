@@ -52,6 +52,7 @@ class TestProclusFunction:
             "multicore", "multicore-fast", "multicore-fast-star",
             "fast-dist-only", "fast-h-only",
             "gpu-fast-dist-only", "gpu-fast-h-only",
+            "fleet-gpu", "fleet-gpu-fast", "fleet-gpu-fast-star",
         }
 
     def test_backend_names_match_engine_backend_name(self, small_dataset):

@@ -28,7 +28,7 @@ class TestBenchQuickCli:
         )
         assert code == 0
         assert "baseline files written" in out
-        assert len(list(store.glob("*.json"))) == 5
+        assert len(list(store.glob("*.json"))) == 7
         payload = json.loads(report.read_text())
         assert validate_bench_report(payload, "repro.bench_quick/1") == []
 

@@ -81,7 +81,7 @@ class TestDocsDirectory:
     @pytest.mark.parametrize(
         "doc", ["algorithm.md", "architecture.md", "performance_model.md",
                 "usage.md", "reproducing.md", "faq.md", "observability.md",
-                "robustness.md", "serving.md"]
+                "robustness.md", "serving.md", "fleet.md"]
     )
     def test_docs_exist_and_nonempty(self, doc):
         path = ROOT / "docs" / doc
@@ -123,6 +123,53 @@ class TestServingDoc:
         assert "serving.md" in read("docs/usage.md")
         assert "serving.md" in read("docs/architecture.md")
         assert "ClusterService" in read("docs/usage.md")
+
+
+class TestFleetDoc:
+    def test_every_fleet_backend_documented(self):
+        text = read("docs/fleet.md")
+        for backend in BACKENDS:
+            if backend.startswith("fleet-"):
+                assert backend in text, backend
+
+    def test_cli_surfaces_documented(self):
+        text = read("docs/fleet.md")
+        for surface in ("repro fleet", "repro bench fleet",
+                        "BENCH_fleet.json", "--check"):
+            assert surface in text, surface
+
+    def test_interconnect_model_documented(self):
+        from repro.fleet import allreduce_seconds, broadcast_seconds
+
+        text = read("docs/fleet.md")
+        assert "all-reduce" in text and "broadcast" in text
+        assert "interconnect_bandwidth_bytes_per_s" in text
+        assert "interconnect_latency_s" in text
+        assert allreduce_seconds is not None and broadcast_seconds is not None
+
+    def test_determinism_contract_section_present(self):
+        text = read("docs/fleet.md")
+        assert "Determinism contract" in text
+        # The honest caveat: evaluation math is never re-derived from
+        # per-shard partial sums.
+        assert "evaluate_clusters" in text
+
+    def test_entry_points_exist(self):
+        import repro.fleet as fleet
+
+        for symbol in ("Fleet", "default_fleet", "mixed_fleet",
+                       "fleet_report", "run_fleet_bench"):
+            assert hasattr(fleet, symbol), symbol
+
+    def test_readme_architecture_and_usage_point_here(self):
+        assert "fleet" in read("README.md")
+        assert "fleet.md" in read("docs/architecture.md")
+        assert "fleet.md" in read("docs/usage.md")
+
+    def test_ci_runs_the_fleet_smoke(self):
+        text = read(".github/workflows/ci.yml")
+        assert "repro bench fleet" in text
+        assert "BENCH_fleet.json" in text
 
 
 class TestMonitoringDoc:

@@ -189,6 +189,42 @@ class TestDuplicateGridEntries:
         # (5,5,4)x(3,2,2): 9 iterated combos, 4 unique -> 5 skips.
         assert counters["study.duplicate_settings"] == 5
 
+    def test_warning_fires_once_per_study(self, data, dup_grid):
+        """Regression: the dedupe warning used to fire once per skipped
+        pair (5 times for this grid); it must fire once per study and
+        name every skipped setting."""
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_parameter_study(
+                data, grid=dup_grid, backend="fast", level=1, seed=0
+            )
+        dup_warnings = [
+            w for w in caught if "duplicate setting" in str(w.message)
+        ]
+        assert len(dup_warnings) == 1, [str(w.message) for w in caught]
+        message = str(dup_warnings[0].message)
+        # All three distinct duplicated pairs are named in the one message.
+        for pair in ("(k=5, l=3)", "(k=5, l=2)", "(k=4, l=2)"):
+            assert pair in message, message
+        assert "(k=4, l=3)" not in message  # never duplicated
+
+    def test_resilient_warning_fires_once_per_study(self, data, dup_grid):
+        import warnings
+
+        from repro.resilience import run_resilient_study
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_resilient_study(
+                data, grid=dup_grid, backend="fast", level=1, seed=0
+            )
+        dup_warnings = [
+            w for w in caught if "duplicate setting" in str(w.message)
+        ]
+        assert len(dup_warnings) == 1, [str(w.message) for w in caught]
+
     def test_resilient_study_also_dedupes(self, data, dup_grid, clean_grid):
         from repro.resilience import run_resilient_study
 
