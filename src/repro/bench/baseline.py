@@ -23,9 +23,12 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
-from ..core import proclus
+from ..core import BACKENDS
 from ..data.synthetic import generate_subspace_data
+from ..obs.explain import attribute_run, attribution_record
+from ..obs.explain.diff import summarize_attribution
 from ..obs.export import report_envelope
+from ..params import ProclusParams
 from .reporting import ExperimentReport, format_seconds
 
 __all__ = [
@@ -125,6 +128,12 @@ def run_workload(
     wall: list[float] = []
     cost: list[float] = []
     counters: dict[str, list[float]] = {}
+    attribution: dict[str, Any] = {
+        "total_seconds": 0.0,
+        "components": {},
+        "kernels": {},
+        "pipeline_components": {},
+    }
     for seed in seeds:
         dataset = generate_subspace_data(
             n=workload.n,
@@ -135,13 +144,10 @@ def run_workload(
             seed=seed,
         )
         started = time.perf_counter()
-        result = proclus(
-            dataset.data,
-            k=workload.k,
-            l=workload.l,
-            backend=actual_backend,
-            seed=seed,
+        engine = BACKENDS[actual_backend](
+            params=ProclusParams(k=workload.k, l=workload.l), seed=seed
         )
+        result = engine.fit(dataset.data)
         wall.append(time.perf_counter() - started)
         modeled.append(result.stats.modeled_seconds)
         cost.append(float(result.cost))
@@ -150,6 +156,17 @@ def run_workload(
                 counters.setdefault(name, []).append(
                     float(result.stats.counters[name])
                 )
+        # Summed-over-seeds attribution summary: deterministic float
+        # sums, so the regress triage diff of a clean re-run is exactly
+        # zero everywhere.
+        summary = summarize_attribution(
+            attribution_record(attribute_run(engine.model))
+        )
+        attribution["total_seconds"] += summary["total_seconds"]
+        for key in ("components", "kernels", "pipeline_components"):
+            bucket = attribution[key]
+            for name, seconds in summary[key].items():
+                bucket[name] = bucket.get(name, 0.0) + seconds
     return {
         **report_envelope(BASELINE_SCHEMA),
         "workload": asdict(workload),
@@ -158,6 +175,7 @@ def run_workload(
         "wall_seconds": wall,  # informational only; machine-dependent
         "cost": cost,
         "counters": counters,
+        "attribution": attribution,
     }
 
 

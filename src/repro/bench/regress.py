@@ -27,6 +27,7 @@ from __future__ import annotations
 from math import comb
 from typing import Any, Mapping, Sequence
 
+from ..obs.explain.diff import triage_record
 from ..obs.export import report_envelope
 from .baseline import BASELINE_SCHEMA, EXACT_COUNTERS
 
@@ -178,13 +179,18 @@ def compare_workload(
             f"clustering cost drifted: baseline {_summarize(baseline['cost'])} "
             f"vs fresh {_summarize(fresh['cost'])} (determinism change)"
         )
-    return {
+    verdict = {
         "name": name,
         "invalid": [],
         "regressions": regressions,
         "modeled": modeled,
         "ok": not regressions,
     }
+    if regressions:
+        # Differential attribution: which counters / kernels /
+        # pipeline-component buckets moved, so the gate says *why*.
+        verdict["triage"] = triage_record(baseline, fresh)
+    return verdict
 
 
 def _summarize(values: Any) -> str:
@@ -208,6 +214,7 @@ def run_regression_check(
     workloads = []
     invalid: list[str] = []
     regressed: list[str] = []
+    triage: list[str] = []
     if not baselines:
         invalid.append(
             "baseline store is empty — run "
@@ -228,6 +235,11 @@ def run_regression_check(
             invalid.extend(f"{name}: {issue}" for issue in verdict["invalid"])
         elif verdict["regressions"]:
             regressed.append(name)
+            clauses = (verdict.get("triage") or {}).get("lines") or []
+            modeled = verdict.get("modeled") or {}
+            delta = modeled.get("mean_rel_delta", 0.0)
+            detail = "; ".join(clauses[:3]) if clauses else verdict["regressions"][0]
+            triage.append(f"{name} {delta * 100:+.1f}%: {detail}")
     if invalid:
         exit_code = EXIT_INVALID_BASELINE
     elif regressed:
@@ -242,5 +254,6 @@ def run_regression_check(
         "alpha": alpha,
         "regressed": regressed,
         "invalid": invalid,
+        "triage": triage,
         "workloads": workloads,
     }

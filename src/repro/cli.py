@@ -7,6 +7,7 @@ Subcommands::
     python -m repro study     # run a (k, l) parameter study
     python -m repro bench     # regenerate paper experiments ('all' for every one)
     python -m repro profile   # nvprof-style kernel profile of a GPU run
+    python -m repro explain   # attribution: where the modeled seconds went
     python -m repro trace     # traced run: Perfetto JSON + telemetry + timeline
     python -m repro sanitize  # cuda-memcheck-style sweep of the emulated kernels
     python -m repro chaos     # fault-injection sweep: fault classes x backends
@@ -36,6 +37,9 @@ Examples::
     python -m repro bench quick --save-baseline       # refresh the committed baseline
     python -m repro regress --json BENCH_regress.json # gate: exit 1 on regression
     python -m repro monitor monitor/ --once --json -  # one-shot SLO health report
+    python -m repro explain --backend gpu-fast --json report.json --flamegraph fg.txt
+    python -m repro explain --diff old_report.json report.json  # what moved, and why
+    python -m repro monitor --fleet BENCH_fleet_report.json     # straggler analysis
 
 Errors are reported as a one-line ``repro: error: ...`` message with
 exit code 2 (interruption exits 130); pass ``--strict`` before the
@@ -399,6 +403,8 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     elif verdict["exit_code"] == 1:
         print(f"REGRESSION in: {', '.join(verdict['regressed'])}",
               file=sys.stderr)
+        for line in verdict.get("triage", []):
+            print(f"  triage: {line}", file=sys.stderr)
     else:
         print("baseline store is unusable — regenerate it with "
               "'repro bench quick --save-baseline'", file=sys.stderr)
@@ -420,6 +426,28 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     from .obs.monitor import load_health
     from .viz import render_health
 
+    if args.fleet:
+        from .obs.explain import fleet_attribution
+        from .viz.explain import render_fleet_attribution
+
+        with open(args.fleet) as handle:
+            report = json.load(handle)
+        # Accept a fleet_report dict (live or archived), a repro.explain/1
+        # report (fleet section), or raw per-device ledgers.
+        if isinstance(report.get("fleet"), dict):
+            attribution = report["fleet"]
+        elif isinstance(report.get("attribution"), dict) and (
+            "straggler_index" in report["attribution"]
+        ):
+            attribution = report["attribution"]
+        else:
+            attribution = fleet_attribution(report)
+        print(render_fleet_attribution(attribution))
+        return 0
+    if args.dir is None:
+        print("monitor: a monitor directory is required (or --fleet FILE)",
+              file=sys.stderr)
+        return 2
     if args.once:
         health = load_health(args.dir)  # missing -> OSError -> exit 2
         if args.json:
@@ -458,6 +486,144 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0 if health["ok"] else 1
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.explain import (
+        attribute_run,
+        attribution_record,
+        collapsed_stacks,
+        diff_attribution,
+        diff_counters,
+        explain_report,
+        format_collapsed,
+        load_comparable,
+        speedscope_profile,
+        validate_explain_report,
+    )
+    from .viz.explain import (
+        render_attribution,
+        render_diff,
+        render_fleet_attribution,
+    )
+
+    def _dump(payload, path, what):
+        if path == "-":
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+        else:
+            with open(path, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            print(f"{what} written to {path}")
+
+    if args.diff:
+        from .obs.export import report_envelope
+
+        a, b = (load_comparable(path) for path in args.diff)
+        diff = None
+        if a["attribution"] is not None and b["attribution"] is not None:
+            diff = diff_attribution(a["attribution"], b["attribution"])
+        counters = diff_counters(a["counters"], b["counters"])
+        print(f"differential attribution: {a['label']} -> {b['label']}")
+        if diff is not None:
+            print(render_diff(diff, top=args.top))
+        if counters:
+            print("counter movers:")
+            for row in counters[: args.top]:
+                print(f"  {row['name']}: {row['baseline']:g} -> "
+                      f"{row['fresh']:g} ({row['delta']:+g})")
+        else:
+            print("no counter deltas")
+        if args.json:
+            _dump(
+                {
+                    **report_envelope("repro.explain_diff/1"),
+                    "a": a["label"],
+                    "b": b["label"],
+                    "zero": bool((diff is None or diff["zero"]) and not counters),
+                    "diff": diff,
+                    "counters": counters,
+                },
+                args.json, "diff report",
+            )
+        return 0
+
+    if args.workload:
+        from .bench.baseline import QUICK_TIER, run_workload
+
+        workloads = {w.name: w for w in QUICK_TIER}
+        if args.workload not in workloads:
+            print(f"unknown workload {args.workload!r}; available: "
+                  f"{', '.join(sorted(workloads))}", file=sys.stderr)
+            return 2
+        record = run_workload(workloads[args.workload])
+        summary = record["attribution"]
+        print(f"{args.workload}: {summary['total_seconds'] * 1e3:.3f} ms "
+              f"modeled over seeds {record['seeds']}")
+        for name, seconds in sorted(
+            summary["components"].items(), key=lambda i: -i[1]
+        ):
+            share = seconds / summary["total_seconds"] if summary["total_seconds"] else 0.0
+            print(f"  {name:<8} {seconds * 1e3:>9.3f} ms  {share * 100:5.1f}%")
+        top_kernels = sorted(
+            summary["kernels"].items(), key=lambda i: -i[1]
+        )[: args.top]
+        print("top kernels:")
+        for name, seconds in top_kernels:
+            print(f"  {name:<28} {seconds * 1e3:>9.3f} ms")
+        if args.json:
+            _dump(record, args.json, "workload record (diffable vs baseline)")
+        return 0
+
+    from .obs import Tracer, use_tracer
+
+    data, _ = _load_data(args)
+    engine_kwargs = {}
+    if args.backend.startswith("fleet-"):
+        engine_kwargs["fleet"] = _build_fleet(args)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        engine = BACKENDS[args.backend](
+            params=_params_from(args), seed=args.seed, **engine_kwargs
+        )
+        result = engine.fit(data)
+    record = attribution_record(attribute_run(engine.model))
+    fleet_section = None
+    from .fleet import FleetModel, fleet_report
+
+    if isinstance(engine.model, FleetModel):
+        fleet_section = fleet_report(engine.model)["attribution"]
+    print(render_attribution(record, top=args.top))
+    if fleet_section is not None:
+        print()
+        print(render_fleet_attribution(fleet_section))
+    report = explain_report(
+        record,
+        label=args.backend,
+        counters=dict(result.stats.counters),
+        fleet=fleet_section,
+    )
+    problems = validate_explain_report(report)
+    if problems:
+        print(f"\nexplain report failed self-validation "
+              f"({len(problems)} problems):", file=sys.stderr)
+        for problem in problems[:20]:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    if args.flamegraph:
+        with open(args.flamegraph, "w") as handle:
+            handle.write(format_collapsed(collapsed_stacks(tracer)))
+        print(f"collapsed-stack flamegraph written to {args.flamegraph}")
+    if args.speedscope:
+        with open(args.speedscope, "w") as handle:
+            json.dump(speedscope_profile(tracer, name=args.backend), handle)
+        print(f"speedscope profile written to {args.speedscope} "
+              f"(open at https://www.speedscope.app)")
+    if args.json:
+        _dump(report, args.json, "explain report")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     data, _ = _load_data(args)
     if not args.backend.startswith("gpu"):
@@ -484,7 +650,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2)
         print(f"profile written to {args.json}")
         return 0
-    print(format_kernel_profile(profiles))
+    print(format_kernel_profile(profiles, top=args.top))
     print(f"\nmodeled total: {result.stats.modeled_seconds * 1e3:.3f} ms "
           f"on {result.stats.hardware}")
     return 0
@@ -1020,8 +1186,13 @@ def build_parser() -> argparse.ArgumentParser:
         "monitor",
         help="SLO health dashboard over a service's monitor directory",
     )
-    monitor.add_argument("dir", help="monitor directory written by "
-                                     "'repro serve --monitor-dir' or loadgen")
+    monitor.add_argument("dir", nargs="?", default=None,
+                         help="monitor directory written by "
+                              "'repro serve --monitor-dir' or loadgen")
+    monitor.add_argument("--fleet", metavar="FILE",
+                         help="instead of a monitor dir: render the "
+                              "straggler/imbalance attribution of a fleet "
+                              "report JSON (fleet_report or --json output)")
     monitor.add_argument("--once", action="store_true",
                          help="print the current health once and exit "
                               "(0 healthy / 1 SLO failing / 2 no report)")
@@ -1048,7 +1219,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH",
         help="write the profile as JSON instead of the table ('-' = stdout)",
     )
+    profile.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the N most expensive kernels "
+             "(the rest fold into one row)",
+    )
     profile.set_defaults(func=_cmd_profile)
+
+    explain = sub.add_parser(
+        "explain",
+        help="performance attribution: where the modeled seconds went",
+    )
+    _add_data_arguments(explain)
+    _add_param_arguments(explain)
+    explain.add_argument("--backend", choices=sorted(BACKENDS),
+                         default="gpu-fast")
+    explain.add_argument("--devices", type=int, default=2,
+                         help="(fleet backends) modeled device count")
+    explain.add_argument("--mixed", action="store_true",
+                         help="(fleet backends) mixed 1660Ti/3090 fleet")
+    explain.add_argument("--top", type=int, default=10, metavar="N",
+                         help="kernels/movers to show (default 10)")
+    explain.add_argument("--json", metavar="PATH",
+                         help="write the repro.explain/1 report "
+                              "('-' = stdout)")
+    explain.add_argument("--flamegraph", metavar="PATH",
+                         help="write a collapsed-stack flamegraph "
+                              "(flamegraph.pl / inferno compatible)")
+    explain.add_argument("--speedscope", metavar="PATH",
+                         help="write a speedscope.app JSON profile")
+    explain.add_argument("--workload", metavar="NAME",
+                         help="attribute a quick-tier workload over its "
+                              "baseline seeds instead of one ad-hoc run "
+                              "(--json output is diffable vs the committed "
+                              "baseline)")
+    explain.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                         help="differential attribution between two runs: "
+                              "repro.explain/1 reports or baseline records")
+    explain.set_defaults(func=_cmd_explain)
 
     trace = sub.add_parser(
         "trace",

@@ -117,6 +117,9 @@ def run_fleet_bench(
                     "allreduce_steps": report["allreduce_steps"],
                     "broadcast_steps": report["broadcast_steps"],
                     "identical_to_solo": bool(identical),
+                    "straggler_index": report["attribution"]["straggler_index"],
+                    "imbalance": report["attribution"]["imbalance"],
+                    "attribution": report["attribution"],
                     "per_device": report["devices"],
                 }
             )
@@ -164,7 +167,8 @@ def render_fleet_bench(payload: dict[str, Any]) -> str:
     )
     header = (
         f"{'backend':<14} {'D':>2} {'modeled':>10} {'speedup':>8} "
-        f"{'comm%':>6} {'allred':>6} {'bcast':>6} {'equal':>6}"
+        f"{'comm%':>6} {'strag':>6} {'imbal':>6} {'allred':>6} "
+        f"{'bcast':>6} {'equal':>6}"
     )
     lines.append(header)
     lines.append("-" * len(header))
@@ -175,6 +179,8 @@ def render_fleet_bench(payload: dict[str, Any]) -> str:
                 f"{point['modeled_seconds'] * 1e3:>8.3f}ms "
                 f"{point['speedup']:>7.2f}x "
                 f"{point['communication_fraction'] * 100:>5.1f}% "
+                f"{point.get('straggler_index', 1.0):>6.3f} "
+                f"{point.get('imbalance', 1.0):>6.3f} "
                 f"{point['allreduce_steps']:>6.0f} "
                 f"{point['broadcast_steps']:>6.0f} "
                 f"{'yes' if point['identical_to_solo'] else 'NO':>6}"

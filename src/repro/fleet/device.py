@@ -30,6 +30,7 @@ makespan (critical path) accrues on the :class:`FleetModel`.
 from __future__ import annotations
 
 from dataclasses import replace
+from fractions import Fraction
 
 import numpy as np
 
@@ -145,6 +146,9 @@ class FleetDevice:
         self._reduce_bytes: dict[str, float] = {}
         self._bcast_bytes: dict[str, float] = {}
         self._default_bcast = 0.0
+        #: Collective seconds accrued inside the current launch() call
+        #: (exact), feeding the fleet cost ledger's comm component.
+        self._comm_this_call = Fraction()
 
     # ------------------------------------------------------------------
     # Configuration
@@ -210,6 +214,7 @@ class FleetDevice:
         counter.add("fleet.comm_bytes", nbytes)
         counter.add("fleet.comm_seconds", seconds)
         counter.add(f"fleet.{kind}_steps", 1)
+        self._comm_this_call += Fraction(seconds)
 
     # ------------------------------------------------------------------
     # Memory
@@ -260,13 +265,19 @@ class FleetDevice:
             else:
                 piece = self.plan.shard(host, shard.index, axis=axis)
             shard.to_device(piece, f"{name}@dev{shard.index}", phase)
-        self.model._accrue(phase, self._fleet_elapsed() - before)
+        self.model.account(
+            "transfer", f"h2d:{name}", phase,
+            self._fleet_elapsed() - before, residual="transfer",
+        )
         return array
 
     def to_host(self, array: DeviceArray, phase: str = "transfer") -> np.ndarray:
         before = self._fleet_elapsed()
         host = self.logical.to_host(array, phase)
-        self.model._accrue(phase, self._fleet_elapsed() - before)
+        self.model.account(
+            "transfer", f"d2h:{array.name}", phase,
+            self._fleet_elapsed() - before, residual="transfer",
+        )
         return host
 
     @property
@@ -318,6 +329,7 @@ class FleetDevice:
     ) -> float:
         """Replay logically; dispatch physically; accrue fleet time."""
         before = self._fleet_elapsed()
+        self._comm_this_call = Fraction()
         self.logical.launch(
             name, phase, grid_blocks, threads_per_block,
             flops=flops, gmem_bytes=gmem_bytes, atomic_ops=atomic_ops,
@@ -369,8 +381,14 @@ class FleetDevice:
             )
             self._root_fresh = True
         delta = self._fleet_elapsed() - before
-        self.model._accrue(phase, delta)
-        return delta
+        # The makespan delta splits exactly into collective time (the
+        # barrier pushed every clock forward by the comm seconds) and
+        # the critical-path compute growth that followed.
+        comm = min(self._comm_this_call, Fraction(delta))
+        return self.model.account(
+            "fleet", name, phase, delta,
+            parts=(("comm", comm),), residual="compute",
+        )
 
     @property
     def total_seconds(self) -> float:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from ..hardware.cost_model import GpuModel, HardwareModel
 from ..hardware.specs import GpuSpec
+from ..obs.explain.fleetattr import fleet_attribution
 from .fleet import Fleet
 
 __all__ = ["FleetModel", "fleet_report"]
@@ -61,15 +62,24 @@ class FleetModel(HardwareModel):
 
 
 def fleet_report(model: FleetModel) -> dict:
-    """Per-device ledger summary for metrics, bench, and the CLI."""
+    """Per-device ledger summary for metrics, bench, and the CLI.
+
+    The ``attribution`` block is the straggler/imbalance analysis of
+    :func:`repro.obs.explain.fleet_attribution` over the same ledgers,
+    so ``BENCH_fleet.json`` and ``repro explain`` agree by construction.
+    """
+    makespan = model.total_seconds
     devices = []
     for index, shard in enumerate(model.shards):
+        busy = shard.total_seconds
+        sync = model.sync_seconds[index]
         devices.append(
             {
                 "device": index,
                 "spec": shard.spec.name,
-                "busy_seconds": shard.total_seconds,
-                "sync_seconds": model.sync_seconds[index],
+                "busy_seconds": busy,
+                "sync_seconds": sync,
+                "idle_seconds": max(0.0, makespan - busy - sync),
                 "kernel_launches": shard.counter.get("gpu.kernel_launches"),
                 "flops": shard.counter.get("gpu.flops"),
                 "gmem_bytes": shard.counter.get("gpu.gmem_bytes"),
@@ -77,10 +87,10 @@ def fleet_report(model: FleetModel) -> dict:
                 "atomic_ops": shard.counter.get("gpu.atomic_ops"),
             }
         )
-    return {
+    report = {
         "name": model.name,
         "num_devices": model.fleet.num_devices,
-        "total_seconds": model.total_seconds,
+        "total_seconds": makespan,
         "comm_seconds": model.comm_seconds,
         "communication_fraction": model.communication_fraction,
         "allreduce_steps": model.counter.get("fleet.allreduce_steps"),
@@ -88,3 +98,5 @@ def fleet_report(model: FleetModel) -> dict:
         "comm_bytes": model.counter.get("fleet.comm_bytes"),
         "devices": devices,
     }
+    report["attribution"] = fleet_attribution(report)
+    return report

@@ -91,7 +91,9 @@ class Device:
         array.data[...] = host
         seconds = _TRANSFER_LATENCY_S + host.nbytes / _PCIE_BANDWIDTH
         start = self.clock_offset + self.model.total_seconds
-        self.model._accrue(phase, seconds)
+        self.model.account(
+            "transfer", f"h2d:{name}", phase, seconds, residual="transfer"
+        )
         self.model.counter.add("gpu.h2d_bytes", host.nbytes)
         if self.tracer.enabled:
             self.tracer.kernel(
@@ -107,7 +109,9 @@ class Device:
             injector.on_transfer("d2h", array.name, array.nbytes)
         seconds = _TRANSFER_LATENCY_S + array.nbytes / _PCIE_BANDWIDTH
         start = self.clock_offset + self.model.total_seconds
-        self.model._accrue(phase, seconds)
+        self.model.account(
+            "transfer", f"d2h:{array.name}", phase, seconds, residual="transfer"
+        )
         self.model.counter.add("gpu.d2h_bytes", array.nbytes)
         if self.tracer.enabled:
             self.tracer.kernel(

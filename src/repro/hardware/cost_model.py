@@ -23,17 +23,70 @@ Three models mirror the paper's three execution platforms:
 
 Models are stateful per run: they accumulate per-phase seconds and hold
 the run's :class:`~repro.hardware.counters.WorkCounter`.
+
+Cost ledger
+-----------
+Every accrued second is also recorded as a :class:`CostEvent` with an
+exact decomposition into cost components (:data:`COMPONENTS`).  The
+ledger backs :mod:`repro.obs.explain`'s attribution, and its arithmetic
+is *exact*: phase accumulators and event components are
+:class:`fractions.Fraction` values (floats are dyadic rationals, so
+``Fraction(float)`` is lossless and rational sums are associative).
+Regrouping the ledger any way — by kernel, by pipeline, by component —
+and converting the exact sum to float reproduces ``total_seconds``
+bit for bit, which is the conservation contract the explain tests pin.
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from fractions import Fraction
 
 from .counters import KernelLaunch, WorkCounter
 from .specs import CpuSpec, GpuSpec
 
-__all__ = ["HardwareModel", "ScalarCpuModel", "MulticoreCpuModel", "GpuModel"]
+__all__ = [
+    "COMPONENTS",
+    "CostEvent",
+    "HardwareModel",
+    "ScalarCpuModel",
+    "MulticoreCpuModel",
+    "GpuModel",
+]
+
+#: Cost-component buckets every accrued second is attributed to.
+#: ``launch`` also covers CPU fork/join overhead (the launch-overhead
+#: analog of a parallel region); ``comm`` is fleet collective time.
+COMPONENTS = ("launch", "compute", "memory", "atomic", "transfer", "comm")
+
+_ZERO = Fraction()
+
+
+@dataclass(frozen=True, slots=True)
+class CostEvent:
+    """One accrual on a hardware model, with its exact decomposition.
+
+    ``components`` always sums to ``seconds_exact`` exactly (the
+    residual construction in :meth:`HardwareModel.account` guarantees
+    it), so any regrouping of a model's events conserves its total.
+    """
+
+    kind: str  #: ``kernel`` | ``transfer`` | ``cpu`` | ``fleet``
+    name: str
+    phase: str
+    seconds_exact: Fraction
+    components: tuple[tuple[str, Fraction], ...]
+    launch: KernelLaunch | None = None
+
+    @property
+    def seconds(self) -> float:
+        return float(self.seconds_exact)
+
+    def component_seconds(self) -> dict[str, float]:
+        """Component decomposition as floats (reporting only)."""
+        return {name: float(value) for name, value in self.components}
 
 
 class HardwareModel(ABC):
@@ -41,7 +94,10 @@ class HardwareModel(ABC):
 
     def __init__(self) -> None:
         self.counter = WorkCounter()
-        self.phase_seconds: dict[str, float] = {}
+        #: Exact per-phase accumulators backing ``phase_seconds``.
+        self._phase_exact: dict[str, Fraction] = {}
+        #: The cost ledger, in accrual order.
+        self.events: list[CostEvent] = []
 
     @property
     @abstractmethod
@@ -49,12 +105,59 @@ class HardwareModel(ABC):
         """Human-readable name of the modeled hardware."""
 
     @property
-    def total_seconds(self) -> float:
-        """Total modeled seconds accumulated so far."""
-        return sum(self.phase_seconds.values())
+    def phase_seconds(self) -> dict[str, float]:
+        """Per-phase modeled seconds (floats of the exact accumulators)."""
+        return {
+            phase: float(value) for phase, value in self._phase_exact.items()
+        }
 
-    def _accrue(self, phase: str, seconds: float) -> None:
-        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+    @property
+    def total_seconds(self) -> float:
+        """Total modeled seconds accumulated so far (exact sum)."""
+        return float(sum(self._phase_exact.values(), _ZERO))
+
+    def _accrue(self, phase: str, seconds: float | Fraction) -> Fraction:
+        exact = (
+            seconds
+            if isinstance(seconds, Fraction)
+            else Fraction(float(seconds))
+        )
+        self._phase_exact[phase] = self._phase_exact.get(phase, _ZERO) + exact
+        return exact
+
+    def account(
+        self,
+        kind: str,
+        name: str,
+        phase: str,
+        seconds: float | Fraction,
+        parts: tuple[tuple[str, Fraction], ...] = (),
+        residual: str = "compute",
+        launch: KernelLaunch | None = None,
+    ) -> float:
+        """Accrue ``seconds`` into ``phase`` and ledger a cost event.
+
+        ``parts`` are ``(component, exact seconds)`` pairs; whatever
+        remains of the event's exact seconds lands on the ``residual``
+        component, so the event's components sum to its seconds exactly
+        by construction.  Returns the accrued seconds as a float.
+        """
+        exact = self._accrue(phase, seconds)
+        remaining = exact - sum((value for _, value in parts), _ZERO)
+        components = tuple((c, value) for c, value in parts if value)
+        if remaining:
+            components += ((residual, remaining),)
+        self.events.append(
+            CostEvent(
+                kind=kind,
+                name=name,
+                phase=phase,
+                seconds_exact=exact,
+                components=components,
+                launch=launch,
+            )
+        )
+        return float(exact)
 
 
 class ScalarCpuModel(HardwareModel):
@@ -86,8 +189,9 @@ class ScalarCpuModel(HardwareModel):
             scalar_ops / self.spec.scalar_ops_per_s
             + vector_ops / self.spec.vector_ops_per_s
         )
-        self._accrue(phase, seconds)
-        return seconds
+        return self.account(
+            "cpu", f"cpu.{phase}", phase, seconds, residual="compute"
+        )
 
 
 class MulticoreCpuModel(HardwareModel):
@@ -126,9 +230,18 @@ class MulticoreCpuModel(HardwareModel):
             scalar_ops * (1 - serial_fraction) / (self.spec.scalar_ops_per_s * speed)
             + vector_ops * (1 - serial_fraction) / (self.spec.vector_ops_per_s * speed)
         )
-        seconds = serial + parallel + regions * self.spec.fork_join_overhead_s
-        self._accrue(phase, seconds)
-        return seconds
+        fork_join = regions * self.spec.fork_join_overhead_s
+        seconds = serial + parallel + fork_join
+        # Fork/join overhead is the CPU analog of launch overhead; the
+        # serial + parallel op time is the compute residual.
+        return self.account(
+            "cpu",
+            f"cpu.{phase}",
+            phase,
+            seconds,
+            parts=(("launch", Fraction(float(fork_join))),),
+            residual="compute",
+        )
 
 
 class GpuModel(HardwareModel):
@@ -188,23 +301,47 @@ class GpuModel(HardwareModel):
         )
         return mem_util, compute_util
 
-    def launch_time(self, launch: KernelLaunch) -> float:
-        """Modeled seconds for one kernel launch (without accruing it)."""
+    def roofline_terms(self, launch: KernelLaunch) -> dict[str, float]:
+        """The three roofline times of a launch, by component name."""
         spec = self.spec
         mem_util, compute_util = self._utilization(launch)
-        t_mem = launch.gmem_bytes / (spec.effective_bandwidth * mem_util)
-        # Plain FP adds/abs run at one op per core-cycle, not the FMA
-        # peak, hence core_count * clock rather than peak_flops; the
-        # kernel's ipc factor derates dependent accumulation chains.
-        t_compute = launch.flops / (
-            spec.core_count * spec.clock_hz * launch.ipc * compute_util
-        )
-        t_atomic = launch.atomic_ops / spec.atomic_ops_per_s
-        return spec.kernel_launch_overhead_s + max(t_mem, t_compute, t_atomic)
+        return {
+            "memory": launch.gmem_bytes / (spec.effective_bandwidth * mem_util),
+            # Plain FP adds/abs run at one op per core-cycle, not the
+            # FMA peak, hence core_count * clock rather than peak_flops;
+            # the kernel's ipc factor derates dependent accumulation
+            # chains.
+            "compute": launch.flops
+            / (spec.core_count * spec.clock_hz * launch.ipc * compute_util),
+            "atomic": launch.atomic_ops / spec.atomic_ops_per_s,
+        }
+
+    def dominant_component(self, launch: KernelLaunch) -> str:
+        """The roofline component that sets this launch's time.
+
+        Ties resolve in ``memory > compute > atomic`` order, mirroring
+        the ``max(t_mem, t_compute, t_atomic)`` in :meth:`launch_time`.
+        """
+        terms = self.roofline_terms(launch)
+        return max(("memory", "compute", "atomic"), key=lambda c: terms[c])
+
+    def launch_time(self, launch: KernelLaunch) -> float:
+        """Modeled seconds for one kernel launch (without accruing it)."""
+        terms = self.roofline_terms(launch)
+        return self.spec.kernel_launch_overhead_s + max(terms.values())
 
     def launch(self, launch: KernelLaunch) -> float:
         """Account one kernel launch; returns its modeled seconds."""
         self.counter.record_launch(launch)
         seconds = self.launch_time(launch)
-        self._accrue(launch.phase, seconds)
-        return seconds
+        # Exact decomposition: the fixed launch overhead, then the
+        # whole roofline max on its dominant component.
+        return self.account(
+            "kernel",
+            launch.name,
+            launch.phase,
+            seconds,
+            parts=(("launch", Fraction(self.spec.kernel_launch_overhead_s)),),
+            residual=self.dominant_component(launch),
+            launch=launch,
+        )

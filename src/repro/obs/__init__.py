@@ -48,6 +48,18 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .explain import (
+    EXPLAIN_SCHEMA,
+    attribute_run,
+    attribution_record,
+    collapsed_stacks,
+    diff_attribution,
+    explain_report,
+    fleet_attribution,
+    format_collapsed,
+    speedscope_profile,
+    validate_explain_report,
+)
 from .monitor import (
     ServiceMonitor,
     SloObjective,
@@ -82,6 +94,16 @@ __all__ = [
     "study_record",
     "write_jsonl",
     "read_jsonl",
+    "EXPLAIN_SCHEMA",
+    "attribute_run",
+    "attribution_record",
+    "collapsed_stacks",
+    "diff_attribution",
+    "explain_report",
+    "fleet_attribution",
+    "format_collapsed",
+    "speedscope_profile",
+    "validate_explain_report",
     "ServiceMonitor",
     "SloObjective",
     "SloTracker",

@@ -1,0 +1,233 @@
+"""Differential attribution: what changed between two runs, and why.
+
+``repro explain --diff A B`` and the ``repro regress`` triage section
+both reduce to the same primitive: two attribution *summaries* (flat
+kernel / component / pipeline-component second maps) plus two counter
+maps, diffed key by key.  Because modeled seconds are deterministic,
+diffing two identical runs yields exact float zeros everywhere
+(``zero: true``), and any non-zero mover is a real behavior change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "summarize_attribution",
+    "diff_attribution",
+    "diff_counters",
+    "load_comparable",
+    "triage_record",
+    "triage_lines",
+]
+
+
+def summarize_attribution(source: Mapping[str, Any]) -> dict[str, Any]:
+    """Flatten an attribution record into comparable second maps.
+
+    Accepts a full :func:`~repro.obs.explain.attribution_record`
+    payload, an explain report wrapping one under ``"attribution"``, or
+    an already-flat summary (``pipeline_components`` present) —
+    baseline records store the latter.
+    """
+    if "attribution" in source and isinstance(source["attribution"], Mapping):
+        source = source["attribution"]
+    if "pipeline_components" in source:
+        return {
+            "total_seconds": float(source.get("total_seconds", 0.0)),
+            "components": dict(source.get("components", {})),
+            "kernels": dict(source.get("kernels", {})),
+            "pipeline_components": dict(source["pipeline_components"]),
+        }
+    kernels: dict[str, float] = {}
+    for kernel in source.get("kernels", []):
+        kernels[kernel["name"]] = (
+            kernels.get(kernel["name"], 0.0) + float(kernel["seconds"])
+        )
+    pipeline_components: dict[str, float] = {}
+    for pipeline, entry in source.get("pipelines", {}).items():
+        for component, seconds in entry.get("components", {}).items():
+            key = f"{pipeline}/{component}"
+            pipeline_components[key] = (
+                pipeline_components.get(key, 0.0) + float(seconds)
+            )
+    return {
+        "total_seconds": float(source.get("total_seconds", 0.0)),
+        "components": dict(source.get("components", {})),
+        "kernels": kernels,
+        "pipeline_components": pipeline_components,
+    }
+
+
+def _movers(
+    baseline: Mapping[str, Any], fresh: Mapping[str, Any]
+) -> list[dict[str, Any]]:
+    """Per-key deltas between two second/count maps, largest first."""
+    rows = []
+    for key in sorted(set(baseline) | set(fresh)):
+        old = float(baseline.get(key, 0.0))
+        new = float(fresh.get(key, 0.0))
+        if old == new:
+            continue
+        rows.append(
+            {
+                "name": key,
+                "baseline": old,
+                "fresh": new,
+                "delta": new - old,
+                "rel_delta": (new - old) / old if old else None,
+            }
+        )
+    rows.sort(key=lambda row: -abs(row["delta"]))
+    return rows
+
+
+def diff_attribution(
+    baseline: Mapping[str, Any], fresh: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Diff two attributions (any shape :func:`summarize_attribution` takes).
+
+    Deterministic modeled time makes this exact: two identical runs
+    produce ``delta_seconds == 0.0`` and empty mover lists, reported as
+    ``zero: true``.
+    """
+    base = summarize_attribution(baseline)
+    cur = summarize_attribution(fresh)
+    delta = cur["total_seconds"] - base["total_seconds"]
+    kernels = _movers(base["kernels"], cur["kernels"])
+    components = _movers(base["components"], cur["components"])
+    pipeline_components = _movers(
+        base["pipeline_components"], cur["pipeline_components"]
+    )
+    return {
+        "baseline_seconds": base["total_seconds"],
+        "fresh_seconds": cur["total_seconds"],
+        "delta_seconds": delta,
+        "rel_delta": (
+            delta / base["total_seconds"] if base["total_seconds"] else None
+        ),
+        "zero": (
+            delta == 0.0
+            and not kernels
+            and not components
+            and not pipeline_components
+        ),
+        "kernels": kernels,
+        "components": components,
+        "pipeline_components": pipeline_components,
+    }
+
+
+def _flat_counters(counters: Mapping[str, Any]) -> dict[str, float]:
+    """Counter map with per-seed lists collapsed to their sums."""
+    flat = {}
+    for name, value in counters.items():
+        flat[name] = float(sum(value)) if isinstance(value, list) else float(value)
+    return flat
+
+
+def diff_counters(
+    baseline: Mapping[str, Any], fresh: Mapping[str, Any]
+) -> list[dict[str, Any]]:
+    """Per-counter deltas (per-seed lists are summed), largest first."""
+    return _movers(_flat_counters(baseline), _flat_counters(fresh))
+
+
+def load_comparable(path: str | Path) -> dict[str, Any]:
+    """Load one side of ``repro explain --diff`` from a JSON file.
+
+    Understands explain reports (``repro.explain/1``), baseline records
+    (``repro.bench_baseline/1``, as committed under
+    ``benchmarks/baselines/``), and anything carrying a flat or full
+    ``attribution`` payload.  Returns ``{label, attribution, counters,
+    modeled_seconds}`` ready for :func:`diff_attribution` /
+    :func:`diff_counters`.
+    """
+    path = Path(path)
+    record = json.loads(path.read_text())
+    if not isinstance(record, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    schema = record.get("schema", "")
+    label = str(record.get("label") or path.name)
+    attribution = None
+    counters: dict[str, Any] = {}
+    modeled = None
+    if isinstance(record.get("attribution"), Mapping):
+        attribution = summarize_attribution(record["attribution"])
+    elif "pipelines" in record or "pipeline_components" in record:
+        attribution = summarize_attribution(record)
+    if isinstance(record.get("counters"), Mapping):
+        counters = _flat_counters(record["counters"])
+    if str(schema).startswith("repro.bench_baseline/"):
+        workload = record.get("workload", {})
+        label = workload.get("name", label)
+        samples = record.get("modeled_seconds") or []
+        modeled = float(sum(samples))
+    elif attribution is not None:
+        modeled = attribution["total_seconds"]
+    if attribution is None and not counters:
+        raise ValueError(
+            f"{path}: no attribution or counters payload found "
+            f"(schema {schema!r}) — not comparable"
+        )
+    return {
+        "label": label,
+        "attribution": attribution,
+        "counters": counters,
+        "modeled_seconds": modeled,
+    }
+
+
+def triage_record(
+    baseline: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+) -> dict[str, Any]:
+    """Triage payload for one regressed workload (gate verdict section).
+
+    ``baseline``/``fresh`` are baseline-style workload records; the
+    attribution diff is included when both sides carry an
+    ``attribution`` summary (older committed baselines may not).
+    """
+    counters = diff_counters(
+        baseline.get("counters", {}) or {}, fresh.get("counters", {}) or {}
+    )
+    attribution = None
+    if isinstance(baseline.get("attribution"), Mapping) and isinstance(
+        fresh.get("attribution"), Mapping
+    ):
+        attribution = diff_attribution(
+            baseline["attribution"], fresh["attribution"]
+        )
+    triage = {"counters": counters, "attribution": attribution}
+    triage["lines"] = triage_lines(triage)
+    return triage
+
+
+def _relative(row: Mapping[str, Any]) -> str:
+    rel = row.get("rel_delta")
+    if rel is None:
+        return f"{row['delta']:+.3g}s"
+    return f"{rel * 100:+.0f}%"
+
+
+def triage_lines(triage: Mapping[str, Any], limit: int = 3) -> list[str]:
+    """Human-readable triage clauses, most telling first."""
+    lines: list[str] = []
+    for row in (triage.get("counters") or [])[:limit]:
+        verb = "fell" if row["delta"] < 0 else "rose"
+        lines.append(
+            f"counter {row['name']} {verb} "
+            f"{row['baseline']:g} -> {row['fresh']:g}"
+        )
+    attribution = triage.get("attribution")
+    if attribution:
+        for row in (attribution.get("pipeline_components") or [])[:limit]:
+            pipeline, _, component = row["name"].partition("/")
+            lines.append(
+                f"{pipeline} pipeline {component} time {_relative(row)}"
+            )
+        for row in (attribution.get("kernels") or [])[:limit]:
+            lines.append(f"kernel {row['name']} {_relative(row)}")
+    return lines

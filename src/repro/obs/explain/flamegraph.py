@@ -1,0 +1,98 @@
+"""Flamegraph export: collapsed stacks + speedscope JSON.
+
+Kernel events on the modeled device clock are the leaf frames; each is
+rooted at the host span path that was open when it launched (via the
+event's ``span_id``), with the kernel pipeline interposed:
+
+    fit;iterative;iteration;compute_l;compute_l.distances 1234567
+
+:func:`format_collapsed` emits the Brendan Gregg collapsed-stack format
+(``flamegraph.pl`` compatible, weights in integer nanoseconds of
+modeled time); :func:`speedscope_profile` emits a sampled-profile JSON
+loadable at https://www.speedscope.app.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..tracer import Tracer
+
+__all__ = ["collapsed_stacks", "format_collapsed", "speedscope_profile"]
+
+
+def _span_paths(tracer: Tracer) -> dict[int, tuple[str, ...]]:
+    """Map span_id -> path of span names from the root."""
+    paths: dict[int, tuple[str, ...]] = {}
+
+    def visit(span, prefix: tuple[str, ...]) -> None:
+        path = prefix + (span.name,)
+        paths[span.span_id] = path
+        for child in span.children:
+            visit(child, path)
+
+    for root in tracer.roots:
+        visit(root, ())
+    return paths
+
+
+def collapsed_stacks(tracer: Tracer) -> list[tuple[tuple[str, ...], float]]:
+    """Aggregate kernel events into (stack frames, modeled seconds).
+
+    Stacks are sorted lexicographically so the output is deterministic;
+    an un-traced run yields an empty list.
+    """
+    paths = _span_paths(tracer)
+    stacks: dict[tuple[str, ...], float] = {}
+    for event in tracer.kernel_events:
+        base = paths.get(event.span_id, ()) if event.span_id is not None else ()
+        frames = base + (event.pipeline, event.name)
+        stacks[frames] = stacks.get(frames, 0.0) + max(event.duration, 0.0)
+    return sorted(stacks.items())
+
+
+def format_collapsed(
+    stacks: list[tuple[tuple[str, ...], float]]
+) -> str:
+    """Render stacks in collapsed format (weights = modeled nanoseconds)."""
+    if not stacks:
+        return "(no kernel events recorded)\n"
+    lines = []
+    for frames, seconds in stacks:
+        weight = max(1, int(round(seconds * 1e9)))
+        lines.append(f"{';'.join(frames)} {weight}")
+    return "\n".join(lines) + "\n"
+
+
+def speedscope_profile(
+    tracer: Tracer, name: str = "repro modeled run"
+) -> dict[str, Any]:
+    """Speedscope sampled-profile JSON of the modeled kernel timeline."""
+    stacks = collapsed_stacks(tracer)
+    frame_index: dict[str, int] = {}
+    samples: list[list[int]] = []
+    weights: list[float] = []
+    for frames, seconds in stacks:
+        sample = []
+        for frame in frames:
+            index = frame_index.setdefault(frame, len(frame_index))
+            sample.append(index)
+        samples.append(sample)
+        weights.append(seconds)
+    total = sum(weights)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": [{"name": frame} for frame in frame_index]},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "seconds",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+        "exporter": "repro.obs.explain",
+    }

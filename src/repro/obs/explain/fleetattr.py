@@ -1,0 +1,75 @@
+"""Fleet straggler / imbalance / comm-fraction attribution.
+
+Consumes the plain :func:`repro.fleet.model.fleet_report` dict (live or
+loaded back from ``BENCH_fleet.json``), so the same analysis applies to
+a running fleet and to archived bench artifacts.  Per device the fleet
+makespan decomposes into
+
+* **busy** — modeled seconds of the device's own sharded launches,
+* **sync** — seconds absorbed waiting at collective steps (clock skew
+  plus the collective's communication time), and
+* **idle** — whatever remains of the makespan (setup skew, tail).
+
+The **straggler index** is the slowest device's busy time over the mean
+busy time (1.0 = perfectly balanced); **imbalance** compares the
+critical path (the makespan) against the total-work lower bound
+``sum(busy)/D + comm``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["fleet_attribution"]
+
+
+def fleet_attribution(report: dict[str, Any]) -> dict[str, Any]:
+    """Straggler/imbalance analysis of one fleet report.
+
+    Degenerate inputs (no devices, a single device, a zero-second
+    makespan) produce well-defined neutral values instead of raising.
+    """
+    devices = report.get("devices") or []
+    makespan = max(0.0, float(report.get("total_seconds") or 0.0))
+    comm = max(0.0, float(report.get("comm_seconds") or 0.0))
+    num = int(report.get("num_devices") or len(devices))
+
+    per_device = []
+    for entry in devices:
+        busy = float(entry.get("busy_seconds") or 0.0)
+        sync = float(entry.get("sync_seconds") or 0.0)
+        per_device.append(
+            {
+                "device": entry.get("device"),
+                "busy_seconds": busy,
+                "sync_seconds": sync,
+                "idle_seconds": max(0.0, makespan - busy - sync),
+                "busy_fraction": busy / makespan if makespan > 0 else 0.0,
+            }
+        )
+
+    busys = [d["busy_seconds"] for d in per_device]
+    mean_busy = sum(busys) / len(busys) if busys else 0.0
+    max_busy = max(busys) if busys else 0.0
+    straggler_device = (
+        per_device[busys.index(max_busy)]["device"] if busys else None
+    )
+    straggler_index = max_busy / mean_busy if mean_busy > 0 else 1.0
+
+    total_work = sum(busys)
+    width = max(1, num)
+    ideal = total_work / width + comm
+    imbalance = makespan / ideal if ideal > 0 else 1.0
+
+    return {
+        "num_devices": num,
+        "makespan_seconds": makespan,
+        "comm_seconds": comm,
+        "comm_fraction": comm / makespan if makespan > 0 else 0.0,
+        "total_busy_seconds": total_work,
+        "mean_busy_seconds": mean_busy,
+        "straggler_index": straggler_index,
+        "straggler_device": straggler_device,
+        "imbalance": imbalance,
+        "devices": per_device,
+    }

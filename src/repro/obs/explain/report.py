@@ -1,0 +1,107 @@
+"""The schema-versioned ``repro.explain/1`` report and its validator.
+
+``repro explain`` writes this payload (and the CI ``explain-smoke`` job
+schema-checks it): the shared report envelope, the run's attribution,
+and optional fleet-attribution / flamegraph / diff sections.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..export import report_envelope, validate_bench_report
+from ...hardware.cost_model import COMPONENTS
+
+__all__ = ["EXPLAIN_SCHEMA", "explain_report", "validate_explain_report"]
+
+#: Explain report schema (bump on incompatible changes).
+EXPLAIN_SCHEMA = "repro.explain/1"
+
+
+def explain_report(
+    attribution: Mapping[str, Any],
+    label: str = "",
+    counters: Mapping[str, Any] | None = None,
+    fleet: Mapping[str, Any] | None = None,
+    diff: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the ``repro.explain/1`` payload."""
+    report: dict[str, Any] = {
+        **report_envelope(EXPLAIN_SCHEMA),
+        "label": label,
+        "attribution": dict(attribution),
+    }
+    if counters is not None:
+        report["counters"] = dict(counters)
+    if fleet is not None:
+        report["fleet"] = dict(fleet)
+    if diff is not None:
+        report["diff"] = dict(diff)
+    return report
+
+
+def validate_explain_report(report: Any) -> list[str]:
+    """Structurally validate a ``repro.explain/1`` report.
+
+    Returns a list of problems (empty when clean).  Beyond the shared
+    envelope the attribution must be present, its components must be
+    known :data:`~repro.hardware.cost_model.COMPONENTS`, every kernel's
+    components must sum to its seconds, and the conservation block must
+    witness an exact total.
+    """
+    problems = validate_bench_report(report, expected_schema=EXPLAIN_SCHEMA)
+    if problems:
+        return problems
+    attribution = report.get("attribution")
+    if not isinstance(attribution, dict):
+        return ["'attribution' must be an object"]
+    total = attribution.get("total_seconds")
+    if not isinstance(total, (int, float)) or isinstance(total, bool) or total < 0:
+        problems.append("'attribution.total_seconds' must be a non-negative number")
+    components = attribution.get("components")
+    if not isinstance(components, dict):
+        problems.append("'attribution.components' must be an object")
+    else:
+        for name in components:
+            if name not in COMPONENTS:
+                problems.append(f"unknown cost component {name!r}")
+    kernels = attribution.get("kernels")
+    if not isinstance(kernels, list):
+        problems.append("'attribution.kernels' must be a list")
+    else:
+        for kernel in kernels:
+            if not isinstance(kernel, dict) or "name" not in kernel:
+                problems.append("every kernel entry needs a 'name'")
+                continue
+            seconds = kernel.get("seconds")
+            parts = kernel.get("components", {})
+            if not isinstance(seconds, (int, float)) or not isinstance(parts, dict):
+                problems.append(
+                    f"kernel {kernel['name']!r}: needs numeric 'seconds' "
+                    "and a 'components' object"
+                )
+                continue
+            if abs(sum(parts.values()) - seconds) > 1e-12 * max(1.0, abs(seconds)):
+                problems.append(
+                    f"kernel {kernel['name']!r}: components do not sum to "
+                    "its seconds"
+                )
+    conservation = attribution.get("conservation")
+    if not isinstance(conservation, dict):
+        problems.append("'attribution.conservation' must be an object")
+    elif conservation.get("exact") is not True:
+        problems.append(
+            "'attribution.conservation.exact' must be true "
+            f"(modeled {conservation.get('modeled_seconds')!r} vs "
+            f"attributed {conservation.get('attributed_seconds')!r})"
+        )
+    fleet = report.get("fleet")
+    if fleet is not None:
+        if not isinstance(fleet, dict):
+            problems.append("'fleet' must be an object")
+        else:
+            for key in ("straggler_index", "comm_fraction", "imbalance"):
+                value = fleet.get(key)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.append(f"'fleet.{key}' must be a number")
+    return problems

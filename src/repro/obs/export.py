@@ -286,9 +286,11 @@ def validate_chrome_trace(trace: Any) -> list[str]:
 
     Returns a list of problems (empty when the trace is clean): missing
     or non-numeric ``ts``/``dur``, negative durations, unmatched
-    ``B``/``E`` events, non-monotonic duration events per track, and
+    ``B``/``E`` events, non-monotonic duration events per track,
     partially overlapping ``X`` events on one track (legal timelines
-    nest or are disjoint).
+    nest or are disjoint), non-``comm.*`` events on a fleet
+    ``gpu{i}:comm`` track, and counter (``C``) tracks whose samples go
+    backwards in time.
     """
     problems: list[str] = []
     if not isinstance(trace, dict) or "traceEvents" not in trace:
@@ -299,12 +301,18 @@ def validate_chrome_trace(trace: Any) -> list[str]:
 
     complete: dict[tuple[Any, Any], list[tuple[float, float, str]]] = {}
     open_stacks: dict[tuple[Any, Any], list[tuple[str, float]]] = {}
+    thread_names: dict[tuple[Any, Any], str] = {}
+    counter_ts: dict[tuple[Any, Any], float] = {}
     for index, event in enumerate(events):
         if not isinstance(event, dict) or "ph" not in event:
             problems.append(f"event {index}: not an object with 'ph'")
             continue
         ph = event["ph"]
         if ph == "M":
+            if event.get("name") == "thread_name" and "tid" in event:
+                name = (event.get("args") or {}).get("name")
+                if isinstance(name, str):
+                    thread_names[(event.get("pid"), event["tid"])] = name
             continue
         if not _number(event.get("ts")):
             problems.append(f"event {index} ({event.get('name')!r}): bad 'ts'")
@@ -350,6 +358,17 @@ def validate_chrome_trace(trace: Any) -> list[str]:
                 problems.append(
                     f"event {index} ({event.get('name')!r}): C event needs numeric args"
                 )
+                continue
+            # Counter tracks are time series: per (pid, counter name)
+            # samples must not go backwards on the timeline.
+            track = (event.get("pid"), str(event.get("name")))
+            last = counter_ts.get(track)
+            if last is not None and ts < last - 1e-3:
+                problems.append(
+                    f"event {index} ({event.get('name')!r}): counter sample "
+                    f"at ts={ts:.3f} precedes an earlier sample at {last:.3f}"
+                )
+            counter_ts[track] = max(ts, last) if last is not None else ts
     for key, stack in open_stacks.items():
         for name, _ in stack:
             problems.append(f"track {key}: B event {name!r} never closed")
@@ -371,6 +390,20 @@ def validate_chrome_trace(trace: Any) -> list[str]:
                 )
                 continue
             stack.append((start, end, name))
+
+    # Fleet communication tracks (thread_name ``gpu{i}:comm``) may only
+    # carry collective events — a compute kernel on a comm track means
+    # the exporter mis-assigned a tid.
+    comm_track = re.compile(r"^gpu\d+:comm$")
+    for key, track_name in thread_names.items():
+        if not comm_track.match(track_name):
+            continue
+        for _, _, name in complete.get(key, []):
+            if not name.startswith("comm."):
+                problems.append(
+                    f"track {key} ({track_name}): non-collective event "
+                    f"{name!r} on a fleet comm track"
+                )
     return problems
 
 

@@ -1,6 +1,17 @@
 """Terminal visualization: ASCII charts for benchmark series and traces."""
 
-from .ascii import bar_chart, line_chart, log_line_chart, sparkline
+from .ascii import (
+    bar_chart,
+    fleet_utilization_chart,
+    line_chart,
+    log_line_chart,
+    sparkline,
+)
+from .explain import (
+    render_attribution,
+    render_diff,
+    render_fleet_attribution,
+)
 from .timeline import (
     render_device_lanes,
     render_health,
@@ -11,9 +22,13 @@ from .timeline import (
 
 __all__ = [
     "bar_chart",
+    "fleet_utilization_chart",
     "line_chart",
     "log_line_chart",
     "sparkline",
+    "render_attribution",
+    "render_diff",
+    "render_fleet_attribution",
     "render_span_tree",
     "render_device_lanes",
     "render_serve_lanes",

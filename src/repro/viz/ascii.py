@@ -71,25 +71,29 @@ def fleet_utilization_chart(report: dict, width: int = 40) -> str:
     One row per fleet member: ``#`` is modeled busy time, ``.`` is time
     spent waiting at (or inside) collective steps, scaled to the fleet
     makespan.  An empty shard (zero points) renders an empty bar.
+    Degenerate reports (no devices, missing keys, a zero-second
+    makespan) render a placeholder or a zero-width bar instead of
+    raising.
     """
-    devices = report.get("devices", [])
+    devices = report.get("devices") or []
     if not devices:
         return "(no devices)"
-    makespan = report.get("total_seconds", 0.0)
-    label_width = max(
-        len(f"gpu{entry['device']} {entry['spec']}") for entry in devices
-    )
+    makespan = float(report.get("total_seconds") or 0.0)
+    labels = [
+        f"gpu{entry.get('device', index)} {entry.get('spec', '?')}"
+        for index, entry in enumerate(devices)
+    ]
+    label_width = max(len(label) for label in labels)
     lines = [
         f"{report.get('name', 'fleet')}: modeled makespan "
         f"{makespan * 1e3:.3f} ms, "
-        f"{report.get('communication_fraction', 0.0) * 100:.1f}% in "
-        f"{report.get('allreduce_steps', 0):.0f} all-reduce + "
-        f"{report.get('broadcast_steps', 0):.0f} broadcast steps"
+        f"{float(report.get('communication_fraction') or 0.0) * 100:.1f}% in "
+        f"{float(report.get('allreduce_steps') or 0):.0f} all-reduce + "
+        f"{float(report.get('broadcast_steps') or 0):.0f} broadcast steps"
     ]
-    for entry in devices:
-        busy = entry["busy_seconds"]
-        sync = entry["sync_seconds"]
-        label = f"gpu{entry['device']} {entry['spec']}"
+    for label, entry in zip(labels, devices):
+        busy = float(entry.get("busy_seconds") or 0.0)
+        sync = float(entry.get("sync_seconds") or 0.0)
         if makespan > 0:
             busy_cells = round(busy / makespan * width)
             sync_cells = round(sync / makespan * width)

@@ -1,0 +1,177 @@
+"""ASCII rendering of explain attribution, diffs, and fleet analysis.
+
+Pure functions from the JSON-shaped records produced by
+:mod:`repro.obs.explain` to terminal text.  Every renderer tolerates
+degenerate inputs (zero total seconds, empty kernel lists, single- or
+zero-device fleets) and returns a meaningful placeholder instead of
+raising — ``repro explain`` output must never crash on a thin run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["render_attribution", "render_diff", "render_fleet_attribution"]
+
+
+def _component_bar(
+    components: Mapping[str, float], total: float, width: int
+) -> str:
+    """One stacked bar: each component's share in its marker character."""
+    markers = {
+        "launch": "L",
+        "compute": "c",
+        "memory": "m",
+        "atomic": "a",
+        "transfer": "t",
+        "comm": "x",
+    }
+    if total <= 0:
+        return " " * width
+    bar = ""
+    for name, seconds in sorted(
+        components.items(), key=lambda item: -item[1]
+    ):
+        cells = round(seconds / total * width)
+        bar += markers.get(name, "?") * max(0, cells)
+    return bar[:width].ljust(width)
+
+
+def render_attribution(
+    record: Mapping[str, Any], top: int = 10, width: int = 32
+) -> str:
+    """Render an attribution record as a terminal report."""
+    kernels = record.get("kernels") or []
+    total = float(record.get("total_seconds") or 0.0)
+    if not kernels or total <= 0:
+        return "(no attributed cost — empty run)"
+    lines = [
+        f"{record.get('model', 'run')}: {total * 1e3:.3f} ms modeled, "
+        "by component:"
+    ]
+    components = record.get("components") or {}
+    for name, seconds in sorted(components.items(), key=lambda i: -i[1]):
+        lines.append(
+            f"  {name:<8} {seconds * 1e3:>9.3f} ms  "
+            f"{seconds / total * 100:5.1f}%"
+        )
+    lines.append("")
+    name_width = max(len(k["name"]) for k in kernels[:top])
+    lines.append(
+        f"{'kernel'.ljust(name_width)}  {'calls':>6}  {'total':>11}  "
+        f"{'share':>6}  {'components'.ljust(width)}  dominant"
+    )
+    for kernel in kernels[:top]:
+        bar = _component_bar(kernel.get("components") or {}, kernel["seconds"], width)
+        lines.append(
+            f"{kernel['name'].ljust(name_width)}  {kernel['calls']:>6}  "
+            f"{kernel['seconds'] * 1e3:>9.3f}ms  "
+            f"{kernel.get('share', 0.0) * 100:>5.1f}%  |{bar}|  "
+            f"{kernel.get('dominant', '?')}"
+        )
+    if len(kernels) > top:
+        rest = sum(k["seconds"] for k in kernels[top:])
+        lines.append(
+            f"(+{len(kernels) - top} more kernels, {rest * 1e3:.3f} ms)"
+        )
+    fusion = record.get("fusion") or {}
+    pairs = fusion.get("pairs") or []
+    if pairs:
+        lines.append("")
+        lines.append(
+            f"fusion headroom: {fusion.get('total_headroom_seconds', 0.0) * 1e3:.3f} ms "
+            f"({fusion.get('headroom_fraction', 0.0) * 100:.1f}% of the run) "
+            "in launch overhead; top pairs:"
+        )
+        for pair in pairs[:3]:
+            lines.append(
+                f"  {pair['before']} -> {pair['after']}: "
+                f"{pair['transitions']} transitions, "
+                f"{pair['headroom_seconds'] * 1e6:.1f} us"
+            )
+    cache = record.get("cache") or {}
+    if cache.get("enabled"):
+        lines.append(
+            f"dist cache: {cache.get('hit_rate', 0.0) * 100:.1f}% hit rate "
+            f"({cache.get('hits', 0):g} hit / {cache.get('misses', 0):g} missed rows), "
+            f"~{cache.get('avoided_seconds_estimate', 0.0) * 1e3:.3f} ms avoided"
+        )
+    occupancy = record.get("occupancy")
+    if occupancy:
+        lines.append(
+            f"occupancy ({occupancy.get('gpu', '?')}): "
+            f"{occupancy.get('weighted_achieved', 0.0) * 100:.1f}% "
+            "achieved (seconds-weighted)"
+        )
+    return "\n".join(lines)
+
+
+def render_diff(diff: Mapping[str, Any], top: int = 5) -> str:
+    """Render a differential attribution (``repro explain --diff``)."""
+    base = float(diff.get("baseline_seconds") or 0.0)
+    cur = float(diff.get("fresh_seconds") or 0.0)
+    if diff.get("zero"):
+        return (
+            f"no difference: both runs attribute {base * 1e3:.3f} ms "
+            "identically (exact zero delta)"
+        )
+    rel = diff.get("rel_delta")
+    rel_text = f" ({rel * 100:+.2f}%)" if rel is not None else ""
+    lines = [
+        f"modeled seconds {base * 1e3:.3f} ms -> {cur * 1e3:.3f} ms"
+        f"{rel_text}"
+    ]
+    for title, key in (
+        ("components", "components"),
+        ("pipeline x component", "pipeline_components"),
+        ("kernels", "kernels"),
+    ):
+        movers = diff.get(key) or []
+        if not movers:
+            continue
+        lines.append(f"top {title} movers:")
+        for row in movers[:top]:
+            rel = row.get("rel_delta")
+            rel_text = f" ({rel * 100:+.1f}%)" if rel is not None else " (new)"
+            lines.append(
+                f"  {row['name']}: {row['baseline'] * 1e3:.3f} -> "
+                f"{row['fresh'] * 1e3:.3f} ms{rel_text}"
+            )
+    return "\n".join(lines)
+
+
+def render_fleet_attribution(fleet: Mapping[str, Any], width: int = 32) -> str:
+    """Render fleet straggler/imbalance attribution."""
+    devices = fleet.get("devices") or []
+    makespan = float(fleet.get("makespan_seconds") or 0.0)
+    straggler = fleet.get("straggler_device")
+    straggler_text = "n/a" if straggler is None else f"gpu{straggler}"
+    lines = [
+        f"fleet of {fleet.get('num_devices', len(devices))}: "
+        f"makespan {makespan * 1e3:.3f} ms, "
+        f"comm {float(fleet.get('comm_fraction') or 0.0) * 100:.1f}%, "
+        f"straggler index {float(fleet.get('straggler_index') or 1.0):.3f} "
+        f"({straggler_text}), "
+        f"imbalance {float(fleet.get('imbalance') or 1.0):.3f}"
+    ]
+    if not devices:
+        lines.append("(no per-device ledgers)")
+        return "\n".join(lines)
+    for entry in devices:
+        busy = float(entry.get("busy_seconds") or 0.0)
+        sync = float(entry.get("sync_seconds") or 0.0)
+        idle = float(entry.get("idle_seconds") or 0.0)
+        if makespan > 0:
+            bar = (
+                "#" * round(busy / makespan * width)
+                + "." * round(sync / makespan * width)
+                + " " * round(idle / makespan * width)
+            )
+        else:
+            bar = ""
+        lines.append(
+            f"gpu{entry.get('device', '?')} |{bar[:width].ljust(width)}| "
+            f"busy {busy * 1e3:.3f} ms, sync {sync * 1e3:.3f} ms, "
+            f"idle {idle * 1e3:.3f} ms"
+        )
+    return "\n".join(lines)

@@ -224,3 +224,64 @@ class TestMonitoringDoc:
         assert "repro regress" in text
         assert "repro monitor" in text
         assert "--monitor-dir" in text
+
+
+class TestExplainDoc:
+    """docs stay honest about the attribution & triage layer."""
+
+    def test_schema_and_components_documented(self):
+        from repro.obs.explain import EXPLAIN_SCHEMA
+        from repro.obs.explain.attribution import COMPONENTS
+
+        text = read("docs/observability.md")
+        assert EXPLAIN_SCHEMA in text
+        for component in COMPONENTS:
+            assert f"`{component}`" in text or component in text, component
+
+    def test_attribution_section_present(self):
+        text = read("docs/observability.md")
+        assert "Attribution & triage" in text
+        for topic in ("fusion headroom", "dist-cache savings", "occupancy",
+                      "conservation", "repro explain", "--diff",
+                      "--flamegraph", "--speedscope", "speedscope"):
+            assert topic in text, topic
+
+    def test_fleet_doc_covers_straggler_analysis(self):
+        text = read("docs/fleet.md")
+        for topic in ("straggler index", "imbalance", "comm fraction",
+                      "busy", "sync", "idle", "repro explain",
+                      "repro monitor --fleet"):
+            assert topic in text, topic
+
+    def test_usage_and_readme_show_explain(self):
+        usage = read("docs/usage.md")
+        readme = read("README.md")
+        for text in (usage, readme):
+            assert "repro explain" in text
+        assert "--diff" in usage
+        assert "--workload gpu-fast-n8k" in usage
+        assert "cache.dist_rows_hit" in readme
+        assert "repro.explain/1" in readme
+
+    def test_diffable_workload_examples_exist(self):
+        # The documented diff example must reference a real committed
+        # baseline file and a real quick-tier workload name.
+        from repro.bench.baseline import DEFAULT_BASELINE_DIR, QUICK_TIER
+
+        usage = read("docs/usage.md")
+        names = {workload.name for workload in QUICK_TIER}
+        documented = set(re.findall(r"--workload (\S+)", usage))
+        assert documented and documented <= names
+        for name in documented:
+            assert (ROOT / DEFAULT_BASELINE_DIR / f"{name}.json").is_file()
+
+    def test_ci_runs_the_explain_smoke_and_triage_control(self):
+        text = read(".github/workflows/ci.yml")
+        assert "explain-smoke" in text
+        assert "repro explain" in text
+        assert "--flamegraph" in text
+        assert "validate_explain_report" in text
+        assert "--inject no-dist-cache" in text
+        assert "cache.dist_rows" in text
+        # The diff step must target a committed baseline.
+        assert "benchmarks/baselines/gpu-fast-n8k.json" in text
