@@ -765,6 +765,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         use_injector,
     )
 
+    if args.fleet:
+        return _cmd_chaos_fleet(args)
+
     data, _ = _load_data(args)
     params = _params_from(args)
     policy = RetryPolicy(max_retries=args.max_retries)
@@ -865,6 +868,151 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+#: Fleet chaos scenarios: kill each member early (during the data
+#: upload) and mid-run (inside the iterative phase).
+FLEET_CHAOS_AT = {"upload": 1, "iterate": 8}
+
+
+def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
+    """Device-loss chaos sweep: kill each fleet member at each stage.
+
+    Contract per run: the outcome is bit-identical to the solo
+    reference, the injected fault actually fired, and recovery either
+    re-sharded within the fleet rung or degraded along the documented
+    ladder.  Exit 1 on any violation.
+    """
+    from dataclasses import asdict
+
+    from .resilience import (
+        FaultInjector,
+        ResilientRunner,
+        RetryPolicy,
+        use_injector,
+    )
+
+    data, _ = _load_data(args)
+    params = _params_from(args)
+    policy = RetryPolicy(max_retries=args.max_retries)
+    runner = ResilientRunner(policy)
+    devices = args.devices
+    backends = [
+        backend for backend in args.backends
+        if backend.startswith("fleet-")
+    ] or ["fleet-gpu-fast", "fleet-gpu"]
+
+    rows: list[dict] = []
+    print(f"fleet chaos sweep: {len(backends)} backend(s) x {devices} "
+          f"device(s) x {len(FLEET_CHAOS_AT)} stage(s), "
+          f"n={data.shape[0]}, k={params.k}, l={params.l}")
+    print(f"{'backend':<16} {'scenario':<22} {'fired':>5} {'attempts':>8} "
+          f"{'final rung':<30} {'identical':<9} ok")
+    for backend in backends:
+        solo_backend = backend.removeprefix("fleet-")
+        reference = proclus(
+            data, backend=solo_backend, params=params, seed=args.seed
+        )
+        rungs = [step.describe() for step in policy.ladder_for(backend)]
+        for device in range(devices):
+            for stage, at in FLEET_CHAOS_AT.items():
+                schedule = (f"device-down@dev{device}#{at}",)
+                scenario = f"down-dev{device}@{stage}"
+                injector = FaultInjector(schedule, seed=args.seed)
+                row = {
+                    "backend": backend,
+                    "scenario": scenario,
+                    "schedule": list(schedule),
+                    "devices": devices,
+                }
+                try:
+                    with use_injector(injector):
+                        outcome = runner.fit(
+                            data, backend=backend, params=params,
+                            seed=args.seed,
+                            engine_kwargs={"fleet": devices},
+                        )
+                except ReproError as error:
+                    row.update(
+                        error=f"{type(error).__name__}: {error}", ok=False,
+                        fired=len(injector.injected),
+                    )
+                    rows.append(row)
+                    print(f"{backend:<16} {scenario:<22} "
+                          f"{len(injector.injected):>5} {'-':>8} {'-':<30} "
+                          f"{'-':<9} FAIL ({type(error).__name__})")
+                    continue
+                fired = len(injector.injected)
+                identical = _results_identical(outcome.result, reference)
+                resharded = any(
+                    event.kind == "reshard" for event in outcome.events
+                )
+                along_ladder = outcome.rung in rungs and all(
+                    event.to_rung in rungs
+                    for event in outcome.events
+                    if event.kind == "degrade"
+                )
+                recovered = resharded or (outcome.degraded and along_ladder)
+                ok = identical and recovered and fired > 0
+                row.update(
+                    fired=fired,
+                    attempts=outcome.attempts,
+                    rung=outcome.rung,
+                    degraded=outcome.degraded,
+                    resharded=resharded,
+                    identical=identical,
+                    ok=ok,
+                    injected=[
+                        asdict(record) for record in injector.injected
+                    ],
+                    events=[event.as_dict() for event in outcome.events],
+                )
+                rows.append(row)
+                final = next(
+                    (event.to_rung for event in reversed(outcome.events)
+                     if event.kind in ("reshard", "degrade")),
+                    outcome.rung,
+                )
+                print(f"{backend:<16} {scenario:<22} {fired:>5} "
+                      f"{outcome.attempts:>8} {final:<30} "
+                      f"{str(identical).lower():<9} "
+                      f"{'ok' if ok else 'VIOLATION'}")
+
+    failures = [row for row in rows if not row.get("ok")]
+    print()
+    if failures:
+        print(f"{len(failures)}/{len(rows)} device-loss runs violated the "
+              f"bit-identical-after-recovery contract")
+    else:
+        print(f"all {len(rows)} device-loss runs recovered with the "
+              f"solo clustering (re-sharding within the fleet or "
+              f"degrading along the ladder)")
+    if args.json:
+        import json
+
+        from .obs import report_envelope
+
+        payload = {
+            **report_envelope("repro.chaos/1"),
+            "mode": "fleet",
+            "n": int(data.shape[0]),
+            "d": int(data.shape[1]),
+            "k": params.k,
+            "l": params.l,
+            "seed": args.seed,
+            "devices": devices,
+            "max_retries": args.max_retries,
+            "ok": not failures,
+            "rows": rows,
+        }
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+        else:
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"event log written to {args.json}")
+    return 1 if failures else 0
+
+
 def _cmd_claims(args: argparse.Namespace) -> int:
     results = check_all()
     print(format_results(results))
@@ -889,13 +1037,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import ClusterService, serve_spool
     from .viz import render_health, render_serve_lanes
 
+    fleet = None
+    if args.devices is not None:
+        from .fleet import default_fleet
+
+        if args.devices < 1:
+            print(f"--devices must be >= 1, got {args.devices}",
+                  file=sys.stderr)
+            return 2
+        fleet = default_fleet(args.devices)
     service = ClusterService(
         workers=args.workers,
         gpu_spec=GPU_SPECS[args.gpu],
+        fleet=fleet,
         cache_entries=args.cache_entries,
         monitor_dir=args.monitor_dir,
     )
-    print(f"serving spool {args.spool} on modeled {GPU_SPECS[args.gpu].name} "
+    where = (
+        f"a {fleet.num_devices}-card modeled fleet"
+        if fleet is not None else f"modeled {GPU_SPECS[args.gpu].name}"
+    )
+    print(f"serving spool {args.spool} on {where} "
           f"({args.workers} workers)")
     if args.monitor_dir:
         print(f"monitoring output in {args.monitor_dir} "
@@ -1311,7 +1473,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_param_arguments(chaos)
     chaos.add_argument(
         "--backends", nargs="+", metavar="NAME",
-        choices=sorted(b for b in BACKENDS if b.startswith("gpu")),
+        choices=sorted(
+            b for b in BACKENDS if b.startswith(("gpu", "fleet-"))
+        ),
         default=["gpu", "gpu-fast", "gpu-fast-star"],
         help="GPU backends to sweep (default: gpu gpu-fast gpu-fast-star)",
     )
@@ -1319,6 +1483,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault", action="append", metavar="SPEC",
         help="custom fault spec 'kind[@site][#at[+count|+*]][?prob]' "
              "(repeatable; replaces the default per-class sweep)",
+    )
+    chaos.add_argument(
+        "--fleet", action="store_true",
+        help="device-loss sweep instead: kill each fleet member at each "
+             "stage and require the bit-identical solo clustering after "
+             "re-sharding (fleet-* backends only)",
+    )
+    chaos.add_argument(
+        "--devices", type=int, default=3,
+        help="fleet size for --fleet (default 3)",
     )
     chaos.add_argument(
         "--max-retries", type=int, default=3,
@@ -1352,6 +1526,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="service worker threads (default 2)")
     serve.add_argument("--gpu", choices=sorted(GPU_SPECS), default="gtx1660ti",
                        help="modeled card for capacity decisions")
+    serve.add_argument("--devices", type=int, default=None,
+                       help="serve against a fleet of this many modeled "
+                            "cards (fleet-* requests shard across them)")
     serve.add_argument("--cache-entries", type=int, default=64,
                        help="result-cache capacity (0 disables; default 64)")
     serve.add_argument("--once", action="store_true",

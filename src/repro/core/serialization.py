@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -82,43 +83,56 @@ def load_result(path: str | Path) -> ProclusResult:
     path = Path(path)
     if not path.exists():
         raise DataValidationError(f"result file not found: {path}")
-    with np.load(path, allow_pickle=False) as archive:
-        try:
+    try:
+        with np.load(path, allow_pickle=False) as archive:
             labels = archive["labels"]
             medoids = archive["medoids"]
             meta = json.loads(str(archive["meta"]))
-        except KeyError as exc:
-            raise DataValidationError(
-                f"{path} is not a saved result (missing {exc})"
-            ) from exc
+    except (
+        OSError, ValueError, KeyError, zipfile.BadZipFile,
+        json.JSONDecodeError,
+    ) as exc:
+        # Corrupt/truncated archives surface as a typed error naming
+        # the file, never as a raw zipfile/json/KeyError.
+        raise DataValidationError(
+            f"{path} is not a readable saved result: {exc}"
+        ) from exc
     version = meta.get("version")
     if version != _FORMAT_VERSION:
         raise DataValidationError(
             f"{path} has format version {version}, expected {_FORMAT_VERSION}"
         )
-    stats_meta = meta["stats"]
-    stats = RunStats(
-        counters=dict(stats_meta["counters"]),
-        phase_seconds=dict(stats_meta["phase_seconds"]),
-        modeled_seconds=stats_meta["modeled_seconds"],
-        wall_seconds=stats_meta["wall_seconds"],
-        peak_device_bytes=stats_meta["peak_device_bytes"],
-        iterations=stats_meta["iterations"],
-        backend=stats_meta["backend"],
-        hardware=stats_meta["hardware"],
-    )
-    trace_meta = meta.get("trace")
-    return ProclusResult(
-        labels=labels,
-        medoids=medoids,
-        dimensions=tuple(tuple(int(j) for j in d) for d in meta["dimensions"]),
-        cost=meta["cost"],
-        refined_cost=meta["refined_cost"],
-        iterations=meta["iterations"],
-        best_iteration=meta["best_iteration"],
-        stats=stats,
-        trace=RunTrace.from_dict(trace_meta) if trace_meta else None,
-    )
+    try:
+        stats_meta = meta["stats"]
+        stats = RunStats(
+            counters=dict(stats_meta["counters"]),
+            phase_seconds=dict(stats_meta["phase_seconds"]),
+            modeled_seconds=stats_meta["modeled_seconds"],
+            wall_seconds=stats_meta["wall_seconds"],
+            peak_device_bytes=stats_meta["peak_device_bytes"],
+            iterations=stats_meta["iterations"],
+            backend=stats_meta["backend"],
+            hardware=stats_meta["hardware"],
+        )
+        trace_meta = meta.get("trace")
+        return ProclusResult(
+            labels=labels,
+            medoids=medoids,
+            dimensions=tuple(
+                tuple(int(j) for j in d) for d in meta["dimensions"]
+            ),
+            cost=meta["cost"],
+            refined_cost=meta["refined_cost"],
+            iterations=meta["iterations"],
+            best_iteration=meta["best_iteration"],
+            stats=stats,
+            trace=RunTrace.from_dict(trace_meta) if trace_meta else None,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataValidationError(
+            f"{path} saved-result metadata is incomplete or malformed: "
+            f"{exc!r}"
+        ) from exc
 
 
 def save_engine_state(state: IterativeState, path: str | Path) -> Path:
@@ -169,7 +183,10 @@ def load_engine_state(path: str | Path) -> IterativeState:
             labels_best = archive["labels_best"].copy()
             sizes_best = archive["sizes_best"].copy()
             meta = json.loads(str(archive["meta"]))
-    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+    except (
+        OSError, ValueError, KeyError, zipfile.BadZipFile,
+        json.JSONDecodeError,
+    ) as exc:
         raise CheckpointError(
             f"{path} is not a readable engine checkpoint: {exc}"
         ) from exc
@@ -178,20 +195,26 @@ def load_engine_state(path: str | Path) -> IterativeState:
             f"{path} has schema {meta.get('schema')!r}, "
             f"expected {_ENGINE_STATE_SCHEMA!r}"
         )
-    return IterativeState(
-        n=int(meta["n"]),
-        d=int(meta["d"]),
-        k=int(meta["k"]),
-        l=int(meta["l"]),
-        backend=meta["backend"],
-        medoid_ids=medoid_ids,
-        mcur=mcur,
-        mbest=mbest,
-        cost_best=float(meta["cost_best"]),
-        labels_best=labels_best,
-        sizes_best=sizes_best,
-        best_iteration=int(meta["best_iteration"]),
-        stale=int(meta["stale"]),
-        total=int(meta["total"]),
-        rng_state=meta["rng_state"],
-    )
+    try:
+        return IterativeState(
+            n=int(meta["n"]),
+            d=int(meta["d"]),
+            k=int(meta["k"]),
+            l=int(meta["l"]),
+            backend=meta["backend"],
+            medoid_ids=medoid_ids,
+            mcur=mcur,
+            mbest=mbest,
+            cost_best=float(meta["cost_best"]),
+            labels_best=labels_best,
+            sizes_best=sizes_best,
+            best_iteration=int(meta["best_iteration"]),
+            stale=int(meta["stale"]),
+            total=int(meta["total"]),
+            rng_state=meta["rng_state"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"{path} engine-checkpoint metadata is incomplete or "
+            f"malformed: {exc!r}"
+        ) from exc

@@ -15,6 +15,7 @@ __all__ = [
     "DataValidationError",
     "DeviceError",
     "DeviceOutOfMemoryError",
+    "DeviceLostError",
     "KernelLaunchError",
     "TransientDeviceError",
     "TransferCorruptionError",
@@ -56,6 +57,22 @@ class DeviceOutOfMemoryError(DeviceError):
             f"device out of memory: requested {requested} B, "
             f"free {free} B of {total} B"
         )
+
+
+class DeviceLostError(DeviceError):
+    """A device fell off the bus and every operation on it fails.
+
+    Unlike :class:`TransientDeviceError`, a lost device does not come
+    back with a context reset: the failure is permanent for the rest of
+    the process (until the fault injector's :meth:`revive`).  ``device``
+    carries the lost member's tag (``"dev1"`` for fleet shard 1,
+    ``"device"`` for a solo card) so recovery code can re-shard around
+    it.
+    """
+
+    def __init__(self, message: str, device: str = "device") -> None:
+        super().__init__(message)
+        self.device = device
 
 
 class KernelLaunchError(DeviceError):

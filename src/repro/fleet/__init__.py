@@ -8,7 +8,11 @@ Public surface:
   bit-identical to their solo counterparts;
 * :func:`fleet_report` — per-device ledgers + communication summary;
 * :func:`run_fleet_bench` — the scaling-curve benchmark behind
-  ``repro bench fleet``.
+  ``repro bench fleet``;
+* :mod:`repro.fleet.recovery` — elastic fault tolerance: re-shard
+  plans after device loss (:func:`plan_recovery`,
+  :func:`degraded_fleet`) and the :class:`DeviceHealth`
+  quarantine/readmit tracker.
 
 See ``docs/fleet.md`` for the sharding model and determinism contract.
 """
@@ -29,6 +33,14 @@ from .interconnect import (
 )
 from .model import FleetModel, fleet_report
 from .partition import ShardPlan, split_exact, tree_merge
+from .recovery import (
+    DeviceHealth,
+    RecoveryPlan,
+    active_devices,
+    dead_device_indices,
+    degraded_fleet,
+    plan_recovery,
+)
 
 __all__ = [
     "Fleet",
@@ -52,6 +64,12 @@ __all__ = [
     "link_bandwidth",
     "link_latency",
     "run_fleet_bench",
+    "DeviceHealth",
+    "RecoveryPlan",
+    "active_devices",
+    "dead_device_indices",
+    "degraded_fleet",
+    "plan_recovery",
 ]
 
 

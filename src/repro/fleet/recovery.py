@@ -1,0 +1,308 @@
+"""Elastic fleet recovery: lose a card mid-run, keep the answer.
+
+The fleet backends (:mod:`repro.fleet.engine`) shard one job across D
+modeled devices; this module is what happens when one of them dies.
+Three pieces:
+
+* :func:`degraded_fleet` / :func:`plan_recovery` — rebuild the shard
+  plan over the surviving members.  The degraded fleet keeps the dead
+  member *in place* with weight zero (so device numbering — and hence
+  every ``@dev{i}`` fault site and trace track — stays stable) and
+  re-apportions its rows over the survivors with the same
+  largest-remainder :func:`~repro.fleet.partition.split_exact` the
+  original plan used.  By the exact-partial-sum + fixed
+  ``tree_merge`` determinism contract, the re-sharded run returns the
+  bit-identical clustering;
+* :class:`DeviceHealth` — the health-aware serving tracker: counts
+  consecutive transient errors per member and straggler strikes from
+  :func:`~repro.obs.explain.fleetattr.fleet_attribution` output,
+  quarantines a member that crosses either threshold, and readmits it
+  after a probation period;
+* the recovery path itself lives in
+  :class:`~repro.resilience.runner.ResilientRunner`: on
+  :class:`~repro.exceptions.DeviceLostError` it snapshots what the
+  engine persisted (the PR 3 ``IterativeState`` checkpoint, when the
+  run checkpoints), swaps the engine's fleet for the survivors, and
+  retries the rung — emitting a ``reshard`` resilience span and
+  ``fleet.recovery.*`` counters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..exceptions import ParameterError
+from .fleet import Fleet
+from .partition import ShardPlan
+
+__all__ = [
+    "dead_device_indices",
+    "active_devices",
+    "degraded_fleet",
+    "RecoveryPlan",
+    "plan_recovery",
+    "DeviceHealth",
+]
+
+_TAG_RE = re.compile(r"^dev(\d+)$")
+
+
+def dead_device_indices(tags: Iterable[str]) -> tuple[int, ...]:
+    """Member indices named by injector device tags (``"dev1"`` -> 1).
+
+    Unrecognized tags (the solo ``"device"`` tag) are ignored — they
+    name no fleet member.
+    """
+    indices = set()
+    for tag in tags:
+        match = _TAG_RE.match(tag)
+        if match:
+            indices.add(int(match.group(1)))
+    return tuple(sorted(indices))
+
+
+def active_devices(fleet: Fleet) -> int:
+    """Members actually holding points (positive effective weight)."""
+    return sum(1 for weight in fleet.effective_weights() if weight > 0)
+
+
+def degraded_fleet(fleet: Fleet, dead: Iterable[int]) -> Fleet | None:
+    """``fleet`` with the ``dead`` members' weights zeroed in place.
+
+    Keeping dead members in the spec tuple (at weight zero) preserves
+    device numbering: the survivors keep their ``@dev{i}`` identities,
+    so a schedule that killed ``dev1`` cannot accidentally re-kill a
+    renumbered survivor, and per-device ledgers stay comparable across
+    the loss.  Returns ``None`` when no member with capacity survives
+    (nothing to re-shard onto).
+    """
+    weights = list(fleet.effective_weights())
+    for index in dead:
+        if 0 <= int(index) < len(weights):
+            weights[int(index)] = 0.0
+    if sum(weights) <= 0:
+        return None
+    return Fleet(specs=fleet.specs, weights=tuple(weights))
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryPlan:
+    """One re-shard decision: who died, who survives, how rows move."""
+
+    fleet: Fleet  #: the fleet as it was before the loss
+    dead: tuple[int, ...]  #: member indices lost
+    survivors: Fleet  #: same members, dead weights zeroed
+
+    @property
+    def active(self) -> int:
+        """Surviving members that will hold points."""
+        return active_devices(self.survivors)
+
+    def shard_plan(self, n: int) -> ShardPlan:
+        """The re-computed exact row partition over the survivors."""
+        return self.survivors.shard_plan(n)
+
+    def describe(self) -> str:
+        lost = ", ".join(f"dev{i}" for i in self.dead) or "none"
+        return (
+            f"lost {lost}; re-sharding over "
+            f"{self.active} of {self.fleet.num_devices} devices"
+        )
+
+
+def plan_recovery(fleet: Fleet, dead: Iterable[int]) -> RecoveryPlan | None:
+    """Build the re-shard plan after losing ``dead`` members.
+
+    Returns ``None`` when recovery within the fleet is impossible
+    (every member with capacity is gone) — the caller must degrade to
+    a solo rung instead.
+    """
+    dead_tuple = tuple(sorted({int(i) for i in dead}))
+    survivors = degraded_fleet(fleet, dead_tuple)
+    if survivors is None:
+        return None
+    return RecoveryPlan(fleet=fleet, dead=dead_tuple, survivors=survivors)
+
+
+@dataclass(slots=True)
+class _MemberHealth:
+    """Mutable per-member health record."""
+
+    consecutive_transients: int = 0
+    straggler_strikes: int = 0
+    quarantined: bool = False
+    probation_left: int = 0
+    quarantines: int = 0
+
+
+class DeviceHealth:
+    """Quarantine/readmit tracker for fleet members.
+
+    Two independent triggers quarantine a member:
+
+    * ``transient_threshold`` consecutive transient errors attributed
+      to it (a flaky card), reset by any success;
+    * ``straggler_strikes`` consecutive fleet runs in which
+      :func:`~repro.obs.explain.fleetattr.fleet_attribution` names it
+      the straggler with ``straggler_index`` above
+      ``straggler_threshold`` (a slow card dragging the barrier).
+
+    A quarantined member sits out ``probation`` observed healthy rounds
+    (calls to :meth:`observe_round` — typically one per completed fleet
+    job), then is readmitted with cleared counters.  The tracker never
+    touches a fleet itself; :meth:`healthy_fleet` derives the degraded
+    fleet serving should use, and
+    :meth:`~repro.serve.service.ClusterService.quarantine_device`
+    applies the same decisions to admission capacity.
+    """
+
+    def __init__(
+        self,
+        devices: int,
+        transient_threshold: int = 3,
+        straggler_threshold: float = 1.5,
+        straggler_strikes: int = 3,
+        probation: int = 2,
+    ) -> None:
+        if devices < 1:
+            raise ParameterError(f"devices must be >= 1, got {devices}")
+        if transient_threshold < 1:
+            raise ParameterError(
+                f"transient_threshold must be >= 1, got {transient_threshold}"
+            )
+        if not straggler_threshold >= 1.0:
+            raise ParameterError(
+                f"straggler_threshold must be >= 1.0, "
+                f"got {straggler_threshold}"
+            )
+        if straggler_strikes < 1:
+            raise ParameterError(
+                f"straggler_strikes must be >= 1, got {straggler_strikes}"
+            )
+        if probation < 1:
+            raise ParameterError(f"probation must be >= 1, got {probation}")
+        self.devices = devices
+        self.transient_threshold = transient_threshold
+        self.straggler_threshold = straggler_threshold
+        self.straggler_strikes = straggler_strikes
+        self.probation = probation
+        self._members = [_MemberHealth() for _ in range(devices)]
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def _member(self, index: int) -> _MemberHealth:
+        if not 0 <= index < self.devices:
+            raise ParameterError(
+                f"device index {index} out of range for {self.devices} members"
+            )
+        return self._members[index]
+
+    def record_transient(self, index: int) -> bool:
+        """One transient error on member ``index``; True if it just
+        crossed the threshold into quarantine."""
+        member = self._member(index)
+        member.consecutive_transients += 1
+        if (
+            not member.quarantined
+            and member.consecutive_transients >= self.transient_threshold
+        ):
+            self._quarantine(member)
+            return True
+        return False
+
+    def record_success(self, index: int) -> None:
+        """A successful operation on member ``index`` (resets the
+        consecutive-transient count)."""
+        member = self._member(index)
+        member.consecutive_transients = 0
+
+    def observe_attribution(self, attribution: Mapping) -> int | None:
+        """Fold one fleet run's attribution block in.
+
+        Returns the member index just quarantined for straggling, or
+        ``None``.  Members other than the named straggler get their
+        strike count cleared (straggling must be persistent to strike).
+        """
+        device = str(attribution.get("straggler_device", "") or "")
+        index = None
+        match = _TAG_RE.match(device)
+        if match:
+            index = int(match.group(1))
+        over = (
+            float(attribution.get("straggler_index", 1.0) or 1.0)
+            > self.straggler_threshold
+        )
+        quarantined = None
+        for i, member in enumerate(self._members):
+            if i == index and over:
+                member.straggler_strikes += 1
+                if (
+                    not member.quarantined
+                    and member.straggler_strikes >= self.straggler_strikes
+                ):
+                    self._quarantine(member)
+                    quarantined = i
+            else:
+                member.straggler_strikes = 0
+        return quarantined
+
+    def observe_round(self) -> tuple[int, ...]:
+        """One healthy fleet round completed; advance probation.
+
+        Returns the indices readmitted this round (probation expired).
+        """
+        readmitted = []
+        for index, member in enumerate(self._members):
+            if not member.quarantined:
+                continue
+            member.probation_left -= 1
+            if member.probation_left <= 0:
+                self.readmit(index)
+                readmitted.append(index)
+        return tuple(readmitted)
+
+    def _quarantine(self, member: _MemberHealth) -> None:
+        member.quarantined = True
+        member.probation_left = self.probation
+        member.quarantines += 1
+
+    def readmit(self, index: int) -> None:
+        """Readmit member ``index`` with cleared counters."""
+        member = self._member(index)
+        member.quarantined = False
+        member.probation_left = 0
+        member.consecutive_transients = 0
+        member.straggler_strikes = 0
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def quarantined(self) -> frozenset[int]:
+        """Indices currently quarantined."""
+        return frozenset(
+            i for i, member in enumerate(self._members) if member.quarantined
+        )
+
+    def healthy_fleet(self, fleet: Fleet) -> Fleet | None:
+        """``fleet`` minus the quarantined members (None if nobody's left)."""
+        if not self.quarantined:
+            return fleet
+        return degraded_fleet(fleet, self.quarantined)
+
+    def status(self) -> list[dict]:
+        """JSON-ready per-member health (for health reports / CLI)."""
+        return [
+            {
+                "device": f"dev{i}",
+                "quarantined": member.quarantined,
+                "consecutive_transients": member.consecutive_transients,
+                "straggler_strikes": member.straggler_strikes,
+                "probation_left": member.probation_left,
+                "quarantines": member.quarantines,
+            }
+            for i, member in enumerate(self._members)
+        ]

@@ -70,9 +70,11 @@ SNAPSHOT_SCHEMA = "repro.monitor_snapshot/1"
 class SloObjective:
     """One declarative objective: ``metric op threshold``.
 
-    ``op`` is ``"<="`` (budget-style objectives) or ``"=="`` (hard
-    invariants like the determinism-violation count).  Rate metrics are
-    evaluated over the trailing ``window_seconds`` of the event stream.
+    ``op`` is ``"<="`` (budget-style objectives), ``">="``
+    (floor-style objectives like fleet availability), or ``"=="``
+    (hard invariants like the determinism-violation count).  Rate
+    metrics are evaluated over the trailing ``window_seconds`` of the
+    event stream.
     """
 
     name: str
@@ -83,8 +85,10 @@ class SloObjective:
     window_seconds: float = 60.0
 
     def __post_init__(self) -> None:
-        if self.op not in ("<=", "=="):
-            raise ValueError(f"op must be '<=' or '==', got {self.op!r}")
+        if self.op not in ("<=", ">=", "=="):
+            raise ValueError(
+                f"op must be '<=', '>=' or '==', got {self.op!r}"
+            )
         if self.window_seconds <= 0:
             raise ValueError(
                 f"window_seconds must be positive, got {self.window_seconds}"
@@ -93,6 +97,8 @@ class SloObjective:
     def met(self, value: float) -> bool:
         if self.op == "==":
             return value == self.threshold
+        if self.op == ">=":
+            return value >= self.threshold
         return value <= self.threshold
 
 
@@ -142,6 +148,8 @@ def default_slos(
     rejection_rate: float = 0.1,
     burn_rate: float = 1.0,
     window_seconds: float = 60.0,
+    mttr_seconds: float = 60.0,
+    availability: float = 0.5,
 ) -> tuple[SloObjective, ...]:
     """The service's default objectives (see ``docs/observability.md``)."""
     return (
@@ -175,6 +183,22 @@ def default_slos(
             op="<=",
             threshold=burn_rate,
             description="failure rate over the window divided by the budget",
+            window_seconds=window_seconds,
+        ),
+        SloObjective(
+            name="fleet-mttr",
+            metric="fleet_mttr_seconds",
+            op="<=",
+            threshold=mttr_seconds,
+            description="mean seconds to recover a lost fleet member",
+            window_seconds=window_seconds,
+        ),
+        SloObjective(
+            name="fleet-availability",
+            metric="fleet_availability",
+            op=">=",
+            threshold=availability,
+            description="fraction of known fleet members currently serving",
             window_seconds=window_seconds,
         ),
     )
@@ -218,6 +242,12 @@ class SloTracker:
         #: (ts, succeeded) per terminal outcome (complete/fail).
         self._outcomes: list[tuple[float, bool]] = []
         self._violations = 0.0
+        #: Every device tag ever named in a device_* event.
+        self._devices: set[str] = set()
+        #: Currently-down device tag -> ts it went down.
+        self._down_since: dict[str, float] = {}
+        #: (ts, seconds-to-recover) per recovery (event- or direct-fed).
+        self._recoveries: list[tuple[float, float]] = []
 
     def observe(self, event: "ServeEvent | dict") -> None:
         record = _event_dict(event)
@@ -243,11 +273,40 @@ class SloTracker:
                 self._outcomes.append((ts, True))
             elif kind == "fail":
                 self._outcomes.append((ts, False))
+            elif kind == "device_down":
+                device = str(record.get("detail", "")) or "device"
+                self._devices.add(device)
+                self._down_since.setdefault(device, ts)
+            elif kind == "device_recovered":
+                device = str(record.get("detail", "")) or "device"
+                self._devices.add(device)
+                went_down = self._down_since.pop(device, None)
+                if went_down is not None:
+                    self._recoveries.append((ts, max(0.0, ts - went_down)))
 
     def record_violations(self, count: int = 1) -> None:
         """Register determinism violations found by an external oracle."""
         with self._lock:
             self._violations += count
+
+    def record_recovery(self, seconds: float, now: float | None = None) -> None:
+        """Register one fleet recovery measured outside the event stream
+        (e.g. a :class:`~repro.resilience.runner.ResilientRunner`
+        re-shard's ``recovery_s``)."""
+        with self._lock:
+            ts = now if now is not None else self._last_ts
+            self._last_ts = max(self._last_ts, ts)
+            self._recoveries.append((ts, max(0.0, float(seconds))))
+
+    def set_devices(self, tags: Sequence[str]) -> None:
+        """Declare the fleet-member universe availability is judged over.
+
+        Without this, the tracker only learns members from ``device_*``
+        events, so the first loss would read as 0% availability no
+        matter how many healthy members remain.
+        """
+        with self._lock:
+            self._devices.update(str(tag) for tag in tags)
 
     def metric_value(self, metric: str, window: float, now: float) -> float:
         """Compute one metric over ``[now - window, now]``."""
@@ -267,6 +326,16 @@ class SloTracker:
                 return 0.0
             failure_rate = sum(1 for ok in outcomes if not ok) / len(outcomes)
             return failure_rate / self.error_budget
+        if metric == "fleet_mttr_seconds":
+            recoveries = [r for ts, r in self._recoveries if ts >= cutoff]
+            return sum(recoveries) / len(recoveries) if recoveries else 0.0
+        if metric == "fleet_availability":
+            # 1.0 until a device_* event names any member (no fleet =
+            # nothing can be unavailable).
+            if not self._devices:
+                return 1.0
+            up = len(self._devices) - len(self._down_since)
+            return up / len(self._devices)
         raise ValueError(f"unknown SLO metric {metric!r}")
 
     def evaluate(self, now: float | None = None) -> SloReport:
@@ -345,6 +414,13 @@ class ServiceMonitor:
         self.slo.record_violations(count)
         self.metrics.counter("serve.determinism.violations").inc(count)
 
+    def record_recovery(self, seconds: float, now: float | None = None) -> None:
+        """Forward one fleet recovery (MTTR sample) to the tracker and
+        metrics."""
+        self.slo.record_recovery(seconds, now)
+        self.metrics.counter("fleet.recovery.mttr_seconds").inc(seconds)
+        self.metrics.histogram("fleet.recovery.mttr").observe(seconds)
+
     # ------------------------------------------------------------------
     # Snapshots and health
     # ------------------------------------------------------------------
@@ -397,7 +473,7 @@ class ServiceMonitor:
                 "counters": {
                     name: value
                     for name, value in counters["counters"].items()
-                    if name.startswith("serve.")
+                    if name.startswith(("serve.", "fleet."))
                 },
                 "gauges": counters["gauges"],
                 "latency_seconds": counters["histograms"].get(

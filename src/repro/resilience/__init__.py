@@ -46,6 +46,7 @@ from .policy import (
     RetryPolicy,
     classify_error,
     default_ladder,
+    reshard_ladder,
 )
 from .runner import (
     ResilienceEvent,
@@ -69,6 +70,7 @@ __all__ = [
     "RetryPolicy",
     "DEFAULT_LADDERS",
     "default_ladder",
+    "reshard_ladder",
     "ResilienceEvent",
     "ResilientOutcome",
     "ResilientRunner",

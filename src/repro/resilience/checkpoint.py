@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
 from dataclasses import asdict
 from pathlib import Path
 from typing import Any
@@ -36,7 +37,7 @@ import numpy as np
 from ..core.serialization import load_result, save_result
 from ..core.state import MedoidCache, SharedStudyState
 from ..data.fingerprint import dataset_fingerprint
-from ..exceptions import CheckpointError
+from ..exceptions import CheckpointError, DataValidationError
 from ..params import ParameterGrid
 from ..result import ProclusResult
 from ..rng import RandomSource
@@ -189,54 +190,88 @@ class StudyCheckpoint:
     ) -> dict[str, Any]:
         """Check that the checkpoint belongs to this exact study."""
         manifest = self.load_manifest()
-        if manifest["data_fingerprint"] != data_fingerprint(data):
+        try:
+            fingerprint = manifest["data_fingerprint"]
+            recorded = manifest["grid"]
+            recorded_ks = recorded["ks"]
+            recorded_ls = recorded["ls"]
+            recorded_base = recorded["base"]
+            recorded_backend = manifest["backend"]
+            recorded_level = manifest["level"]
+        except (KeyError, TypeError) as exc:
+            # A truncated-but-valid-JSON manifest must not surface as a
+            # raw KeyError.
+            raise CheckpointError(
+                f"checkpoint manifest {self.manifest_path} is incomplete "
+                f"(missing {exc}); refusing to resume"
+            ) from exc
+        if fingerprint != data_fingerprint(data):
             raise CheckpointError(
                 "checkpoint was written for a different dataset "
                 "(fingerprint mismatch); refusing to resume"
             )
-        recorded = manifest["grid"]
         if (
-            list(grid.ks) != recorded["ks"]
-            or list(grid.ls) != recorded["ls"]
-            or asdict(grid.base) != recorded["base"]
+            list(grid.ks) != recorded_ks
+            or list(grid.ls) != recorded_ls
+            or asdict(grid.base) != recorded_base
         ):
             raise CheckpointError(
                 "checkpoint was written for a different parameter grid; "
                 "refusing to resume"
             )
-        if manifest["backend"] != backend or manifest["level"] != int(level):
+        if recorded_backend != backend or recorded_level != int(level):
             raise CheckpointError(
                 f"checkpoint was written for backend="
-                f"{manifest['backend']!r} level={manifest['level']}, "
+                f"{recorded_backend!r} level={recorded_level}, "
                 f"got backend={backend!r} level={int(level)}"
             )
         return manifest
 
     def load_setting(self, k: int, l: int) -> ProclusResult:
-        """Load one completed setting's result."""
+        """Load one completed setting's result.
+
+        Missing or corrupt setting files surface as
+        :class:`~repro.exceptions.CheckpointError` naming the file.
+        """
         path = self.setting_path(k, l)
         if not path.exists():
             raise CheckpointError(
                 f"manifest lists setting (k={k}, l={l}) as completed but "
                 f"{path} is missing"
             )
-        return load_result(path)
+        try:
+            return load_result(path)
+        except DataValidationError as exc:
+            raise CheckpointError(
+                f"setting file {path} is corrupt: {exc}"
+            ) from exc
 
     def load_shared(self) -> SharedStudyState | None:
-        """Restore the shared study state snapshot (None when absent)."""
+        """Restore the shared study state snapshot (None when absent).
+
+        A corrupt or truncated snapshot raises
+        :class:`~repro.exceptions.CheckpointError` naming the file —
+        never a raw zipfile/KeyError.
+        """
         if not self.shared_path.exists():
             return None
-        with np.load(self.shared_path, allow_pickle=False) as archive:
-            cache = MedoidCache(
-                dist=archive["dist"].copy(),
-                dist_found=archive["dist_found"].copy(),
-                h=archive["h"].copy(),
-                prev_delta=archive["prev_delta"].copy(),
-                size_l=archive["size_l"].copy(),
-            )
-            return SharedStudyState(
-                sample_indices=archive["sample_indices"].copy(),
-                medoid_ids=archive["medoid_ids"].copy(),
-                cache=cache,
-                data_uploaded=bool(archive["data_uploaded"]),
-            )
+        try:
+            with np.load(self.shared_path, allow_pickle=False) as archive:
+                cache = MedoidCache(
+                    dist=archive["dist"].copy(),
+                    dist_found=archive["dist_found"].copy(),
+                    h=archive["h"].copy(),
+                    prev_delta=archive["prev_delta"].copy(),
+                    size_l=archive["size_l"].copy(),
+                )
+                return SharedStudyState(
+                    sample_indices=archive["sample_indices"].copy(),
+                    medoid_ids=archive["medoid_ids"].copy(),
+                    cache=cache,
+                    data_uploaded=bool(archive["data_uploaded"]),
+                )
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            raise CheckpointError(
+                f"shared-state snapshot {self.shared_path} is unreadable "
+                f"or incomplete: {exc!r}"
+            ) from exc

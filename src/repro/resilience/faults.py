@@ -24,6 +24,11 @@ kind            raises / fires on
                 a host<->device transfer (ECC-style, detected)
 ``timeout``     :class:`~repro.exceptions.KernelTimeoutError` on a
                 kernel launch (vectorized or emulated) — the watchdog
+``device-down`` :class:`~repro.exceptions.DeviceLostError` on *any*
+                operation; the matched device is dead permanently —
+                every later alloc/launch/transfer naming it raises,
+                and :meth:`FaultInjector.device_reset` does **not**
+                bring it back (only :meth:`FaultInjector.revive`)
 ==============  ====================================================
 
 Schedules are deterministic: a spec fires on the Nth operation whose
@@ -50,6 +55,7 @@ from typing import Iterator
 import numpy as np
 
 from ..exceptions import (
+    DeviceLostError,
     DeviceOutOfMemoryError,
     KernelLaunchError,
     KernelTimeoutError,
@@ -68,14 +74,19 @@ __all__ = [
     "use_injector",
 ]
 
-#: Fault kind -> the substrate operation it targets.
+#: Fault kind -> the substrate operation it targets.  ``"any"`` means
+#: the spec is evaluated on every operation class (device loss strikes
+#: whatever touches the device next).
 FAULT_KINDS: dict[str, str] = {
     "oom": "alloc",
     "launch": "launch",
     "transient": "launch",
     "corrupt": "transfer",
     "timeout": "launch",
+    "device-down": "any",
 }
+
+_DEVICE_TAG_RE = re.compile(r"^dev\d+$")
 
 #: ``count`` value meaning "keep firing forever".
 FOREVER = -1
@@ -94,6 +105,9 @@ class FaultSpec:
         operation name: the allocation name for ``oom``, the kernel
         name for launch-class faults, ``h2d:<name>``/``d2h:<name>``
         for transfers.  ``*`` (the default) matches every operation.
+        For ``device-down``, a bare device tag (``dev1``) is shorthand
+        for ``*@dev1`` — the first operation touching that fleet shard
+        kills it.
     at:
         Fire on the Nth *matching* operation (1-based).
     count:
@@ -135,14 +149,21 @@ class FaultSpec:
 
     @property
     def operation(self) -> str:
-        """The substrate operation this spec targets."""
+        """The substrate operation this spec targets (``"any"`` = all)."""
         return FAULT_KINDS[self.kind]
+
+    @property
+    def site_pattern(self) -> str:
+        """The effective ``fnmatch`` pattern (expands device shorthand)."""
+        if self.kind == "device-down" and _DEVICE_TAG_RE.match(self.site):
+            return f"*@{self.site}"
+        return self.site
 
     def describe(self) -> str:
         """Compact one-line rendering (the parseable schedule syntax)."""
         text = f"{self.kind}@{self.site}"
         if self.probability is not None:
-            text += f"?{self.probability:g}"
+            text += f"?{self.probability!r}"
         elif self.at != 1 or self.count != 1:
             text += f"#{self.at}"
             if self.count == FOREVER:
@@ -155,10 +176,10 @@ class FaultSpec:
 
 
 _FAULT_RE = re.compile(
-    r"^(?P<kind>[a-z]+)"
+    r"^(?P<kind>[a-z][a-z-]*)"
     r"(?:@(?P<site>[^#?!]+))?"
     r"(?:\#(?P<at>\d+)(?:\+(?P<count>\d+|\*))?)?"
-    r"(?:\?(?P<prob>[0-9.]+))?"
+    r"(?:\?(?P<prob>[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?))?"
     r"(?P<nonsticky>!nonsticky)?$"
 )
 
@@ -169,7 +190,8 @@ def parse_fault(text: str) -> FaultSpec:
     Syntax: ``kind[@site][#at[+count|+*]][?probability][!nonsticky]``.
     Examples: ``oom@Dist``, ``launch@assign_points#3``,
     ``transient@compute_l.*#2``, ``corrupt@d2h:*``, ``oom#2+*``
-    (every allocation from the 2nd on), ``timeout?0.25``.
+    (every allocation from the 2nd on), ``timeout?0.25``,
+    ``device-down@dev1`` (kill fleet shard 1 on first touch).
     """
     match = _FAULT_RE.match(text.strip())
     if match is None:
@@ -180,12 +202,19 @@ def parse_fault(text: str) -> FaultSpec:
         else FOREVER if count_text == "*"
         else int(count_text)
     )
+    prob_text = match.group("prob")
+    try:
+        probability = float(prob_text) if prob_text else None
+    except ValueError as exc:  # pragma: no cover - regex forbids this
+        raise ParameterError(
+            f"unparseable fault probability in {text!r}"
+        ) from exc
     return FaultSpec(
         kind=match.group("kind"),
         site=match.group("site") or "*",
         at=int(match.group("at") or 1),
         count=count,
-        probability=float(match.group("prob")) if match.group("prob") else None,
+        probability=probability,
         sticky=match.group("nonsticky") is None,
     )
 
@@ -226,28 +255,54 @@ class FaultInjector:
         self._matches = [0] * len(self.schedule)
         self.injected: list[InjectionRecord] = []
         self._sticky_error: str | None = None
+        #: Tags of permanently lost devices (``"dev1"``, or ``"device"``
+        #: for an untagged solo card).  Survives :meth:`device_reset`.
+        self._dead_devices: set[str] = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def device_reset(self) -> None:
-        """Clear a sticky error (models context teardown + rebuild)."""
+        """Clear a sticky error (models context teardown + rebuild).
+
+        A lost device stays lost: resets rebuild the context, not the
+        hardware.
+        """
         self._sticky_error = None
+
+    def revive(self, device: str | None = None) -> None:
+        """Bring a lost device back (models physical replacement).
+
+        ``device`` is one tag (``"dev1"``); ``None`` revives everything.
+        """
+        if device is None:
+            self._dead_devices.clear()
+        else:
+            self._dead_devices.discard(device)
 
     @property
     def sticky_failed(self) -> bool:
         """Whether the device context is currently poisoned."""
         return self._sticky_error is not None
 
+    @property
+    def dead_devices(self) -> frozenset[str]:
+        """Tags of the devices lost so far."""
+        return frozenset(self._dead_devices)
+
     # ------------------------------------------------------------------
     # Schedule evaluation
     # ------------------------------------------------------------------
     def _firing_spec(self, operation: str, name: str) -> tuple[FaultSpec, int] | None:
-        """The first spec firing on this operation, if any."""
+        """The first spec firing on this operation, if any.
+
+        ``device-down`` specs are evaluated separately (by
+        :meth:`_check_lost`, which runs on every operation class).
+        """
         for index, spec in enumerate(self.schedule):
-            if spec.operation != operation:
+            if spec.kind == "device-down" or spec.operation != operation:
                 continue
-            if not fnmatchcase(name, spec.site):
+            if not fnmatchcase(name, spec.site_pattern):
                 continue
             self._matches[index] += 1
             seen = self._matches[index]
@@ -279,12 +334,74 @@ class FaultInjector:
                 sticky=True,
             )
 
+    @staticmethod
+    def _device_tag(name: str) -> str:
+        """The device an operation name addresses.
+
+        Fleet shard operations carry an ``@dev{i}`` suffix; anything
+        else runs on the (single) ambient device, tagged ``"device"``.
+        """
+        if "@" in name:
+            tag = name.rsplit("@", 1)[1]
+            if _DEVICE_TAG_RE.match(tag):
+                return tag
+        return "device"
+
+    def _check_lost(self, operation: str, name: str) -> None:
+        """Raise when ``name`` addresses a dead device; else evaluate
+        any ``device-down`` spec and, on a firing, kill the device."""
+        if self._dead_devices:
+            tag = self._device_tag(name)
+            if tag in self._dead_devices or "device" in self._dead_devices:
+                error = DeviceLostError(
+                    f"{operation} {name!r} failed: device {tag} is lost",
+                    device=tag,
+                )
+                error.injected = True
+                raise error
+        fired = self._firing_spec_down(operation, name)
+        if fired is None:
+            return
+        spec, seen = fired
+        tag = self._device_tag(name)
+        if tag == "device" and _DEVICE_TAG_RE.match(spec.site):
+            tag = spec.site  # targeted member, op not yet suffixed
+        self._dead_devices.add(tag)
+        self._record(spec, operation, name, seen)
+        error = DeviceLostError(
+            f"device {tag} fell off the bus during {operation} {name!r}",
+            device=tag,
+        )
+        error.injected = True
+        raise error
+
+    def _firing_spec_down(
+        self, operation: str, name: str
+    ) -> tuple[FaultSpec, int] | None:
+        """Like :meth:`_firing_spec`, restricted to ``device-down``."""
+        for index, spec in enumerate(self.schedule):
+            if spec.kind != "device-down":
+                continue
+            if not fnmatchcase(name, spec.site_pattern):
+                continue
+            self._matches[index] += 1
+            seen = self._matches[index]
+            if spec.probability is not None:
+                if self._rng.random() < spec.probability:
+                    return spec, seen
+            elif seen >= spec.at and (
+                spec.count == FOREVER or seen < spec.at + spec.count
+            ):
+                return spec, seen
+        return None
+
     # ------------------------------------------------------------------
     # Substrate hooks
     # ------------------------------------------------------------------
     def on_alloc(self, name: str, nbytes: int, free: int, total: int) -> None:
         """Called by :meth:`repro.gpu.memory.MemoryManager.alloc`."""
         self._check_sticky()
+        self._check_lost("alloc", name)
         fired = self._firing_spec("alloc", name)
         if fired is None:
             return
@@ -297,6 +414,7 @@ class FaultInjector:
     def on_launch(self, name: str, phase: str) -> None:
         """Called by :meth:`repro.gpu.device.Device.launch`."""
         self._check_sticky()
+        self._check_lost("launch", name)
         fired = self._firing_spec("launch", name)
         if fired is None:
             return
@@ -322,6 +440,7 @@ class FaultInjector:
         """Called by ``Device.to_device`` / ``Device.to_host``."""
         self._check_sticky()
         site = f"{direction}:{name}"
+        self._check_lost("transfer", site)
         fired = self._firing_spec("transfer", site)
         if fired is None:
             return

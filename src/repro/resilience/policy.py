@@ -12,6 +12,10 @@ classes, which determines the recovery action:
   same configuration cannot succeed; the runner immediately steps down
   the degradation ladder to a configuration with a smaller resident
   working set (chunked ``Dist`` cache) or a cheaper backend.
+* **DEVICE_LOSS** — a fleet member (or the solo card) fell off the bus
+  permanently.  A fleet run re-shards over the surviving members and
+  retries the same rung (:mod:`repro.fleet.recovery`); a solo run can
+  only degrade to a rung that avoids the dead device.
 * **FATAL** — user errors (bad data, bad parameters) and internal
   invariant violations (use-after-free, emulation errors).  Never
   retried; re-raised unchanged.
@@ -38,6 +42,7 @@ from dataclasses import dataclass, field
 from ..exceptions import (
     DataValidationError,
     DeviceError,
+    DeviceLostError,
     DeviceOutOfMemoryError,
     EmulationError,
     KernelLaunchError,
@@ -54,6 +59,7 @@ __all__ = [
     "LadderStep",
     "RetryPolicy",
     "default_ladder",
+    "reshard_ladder",
 ]
 
 
@@ -62,16 +68,19 @@ class ErrorClass(enum.Enum):
 
     TRANSIENT = "transient"
     CAPACITY = "capacity"
+    DEVICE_LOSS = "device-loss"
     FATAL = "fatal"
 
 
 def classify_error(error: BaseException) -> ErrorClass:
     """Classify an exception into its recovery class.
 
-    Order matters: the capacity subclass is checked before the generic
-    device classes, and user errors before the :class:`ReproError`
-    catch-all.
+    Order matters: the loss and capacity subclasses are checked before
+    the generic device classes, and user errors before the
+    :class:`ReproError` catch-all.
     """
+    if isinstance(error, DeviceLostError):
+        return ErrorClass.DEVICE_LOSS
     if isinstance(error, DeviceOutOfMemoryError):
         return ErrorClass.CAPACITY
     if isinstance(
@@ -161,6 +170,32 @@ DEFAULT_LADDERS: dict[str, tuple[LadderStep, ...]] = {
 def default_ladder(backend: str) -> tuple[LadderStep, ...]:
     """The documented ladder for ``backend`` (one rung when unknown)."""
     return DEFAULT_LADDERS.get(backend, (LadderStep(backend),))
+
+
+def reshard_ladder(backend: str, devices: int) -> tuple[LadderStep, ...]:
+    """An explicit elastic ladder for a ``fleet-*`` backend.
+
+    ``fleet(D)`` -> ``fleet(D-1)`` -> ... -> ``fleet(2)`` -> the
+    backend's default ladder minus its fleet rungs (solo GPU, then
+    CPU).  Every rung returns the bit-identical clustering; the fleet
+    rungs carry ``{"fleet": d}`` so the engine builds a ``d``-card
+    default fleet.  :class:`~repro.resilience.runner.ResilientRunner`
+    additionally re-shards *within* a rung on device loss — this ladder
+    is the static fallback for schedulers that want the shrinkage
+    spelled out.
+    """
+    if not backend.startswith("fleet-"):
+        raise ParameterError(
+            f"reshard_ladder needs a fleet-* backend, got {backend!r}"
+        )
+    if devices < 1:
+        raise ParameterError(f"devices must be >= 1, got {devices}")
+    rungs = [LadderStep(backend, {"fleet": d}) for d in range(devices, 1, -1)]
+    tail = [
+        step for step in default_ladder(backend)
+        if not step.backend.startswith("fleet-")
+    ]
+    return tuple(rungs) + tuple(tail)
 
 
 @dataclass(frozen=True, slots=True)

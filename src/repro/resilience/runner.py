@@ -10,8 +10,15 @@
    restore the RNG state and the shared study state to their
    pre-attempt snapshots, wait the deterministic backoff, and retry the
    *same* ladder rung (at most ``max_retries`` times);
-4. **CAPACITY** (or exhausted retries) — step down the degradation
-   ladder and start over on the next rung.
+4. **DEVICE_LOSS** on a fleet rung — re-shard elastically: zero the
+   dead members' weights (:func:`~repro.fleet.recovery.plan_recovery`,
+   which re-runs the exact largest-remainder partition over the
+   survivors), resume from the engine's ``IterativeState`` checkpoint
+   when the run writes one, and retry the *same* rung on the shrunken
+   fleet — recorded as a ``reshard`` event/span with
+   ``fleet.recovery.*`` counters (reshards, devices lost, MTTR);
+5. **CAPACITY** (or exhausted retries / unrecoverable loss) — step
+   down the degradation ladder and start over on the next rung.
 
 Because engines are single-use and every attempt restores the RNG and
 shared-cache state bit-for-bit, a retried or degraded run produces the
@@ -28,6 +35,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -55,14 +63,15 @@ _FLEET_ONLY_KWARGS = ("fleet",)
 class ResilienceEvent:
     """One recovery action taken by the runner."""
 
-    kind: str  #: "retry" | "degrade" | "checkpoint" | "resume"
+    kind: str  #: "retry" | "degrade" | "reshard" | "checkpoint" | "resume"
     rung: str  #: ladder rung description (e.g. "gpu-fast(dist_chunks=2)")
     attempt: int  #: attempt number on that rung (1-based)
     error_type: str = ""  #: class name of the triggering error
-    error_class: str = ""  #: transient / capacity / fatal
+    error_class: str = ""  #: transient / capacity / device-loss / fatal
     detail: str = ""  #: the error message (or checkpoint path)
     backoff_s: float = 0.0  #: deterministic backoff recorded before retry
-    to_rung: str = ""  #: target rung of a "degrade" event
+    to_rung: str = ""  #: target rung of a "degrade"/"reshard" event
+    recovery_s: float = 0.0  #: wall seconds from a "reshard" to success
 
     def as_dict(self) -> dict[str, Any]:
         """Plain-data form for JSON event logs."""
@@ -152,12 +161,22 @@ class ResilientRunner:
         attempts = 0
         rung_index = 0
         last_error: ReproError | None = None
+        #: Reshard events awaiting their recovery-time stamp, member
+        #: indices already counted as lost, reshards taken so far.
+        pending_reshards: list[tuple[ResilienceEvent, float]] = []
+        known_dead: set[int] = set()
+        reshards = 0
+        #: Rung label after an elastic re-shard, e.g.
+        #: "fleet-gpu-fast[2/3 devices]" — reported on the outcome so
+        #: callers see which shard plan actually produced the result.
+        reshard_label: str | None = None
         while rung_index < len(ladder):
             step = ladder[rung_index]
             rung_attempt = 0
             while True:
                 rung_attempt += 1
                 attempts += 1
+                engine = None
                 self._reset_for_attempt(seed, rng_snapshot, shared_state,
                                         shared_snapshot, attempts)
                 attempt_span = obs.span(
@@ -177,10 +196,11 @@ class ResilientRunner:
                         )
                         result = engine.fit(data)
                         attempt_span.set(outcome="ok")
+                    self._finalize_reshards(obs, pending_reshards)
                     return ResilientOutcome(
                         result=result,
                         backend=step.backend,
-                        rung=step.describe(),
+                        rung=reshard_label or step.describe(),
                         attempts=attempts,
                         events=events,
                         best_positions=getattr(engine, "best_positions_", None),
@@ -195,6 +215,32 @@ class ResilientRunner:
                     if error_class is ErrorClass.FATAL:
                         raise
                     last_error = error
+                    if error_class is ErrorClass.DEVICE_LOSS:
+                        plan = self._reshard_plan(step, engine, error)
+                        if (
+                            plan is not None
+                            and reshards < plan.fleet.num_devices
+                        ):
+                            reshards += 1
+                            newly = [
+                                index for index in plan.dead
+                                if index not in known_dead
+                            ]
+                            known_dead.update(plan.dead)
+                            engine_kwargs["fleet"] = plan.survivors
+                            resume = self._resume_path(step, engine_kwargs)
+                            if resume is not None:
+                                engine_kwargs["resume_from"] = resume
+                            event = self._record_reshard(
+                                obs, events, step, rung_attempt, error,
+                                error_class, plan, len(newly), resume,
+                            )
+                            reshard_label = event.to_rung
+                            pending_reshards.append(
+                                (event, time.perf_counter())
+                            )
+                            continue
+                        break  # nothing left to re-shard onto: degrade
                     if (
                         error_class is ErrorClass.TRANSIENT
                         and rung_attempt <= policy.max_retries
@@ -211,6 +257,7 @@ class ResilientRunner:
                     rung_attempt, last_error,
                 )
                 rung_index += 1
+                reshard_label = None
                 continue
             raise ResilienceExhaustedError(
                 f"all recovery options exhausted after {attempts} attempts "
@@ -249,6 +296,100 @@ class ResilientRunner:
         if rng_snapshot is not None:
             seed.set_state(rng_snapshot)
         _restore_shared(shared_state, shared_snapshot)
+
+    @staticmethod
+    def _reshard_plan(step: LadderStep, engine, error):
+        """The elastic re-shard plan for a fleet rung's device loss.
+
+        ``None`` when the rung is not a fleet rung, the dead members
+        cannot be identified, or no member with capacity survives.
+        """
+        if not step.backend.startswith("fleet-"):
+            return None
+        fleet = getattr(engine, "fleet", None)
+        if fleet is None:
+            return None
+        from ..fleet.recovery import dead_device_indices, plan_recovery
+
+        tags = set()
+        injector = current_injector()
+        if injector is not None:
+            tags |= set(injector.dead_devices)
+        device = getattr(error, "device", "")
+        if device:
+            tags.add(device)
+        dead = dead_device_indices(tags)
+        if not dead:
+            return None
+        return plan_recovery(fleet, dead)
+
+    @staticmethod
+    def _resume_path(step: LadderStep, engine_kwargs: dict) -> "str | None":
+        """The IterativeState checkpoint to resume from, if one exists.
+
+        Runs configured with ``checkpoint_path`` persist their loop
+        state every ``checkpoint_every`` iterations (PR 3 machinery);
+        a re-sharded attempt resumes the current iteration from that
+        snapshot instead of replaying from scratch.  Runs without
+        checkpointing replay fully — which also reproduces the solo
+        work counters bit for bit.
+        """
+        merged = {**engine_kwargs, **step.engine_kwargs}
+        path = merged.get("checkpoint_path")
+        if path and Path(path).exists():
+            return str(path)
+        return None
+
+    @staticmethod
+    def _record_reshard(
+        obs, events, step: LadderStep, attempt: int, error, error_class,
+        plan, newly_lost: int, resume: "str | None",
+    ) -> ResilienceEvent:
+        to_rung = (
+            f"{step.backend}[{plan.active}/{plan.fleet.num_devices} devices]"
+        )
+        detail = plan.describe()
+        if resume is not None:
+            detail += f"; resuming from {resume}"
+        event = ResilienceEvent(
+            kind="reshard",
+            rung=step.describe(),
+            attempt=attempt,
+            error_type=type(error).__name__,
+            error_class=error_class.value,
+            detail=detail,
+            to_rung=to_rung,
+        )
+        events.append(event)
+        with obs.span(
+            "reshard", category="resilience",
+            rung=event.rung, to_rung=to_rung,
+            error_type=event.error_type, devices_lost=newly_lost,
+        ):
+            pass
+        if obs.enabled:
+            obs.metrics.counter("fleet.recovery.reshards").inc()
+            obs.metrics.counter("fleet.recovery.devices_lost").inc(newly_lost)
+            obs.metrics.counter(f"resilience.faults.{error_class.value}").inc()
+        return event
+
+    @staticmethod
+    def _finalize_reshards(obs, pending: list) -> None:
+        """Stamp recovery wall time (MTTR) on completed reshards.
+
+        ``recovery_s`` is wall-clock and therefore *excluded* from the
+        event-log determinism contract (everything else in the log is
+        bit-reproducible for a fixed seed + schedule).
+        """
+        for event, started in pending:
+            recovery = time.perf_counter() - started
+            event.recovery_s = recovery
+            if obs.enabled:
+                obs.metrics.counter("fleet.recovery.mttr_seconds").inc(
+                    recovery
+                )
+                obs.metrics.histogram("fleet.recovery.mttr").observe(recovery)
+        pending.clear()
 
     def _record_retry(
         self, obs, events, step: LadderStep, attempt: int, error, error_class

@@ -29,6 +29,8 @@ EVENT_KINDS = (
     "complete",    #: job finished successfully
     "fail",        #: job raised
     "evict",       #: result cache evicted an entry (LRU)
+    "device_down",       #: a fleet member was lost/quarantined (detail = tag)
+    "device_recovered",  #: a fleet member was readmitted (detail = tag)
 )
 
 

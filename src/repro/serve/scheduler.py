@@ -201,6 +201,29 @@ class JobScheduler:
         self._seq = itertools.count()
         self._ewma_seconds: dict[str, float] = {}
 
+    def set_device_capacity(self, index: int, capacity_bytes: int) -> None:
+        """Adjust one fleet member's admission capacity in place.
+
+        Health-aware serving drives this: a quarantined member's
+        capacity drops to 0 (no shard may be admitted onto it) and is
+        restored on readmission.  Raises :class:`ParameterError` when
+        the scheduler has no per-device capacities or ``index`` is out
+        of range.
+        """
+        with self._lock:
+            if self.device_capacities is None:
+                raise ParameterError(
+                    "scheduler has no per-device capacities to adjust"
+                )
+            if not 0 <= index < len(self.device_capacities):
+                raise ParameterError(
+                    f"device index {index} out of range for "
+                    f"{len(self.device_capacities)} devices"
+                )
+            capacities = list(self.device_capacities)
+            capacities[index] = max(0, int(capacity_bytes))
+            self.device_capacities = tuple(capacities)
+
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------

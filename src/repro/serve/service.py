@@ -37,6 +37,7 @@ import numpy as np
 from ..core.multiparam import build_solo_shared_state
 from ..exceptions import DeviceOutOfMemoryError, ReproError, ServeError
 from ..fleet.fleet import Fleet
+from ..fleet.recovery import degraded_fleet
 from ..gpu.memory import MemoryBudget
 from ..hardware.specs import GTX_1660_TI, GpuSpec
 from ..obs.monitor import ServiceMonitor, SloObjective
@@ -165,6 +166,12 @@ class ClusterService:
             if monitor_dir is not None
             else None
         )
+        if self.monitor is not None and fleet is not None:
+            self.monitor.slo.set_devices(
+                [f"dev{index}" for index in range(fleet.num_devices)]
+            )
+        #: Fleet members currently quarantined by health-aware serving.
+        self._quarantined: set[int] = set()
         self.runner = ResilientRunner(policy)
         #: Aggregated stats of every engine run the service executed
         #: (cache hits and coalesced sharing make this smaller than the
@@ -327,6 +334,90 @@ class ClusterService:
             return None
         return self.monitor.flush(self._clock())
 
+    # ------------------------------------------------------------------
+    # Health-aware failover
+    # ------------------------------------------------------------------
+    def quarantine_device(self, index: int, reason: str = "") -> bool:
+        """Pull fleet member ``index`` out of serving rotation.
+
+        New sharded jobs re-shard over the remaining members (the
+        quarantined member keeps its index at weight zero, so device
+        numbering is stable); solo GPU placement skips it; admission
+        control sees its capacity as zero.  Emits a ``device_down``
+        service event (which feeds the ``fleet-availability`` and
+        ``fleet-mttr`` SLOs).  Returns False when the member was
+        already quarantined.  Raises :class:`ServeError` without a
+        fleet, for an out-of-range index, or when quarantining would
+        leave no member serving.
+        """
+        self._check_device_index(index)
+        if index in self._quarantined:
+            return False
+        if degraded_fleet(self.fleet, self._quarantined | {index}) is None:
+            raise ServeError(
+                f"cannot quarantine dev{index}: no fleet member with "
+                f"capacity would remain"
+            )
+        self._quarantined.add(index)
+        self.scheduler.set_device_capacity(index, 0)
+        self.obs.metrics.counter("fleet.quarantined").inc()
+        self._device_event("device_down", index, reason)
+        return True
+
+    def readmit_device(self, index: int) -> bool:
+        """Return a quarantined member to serving rotation.
+
+        Restores its admission capacity and emits a
+        ``device_recovered`` event (closing the MTTR window the
+        ``device_down`` event opened).  Returns False when the member
+        was not quarantined.
+        """
+        self._check_device_index(index)
+        if index not in self._quarantined:
+            return False
+        self._quarantined.discard(index)
+        self.scheduler.set_device_capacity(
+            index, max(0, self.fleet.specs[index].usable_bytes)
+        )
+        self.obs.metrics.counter("fleet.readmitted").inc()
+        self._device_event("device_recovered", index)
+        return True
+
+    @property
+    def quarantined_devices(self) -> frozenset[int]:
+        """Fleet member indices currently quarantined."""
+        return frozenset(self._quarantined)
+
+    def _check_device_index(self, index: int) -> None:
+        if self.fleet is None:
+            raise ServeError("service has no fleet to quarantine from")
+        if not 0 <= index < self.fleet.num_devices:
+            raise ServeError(
+                f"device index {index} out of range for "
+                f"{self.fleet.num_devices} fleet members"
+            )
+
+    def _device_event(self, kind: str, index: int, reason: str = "") -> None:
+        """Record a device lifecycle event (no request attached)."""
+        tag = f"dev{index}"
+        event = ServeEvent(
+            ts=self._clock(),
+            kind=kind,
+            detail=tag if not reason else f"{tag}: {reason}",
+            queued=self.scheduler.depth,
+            running=self._running,
+        )
+        with self.obs.span(
+            f"serve.{kind}", category="serve", device=tag, detail=reason,
+        ) as span:
+            event.span_id = span.span_id
+        self.log.record(event)
+        if self.monitor is not None:
+            # The SLO tracker keys availability/MTTR on the device tag.
+            self.monitor.on_event(
+                {**event.as_dict(), "detail": tag}
+            )
+
     def record_violations(self, count: int = 1) -> None:
         """Report determinism violations found by an external oracle.
 
@@ -367,6 +458,9 @@ class ClusterService:
         return {
             "fleet": self.fleet.name if self.fleet is not None else None,
             "devices": devices,
+            "quarantined": sorted(
+                f"dev{index}" for index in self._quarantined
+            ),
             "queued": self.scheduler.depth,
             "running": self._running,
             "datasets": len(self.registry),
@@ -484,8 +578,17 @@ class ClusterService:
                 self._observe_latency(handle)
 
     def _fleet_for(self) -> Fleet:
-        """The fleet sharded jobs run on (a one-card fleet without one)."""
+        """The fleet sharded jobs run on (a one-card fleet without one).
+
+        Quarantined members are zeroed in place, so sharded jobs
+        re-shard over the healthy members while device numbering (and
+        the componentwise budget/admission ledgers) stay aligned.
+        """
         if self.fleet is not None:
+            if self._quarantined:
+                degraded = degraded_fleet(self.fleet, self._quarantined)
+                if degraded is not None:
+                    return degraded
             return self.fleet
         return Fleet(specs=(self.gpu_spec,))
 
@@ -546,6 +649,8 @@ class ClusterService:
         best, best_free = None, -1
         for index, budget in enumerate(self.device_budgets):
             if budget is None or not budget.fits(nbytes):
+                continue
+            if index in self._quarantined:
                 continue
             if budget.free_bytes > best_free:
                 best, best_free = index, budget.free_bytes

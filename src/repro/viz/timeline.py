@@ -220,6 +220,20 @@ def render_health(health: dict) -> str:
                 for name, label in headline
             )
         )
+    fleet_headline = (
+        ("fleet.jobs", "sharded jobs"),
+        ("fleet.quarantined", "quarantined"),
+        ("fleet.readmitted", "readmitted"),
+        ("fleet.recovery.reshards", "reshards"),
+    )
+    if any(counters.get(name) for name, _ in fleet_headline):
+        lines.append(
+            "fleet:    "
+            + "  ".join(
+                f"{label}={int(counters.get(name, 0))}"
+                for name, label in fleet_headline
+            )
+        )
     latency = service.get("latency_seconds")
     if latency and latency.get("count"):
         lines.append(

@@ -172,6 +172,53 @@ class TestFleetDoc:
         assert "BENCH_fleet.json" in text
 
 
+class TestFleetRecoveryDoc:
+    def test_robustness_doc_covers_fleet_recovery(self):
+        text = read("docs/robustness.md")
+        assert "## Fleet recovery" in text
+        assert "device-down" in text
+        assert "DeviceLostError" in text
+        assert "reshard" in text
+        assert "recovery_s" in text
+
+    def test_fleet_doc_covers_device_loss_and_quarantine(self):
+        text = read("docs/fleet.md")
+        assert "## Device loss & quarantine" in text
+        for surface in ("quarantine_device", "readmit_device",
+                        "DeviceHealth", "speculation",
+                        "fleet-availability", "fleet-mttr",
+                        "repro chaos --fleet", "--devices"):
+            assert surface in text, surface
+
+    def test_entry_points_exist(self):
+        import repro.fleet as fleet
+        import repro.resilience as resilience
+
+        for symbol in ("DeviceHealth", "RecoveryPlan", "plan_recovery",
+                       "degraded_fleet", "active_devices",
+                       "dead_device_indices"):
+            assert hasattr(fleet, symbol), symbol
+        assert hasattr(resilience, "reshard_ladder")
+
+    def test_fault_table_lists_every_kind(self):
+        from repro.resilience import FAULT_KINDS
+
+        text = read("docs/robustness.md")
+        for kind in FAULT_KINDS:
+            assert f"`{kind}`" in text, kind
+
+    def test_observability_doc_names_the_fleet_slos(self):
+        text = read("docs/observability.md")
+        assert "fleet-mttr" in text
+        assert "fleet-availability" in text
+        assert "record_recovery" in text
+
+    def test_ci_runs_the_fleet_chaos_sweep(self):
+        text = read(".github/workflows/ci.yml")
+        assert "chaos --fleet" in text
+        assert "fleet_chaos_events.json" in text
+
+
 class TestMonitoringDoc:
     def test_cli_surfaces_documented(self):
         text = read("docs/observability.md") + read("docs/usage.md")

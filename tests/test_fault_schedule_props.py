@@ -1,0 +1,118 @@
+"""Property tests for the fault-schedule syntax (satellite: hypothesis).
+
+The schedule grammar ``kind[@site][#at[+count|+*]][?prob][!nonsticky]``
+is the wire format between the CLI, CI chaos jobs, and the injector.
+These properties pin the round-trip contract: ``describe()`` of any
+valid :class:`FaultSpec` parses back to an equal spec, and malformed
+text raises the typed :class:`ParameterError` (never a raw
+``ValueError``/``AttributeError``).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.resilience import FAULT_KINDS, FaultSpec, parse_fault
+from repro.resilience.faults import FOREVER
+
+#: Characters legal inside a site pattern: anything but the ``#?!``
+#: separators and whitespace.  Includes ``*`` (fnmatch), ``:`` (transfer
+#: direction), and ``@`` (fleet device suffixes like ``kernel@dev1``).
+SITE_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789_*.:@-"
+
+
+@st.composite
+def fault_specs(draw) -> FaultSpec:
+    kind = draw(st.sampled_from(sorted(FAULT_KINDS)))
+    site = draw(
+        st.one_of(
+            st.just("*"),
+            st.text(alphabet=SITE_ALPHABET, min_size=1, max_size=12),
+        )
+    )
+    probability = draw(
+        st.one_of(
+            st.none(),
+            st.floats(
+                min_value=0.0, max_value=1.0,
+                exclude_min=True, allow_nan=False,
+            ),
+        )
+    )
+    if probability is None:
+        at = draw(st.integers(min_value=1, max_value=99))
+        count = draw(
+            st.one_of(st.just(FOREVER), st.integers(min_value=1, max_value=99))
+        )
+    else:
+        # The grammar makes ?prob and #at+count mutually exclusive.
+        at, count = 1, 1
+    sticky = True if kind != "transient" else draw(st.booleans())
+    return FaultSpec(
+        kind=kind, site=site, at=at, count=count,
+        probability=probability, sticky=sticky,
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(fault_specs())
+    def test_parse_of_describe_is_identity(self, spec):
+        assert parse_fault(spec.describe()) == spec
+
+    @settings(max_examples=100, deadline=None)
+    @given(fault_specs())
+    def test_describe_is_a_fixed_point(self, spec):
+        text = spec.describe()
+        assert parse_fault(text).describe() == text
+
+    @settings(max_examples=100, deadline=None)
+    @given(fault_specs())
+    def test_operation_is_always_known(self, spec):
+        assert spec.operation in ("alloc", "launch", "transfer", "any")
+
+    def test_device_shorthand_expands_only_for_device_down(self):
+        assert parse_fault("device-down@dev3").site_pattern == "*@dev3"
+        assert parse_fault("oom@dev3").site_pattern == "dev3"
+        assert parse_fault("device-down@data*").site_pattern == "data*"
+
+
+class TestMalformed:
+    @pytest.mark.parametrize("text", [
+        "",
+        "   ",
+        "#3",
+        "@site",
+        "oom@",
+        "oom#",
+        "oom#0",            # at must be >= 1
+        "oom#zero",
+        "oom#1+",
+        "oom#1+0",          # count must be >= 1 or *
+        "oom?",
+        "oom?0",            # probability must be > 0
+        "oom?1.5",          # probability must be <= 1
+        "oom?0..5",
+        "oom??0.5",
+        "launch lunch",
+        "LAUNCH",           # kinds are lowercase
+        "explode",          # unknown kind
+        "oom!nonsticky!",
+        "oom#2?0.5#3",
+    ])
+    def test_raises_typed_error(self, text):
+        with pytest.raises(ParameterError):
+            parse_fault(text)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=20))
+    def test_arbitrary_text_never_raises_untyped(self, text):
+        try:
+            spec = parse_fault(text)
+        except ParameterError:
+            return
+        # Whatever parsed must survive the round trip.
+        assert parse_fault(spec.describe()) == spec

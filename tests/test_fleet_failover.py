@@ -1,0 +1,374 @@
+"""Health-aware failover: DeviceHealth, speculation, quarantine serving,
+event-log determinism, and graceful shutdown of a fleet-backed service.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import BACKENDS, proclus
+from repro.exceptions import ParameterError, ServeError
+from repro.fleet import DeviceHealth, Fleet, default_fleet
+from repro.hardware.specs import GTX_1660_TI
+from repro.params import ProclusParams
+from repro.resilience import (
+    FaultInjector,
+    ResilientRunner,
+    RetryPolicy,
+    use_injector,
+)
+
+PARAMS = ProclusParams(k=4, l=3)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(11)
+    return rng.normal(size=(400, 8)).astype(np.float32)
+
+
+class TestDeviceHealth:
+    def test_transient_threshold_quarantines(self):
+        health = DeviceHealth(3, transient_threshold=3)
+        assert health.record_transient(1) is False
+        assert health.record_transient(1) is False
+        assert health.record_transient(1) is True
+        assert health.quarantined == frozenset({1})
+
+    def test_success_resets_the_streak(self):
+        health = DeviceHealth(2, transient_threshold=3)
+        health.record_transient(0)
+        health.record_transient(0)
+        health.record_success(0)
+        assert health.record_transient(0) is False
+        assert health.quarantined == frozenset()
+
+    def test_persistent_straggler_quarantined(self):
+        health = DeviceHealth(3, straggler_threshold=1.5, straggler_strikes=3)
+        block = {"straggler_device": "dev2", "straggler_index": 2.0}
+        assert health.observe_attribution(block) is None
+        assert health.observe_attribution(block) is None
+        assert health.observe_attribution(block) == 2
+        assert health.quarantined == frozenset({2})
+
+    def test_straggling_must_be_persistent(self):
+        health = DeviceHealth(3, straggler_strikes=2)
+        health.observe_attribution(
+            {"straggler_device": "dev2", "straggler_index": 2.0}
+        )
+        # A different straggler clears dev2's strike.
+        health.observe_attribution(
+            {"straggler_device": "dev0", "straggler_index": 2.0}
+        )
+        assert health.observe_attribution(
+            {"straggler_device": "dev2", "straggler_index": 2.0}
+        ) is None
+        assert health.quarantined == frozenset()
+
+    def test_mild_imbalance_never_strikes(self):
+        health = DeviceHealth(2, straggler_threshold=1.5, straggler_strikes=1)
+        quarantined = health.observe_attribution(
+            {"straggler_device": "dev1", "straggler_index": 1.2}
+        )
+        assert quarantined is None
+        assert health.quarantined == frozenset()
+
+    def test_probation_then_readmission(self):
+        health = DeviceHealth(2, transient_threshold=1, probation=2)
+        health.record_transient(1)
+        assert health.quarantined == frozenset({1})
+        assert health.observe_round() == ()
+        assert health.observe_round() == (1,)
+        assert health.quarantined == frozenset()
+        status = health.status()[1]
+        assert status["consecutive_transients"] == 0
+        assert status["quarantines"] == 1
+
+    def test_healthy_fleet_drops_quarantined_weight(self):
+        health = DeviceHealth(3, transient_threshold=1)
+        fleet = default_fleet(3)
+        assert health.healthy_fleet(fleet) is fleet
+        health.record_transient(2)
+        degraded = health.healthy_fleet(fleet)
+        assert degraded.num_devices == 3
+        assert degraded.effective_weights()[2] == 0.0
+
+    def test_healthy_fleet_none_when_everyone_is_out(self):
+        health = DeviceHealth(1, transient_threshold=1)
+        health.record_transient(0)
+        assert health.healthy_fleet(default_fleet(1)) is None
+
+    def test_status_is_json_ready(self):
+        health = DeviceHealth(2)
+        payload = health.status()
+        json.dumps(payload)
+        assert [entry["device"] for entry in payload] == ["dev0", "dev1"]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"devices": 0},
+        {"devices": 2, "transient_threshold": 0},
+        {"devices": 2, "straggler_threshold": 0.9},
+        {"devices": 2, "straggler_strikes": 0},
+        {"devices": 2, "probation": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            DeviceHealth(**kwargs)
+
+
+class TestSpeculation:
+    #: Equal weights on wildly unequal cards make the slower card's
+    #: shard the persistent straggler.  A backup only wins when the
+    #: fast member can replay the straggler's split (own launch + the
+    #: backup launch) before the straggler finishes, which needs a
+    #: speed gap well beyond real sibling cards — so the fast member is
+    #: a synthetic 10x variant of the 1660 Ti.
+    FAST = dataclasses.replace(
+        GTX_1660_TI, name="synthetic-10x", sm_count=240,
+        mem_bandwidth_bytes_per_s=2.88e12, atomic_ops_per_s=2.0e10,
+    )
+    UNBALANCED = Fleet(specs=(GTX_1660_TI, FAST), weights=(1.0, 1.0))
+
+    @pytest.fixture(scope="class")
+    def big_data(self):
+        rng = np.random.default_rng(3)
+        return rng.normal(size=(20000, 16)).astype(np.float32)
+
+    def test_speculative_backups_fire_and_win(self, big_data):
+        engine = BACKENDS["fleet-gpu-fast"](
+            params=PARAMS, seed=0, fleet=self.UNBALANCED, speculation=1.15,
+        )
+        result = engine.fit(big_data)
+        counters = result.stats.counters
+        assert counters["fleet.speculative_launches"] >= 1
+        assert counters["fleet.speculative_wins"] >= 1
+        assert counters["fleet.speculative_saved_seconds"] > 0.0
+
+    def test_speculation_never_changes_the_clustering(self, big_data):
+        plain = BACKENDS["fleet-gpu-fast"](
+            params=PARAMS, seed=0, fleet=self.UNBALANCED,
+        ).fit(big_data)
+        speculative = BACKENDS["fleet-gpu-fast"](
+            params=PARAMS, seed=0, fleet=self.UNBALANCED, speculation=1.15,
+        ).fit(big_data)
+        assert np.array_equal(speculative.labels, plain.labels)
+        assert speculative.dimensions == plain.dimensions
+        assert speculative.cost == plain.cost
+        exact = {
+            name: value
+            for name, value in plain.stats.counters.items()
+            if name.startswith("gpu.")
+        }
+        for name, value in exact.items():
+            assert speculative.stats.counters[name] == value
+
+    def test_default_is_off(self, data):
+        result = BACKENDS["fleet-gpu-fast"](
+            params=PARAMS, seed=0, fleet=3,
+        ).fit(data)
+        assert "fleet.speculative_launches" not in result.stats.counters
+
+    def test_threshold_validation(self, data):
+        engine = BACKENDS["fleet-gpu-fast"](
+            params=PARAMS, seed=0, fleet=2, speculation=0.5,
+        )
+        with pytest.raises(ParameterError, match="speculation"):
+            engine.fit(data)
+
+
+class TestQuarantineServing:
+    def _service(self, tmp_path=None, devices=3):
+        from repro.serve import ClusterService
+
+        return ClusterService(
+            fleet=default_fleet(devices),
+            monitor_dir=None if tmp_path is None else tmp_path / "mon",
+        )
+
+    def test_sharded_jobs_reshard_around_quarantine(self, data):
+        solo = proclus(data, params=PARAMS, backend="gpu-fast", seed=0)
+        service = self._service()
+        try:
+            assert service.quarantine_device(1, reason="flaky") is True
+            assert service.quarantined_devices == frozenset({1})
+            handle = service.submit(
+                data, backend="fleet-gpu-fast",
+                k=PARAMS.k, l=PARAMS.l, seed=0,
+            )
+            result = handle.result(timeout=60)
+            assert np.array_equal(result.labels, solo.labels)
+            assert result.cost == solo.cost
+            assert service.stats()["quarantined"] == ["dev1"]
+        finally:
+            service.close()
+
+    def test_double_quarantine_and_blind_readmit_are_noops(self):
+        service = self._service()
+        try:
+            assert service.quarantine_device(0) is True
+            assert service.quarantine_device(0) is False
+            assert service.readmit_device(2) is False
+        finally:
+            service.close()
+
+    def test_cannot_quarantine_the_last_member(self):
+        service = self._service(devices=2)
+        try:
+            service.quarantine_device(0)
+            with pytest.raises(ServeError, match="would remain"):
+                service.quarantine_device(1)
+        finally:
+            service.close()
+
+    def test_quarantine_without_fleet_rejected(self):
+        from repro.serve import ClusterService
+
+        service = ClusterService()
+        try:
+            with pytest.raises(ServeError, match="no fleet"):
+                service.quarantine_device(0)
+        finally:
+            service.close()
+
+    def test_availability_and_mttr_reach_the_health_report(self, tmp_path):
+        service = self._service(tmp_path)
+        try:
+            service.quarantine_device(1, reason="maintenance")
+            report = service.monitor.flush(service._clock())
+            by_name = {slo["name"]: slo for slo in report["slos"]}
+            assert by_name["fleet-availability"]["value"] == pytest.approx(
+                2 / 3
+            )
+            time.sleep(0.02)
+            service.readmit_device(1)
+        finally:
+            health = service.shutdown()
+        by_name = {slo["name"]: slo for slo in health["slos"]}
+        assert by_name["fleet-availability"]["value"] == 1.0
+        assert by_name["fleet-mttr"]["value"] > 0.0
+        counters = health["service"]["counters"]
+        assert counters["fleet.quarantined"] == 1
+        assert counters["fleet.readmitted"] == 1
+
+    def test_device_events_logged(self, tmp_path):
+        from repro.obs.monitor import read_monitor_events
+
+        service = self._service(tmp_path)
+        try:
+            service.quarantine_device(2, reason="ecc errors")
+            service.readmit_device(2)
+        finally:
+            service.shutdown()
+        records = read_monitor_events(tmp_path / "mon")
+        kinds = [record["kind"] for record in records]
+        assert "device_down" in kinds and "device_recovered" in kinds
+
+    def test_record_recovery_feeds_mttr_directly(self, tmp_path):
+        from repro.obs import ServiceMonitor
+
+        monitor = ServiceMonitor(tmp_path)
+        monitor.record_recovery(5.0, now=10.0)
+        value = monitor.slo.metric_value(
+            "fleet_mttr_seconds", window=3600.0, now=10.0
+        )
+        assert value == pytest.approx(5.0)
+        registry = monitor.metrics.as_dict()["counters"]
+        assert registry["fleet.recovery.mttr_seconds"] == pytest.approx(5.0)
+
+
+class TestEventLogDeterminism:
+    """Identical seeds + schedules produce identical resilience event
+    logs — the satellite-4 contract.  ``recovery_s`` is wall-clock and
+    explicitly excluded (zeroed before comparison)."""
+
+    SCHEDULES = (
+        ["device-down@dev1#8"],
+        ["device-down@dev0#1", "device-down@dev1#4"],
+        ["transient@*dev2*#3", "device-down@dev0#20"],
+    )
+
+    def _events(self, data, schedule):
+        with use_injector(FaultInjector(schedule, seed=0)):
+            outcome = ResilientRunner(RetryPolicy()).fit(
+                data, backend="fleet-gpu-fast", params=PARAMS, seed=0,
+                engine_kwargs={"fleet": 3},
+            )
+        payload = [event.as_dict() for event in outcome.events]
+        for record in payload:
+            record["recovery_s"] = 0.0
+        return payload
+
+    @pytest.mark.parametrize("schedule", SCHEDULES,
+                             ids=["single-loss", "double-loss", "mixed"])
+    def test_identical_runs_identical_logs(self, data, schedule):
+        first = self._events(data, schedule)
+        second = self._events(data, schedule)
+        assert first == second
+        assert any(record["kind"] == "reshard" for record in first)
+
+    def test_logs_are_json_serializable(self, data):
+        payload = self._events(data, ["device-down@dev2#5"])
+        json.dumps(payload)
+
+
+class TestServeSigterm:
+    """SIGTERM mid-poll flushes the final monitor snapshot (satellite 3)."""
+
+    def test_sigterm_is_graceful(self, tmp_path):
+        from repro.obs import load_health
+        from repro.serve.spool import read_response, write_request
+
+        spool = tmp_path / "spool"
+        monitor = tmp_path / "mon"
+        env = dict(os.environ)
+        repo = Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = str(repo / "src")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(spool),
+                "--devices", "2", "--monitor-dir", str(monitor),
+                "--poll-seconds", "0.05",
+            ],
+            env=env, cwd=repo,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            # An in-flight sharded job must complete before shutdown.
+            write_request(
+                spool, "job-sigterm", backend="fleet-gpu-fast",
+                k=4, l=3, seed=0,
+                synthetic={"n": 600, "d": 8, "clusters": 4},
+            )
+            deadline = time.monotonic() + 120
+            response = None
+            while response is None and time.monotonic() < deadline:
+                time.sleep(0.1)
+                response = read_response(spool, "job-sigterm")
+            assert response is not None, "serve never answered the request"
+            assert response["ok"] is True
+
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+        # 130 is the documented interrupted-exit code; the finally
+        # block in the CLI flushed the final health report on the way.
+        assert process.returncode == 130
+        health = load_health(monitor)
+        assert health["final"] is True
+        assert health["service"]["counters"]["serve.requests"] >= 1
+        # The handled request was archived, not left in the live spool.
+        assert not list((spool / "requests").glob("*.json"))
+        assert list((spool / "done").glob("*.json"))

@@ -42,12 +42,17 @@ class TestSloObjective:
         hard = SloObjective(name="h", metric="m", op="==", threshold=0.0)
         assert hard.met(0.0) and not hard.met(1.0)
 
-    def test_default_slos_cover_the_four_objectives(self):
+    def test_default_slos_cover_the_objectives(self):
         names = {obj.name for obj in default_slos()}
         assert names == {
             "queued-latency-p95", "rejection-rate",
             "determinism-violations", "error-budget-burn",
+            "fleet-mttr", "fleet-availability",
         }
+
+    def test_ge_semantics(self):
+        floor = SloObjective(name="f", metric="m", op=">=", threshold=0.5)
+        assert floor.met(0.5) and floor.met(1.0) and not floor.met(0.4)
 
 
 class TestSloTracker:
@@ -133,7 +138,7 @@ class TestSloTracker:
         payload = tracker.evaluate(now=1.0).as_dict()
         json.dumps(payload)
         assert payload["ok"] is True
-        assert len(payload["slos"]) == 4
+        assert len(payload["slos"]) == 6
 
 
 class TestServiceMonitor:
@@ -169,7 +174,7 @@ class TestServiceMonitor:
         assert report["final"] is True
         assert report["ok"] is True
         assert report["events"] == 3
-        assert len(report["slos"]) == 4
+        assert len(report["slos"]) == 6
         assert report == load_health(tmp_path)
 
     def test_violations_flip_health_to_failing(self, tmp_path):

@@ -291,3 +291,85 @@ class TestEngineCheckpoint:
             BACKENDS["gpu-fast"](params=small_params, checkpoint_every=-1)
         with pytest.raises(ParameterError):
             BACKENDS["gpu-fast"](params=small_params, checkpoint_every=True)
+
+
+class TestCorruptionHardening:
+    """Corrupt/truncated checkpoint artifacts raise CheckpointError
+    naming the file — never a raw JSONDecodeError/KeyError/BadZipFile."""
+
+    @pytest.fixture
+    def written_checkpoint(self, small_dataset, study_grid, tmp_path):
+        data, _ = small_dataset
+        run_parameter_study(
+            data, grid=study_grid, backend="gpu-fast", level=3, seed=0,
+            checkpoint_dir=tmp_path / "ckpt",
+        )
+        return data, StudyCheckpoint(tmp_path / "ckpt")
+
+    def test_incomplete_manifest_refuses_resume(self, written_checkpoint,
+                                                study_grid):
+        data, checkpoint = written_checkpoint
+        manifest = checkpoint.load_manifest()
+        del manifest["grid"]
+        checkpoint.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="incomplete"):
+            checkpoint.validate_resume(data, study_grid, "gpu-fast", 3)
+
+    def test_truncated_shared_state(self, written_checkpoint):
+        _, checkpoint = written_checkpoint
+        assert checkpoint.shared_path.exists()
+        blob = checkpoint.shared_path.read_bytes()
+        checkpoint.shared_path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match="shared-state snapshot"):
+            checkpoint.load_shared()
+
+    def test_shared_state_missing_arrays(self, written_checkpoint):
+        import numpy as np
+
+        _, checkpoint = written_checkpoint
+        np.savez(checkpoint.shared_path, other=np.arange(3))
+        with pytest.raises(CheckpointError, match="unreadable or incomplete"):
+            checkpoint.load_shared()
+
+    def test_corrupt_setting_file(self, written_checkpoint, study_grid):
+        _, checkpoint = written_checkpoint
+        k, l = study_grid.ks[0], study_grid.ls[0]
+        checkpoint.setting_path(k, l).write_bytes(b"\x00garbage\x00")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            checkpoint.load_setting(k, l)
+
+    def test_truncated_engine_checkpoint(self, small_dataset, small_params,
+                                         tmp_path):
+        data, _ = small_dataset
+        path = tmp_path / "engine.npz"
+        BACKENDS["gpu-fast"](
+            params=small_params, seed=0,
+            checkpoint_every=1, checkpoint_path=path,
+        ).fit(data)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match="readable"):
+            load_engine_state(path)
+
+    def test_engine_checkpoint_missing_arrays(self, tmp_path):
+        path = tmp_path / "engine.npz"
+        meta = json.dumps({"schema": "repro.engine_state/1"})
+        np.savez(path, meta=np.array(meta))
+        with pytest.raises(CheckpointError, match="readable"):
+            load_engine_state(path)
+
+    def test_engine_checkpoint_malformed_metadata(self, tmp_path):
+        path = tmp_path / "engine.npz"
+        meta = json.dumps({"schema": "repro.engine_state/1", "n": 10})
+        arrays = {
+            name: np.arange(4)
+            for name in (
+                "medoid_ids", "mcur", "mbest", "labels_best", "sizes_best",
+            )
+        }
+        np.savez(path, meta=np.array(meta), **arrays)
+        with pytest.raises(
+            CheckpointError, match="incomplete or malformed"
+        ) as info:
+            load_engine_state(path)
+        assert str(path) in str(info.value)

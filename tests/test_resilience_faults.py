@@ -76,10 +76,13 @@ class TestParseFault:
 
     def test_every_kind_maps_to_an_operation(self):
         assert set(FAULT_KINDS) == {
-            "oom", "launch", "transient", "corrupt", "timeout"
+            "oom", "launch", "transient", "corrupt", "timeout",
+            "device-down",
         }
         for kind in FAULT_KINDS:
-            assert parse_fault(kind).operation in ("alloc", "launch", "transfer")
+            assert parse_fault(kind).operation in (
+                "alloc", "launch", "transfer", "any"
+            )
 
 
 class TestScheduleSemantics:

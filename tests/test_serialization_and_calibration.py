@@ -54,8 +54,50 @@ class TestResultSerialization:
     def test_foreign_file_rejected(self, tmp_path):
         path = tmp_path / "x.npz"
         np.savez(path, other=np.arange(3))
-        with pytest.raises(DataValidationError, match="not a saved result"):
+        with pytest.raises(
+            DataValidationError, match="not a readable saved result"
+        ):
             load_result(path)
+
+    def test_truncated_archive_rejected(self, result, tmp_path):
+        path = save_result(result, tmp_path / "t.npz")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(
+            DataValidationError, match="not a readable saved result"
+        ):
+            load_result(path)
+
+    def test_non_archive_bytes_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"\x00not a zip archive\x00")
+        with pytest.raises(
+            DataValidationError, match="not a readable saved result"
+        ):
+            load_result(path)
+
+    def test_wrong_format_version_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "v.npz"
+        meta = json.dumps({"version": 99})
+        np.savez(path, labels=np.zeros(3, dtype=np.int32),
+                 medoids=np.zeros(1, dtype=np.int64), meta=np.array(meta))
+        with pytest.raises(DataValidationError, match="format version"):
+            load_result(path)
+
+    def test_incomplete_metadata_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "m.npz"
+        meta = json.dumps({"version": 1, "dimensions": []})
+        np.savez(path, labels=np.zeros(3, dtype=np.int32),
+                 medoids=np.zeros(1, dtype=np.int64), meta=np.array(meta))
+        with pytest.raises(
+            DataValidationError, match="incomplete or malformed"
+        ) as info:
+            load_result(path)
+        assert str(path) in str(info.value)
 
     def test_loaded_result_usable_for_prediction(self, result, tmp_path):
         from repro import assign_new_points
