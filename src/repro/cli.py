@@ -16,6 +16,7 @@ Subcommands::
     python -m repro serve     # process a spool of clustering requests
     python -m repro submit    # drop one request into a spool directory
     python -m repro loadgen   # replay a seeded request mix -> BENCH_serve.json
+    python -m repro postmortem  # analyze/replay a flight-recorder crash bundle
     python -m repro monitor   # SLO health dashboard over a monitor directory
     python -m repro regress   # quick bench tier vs committed baseline (CI gate)
     python -m repro info      # list backends, datasets, hardware models
@@ -40,6 +41,11 @@ Examples::
     python -m repro explain --backend gpu-fast --json report.json --flamegraph fg.txt
     python -m repro explain --diff old_report.json report.json  # what moved, and why
     python -m repro monitor --fleet BENCH_fleet_report.json     # straggler analysis
+    python -m repro serve spool/ --fault device-down@dev1 --record-dir pm/
+    python -m repro postmortem pm/ --replay   # re-execute the crash from the bundle
+
+Set ``REPRO_FLIGHT_RECORDER=<dir>`` to run any subcommand under an
+ambient flight recorder that dumps postmortem bundles there.
 
 Errors are reported as a one-line ``repro: error: ...`` message with
 exit code 2 (interruption exits 130); pass ``--strict`` before the
@@ -776,6 +782,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         sweep: dict[str, tuple[str, ...]] = {"custom": tuple(args.fault)}
     else:
         sweep = CHAOS_FAULTS
+    recorder = None
+    if args.record_dir:
+        from .obs import FlightRecorder
+
+        recorder = FlightRecorder(bundle_dir=args.record_dir)
 
     rows: list[dict] = []
     print(f"chaos sweep: {len(args.backends)} backend(s) x "
@@ -794,7 +805,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 "schedule": list(schedule),
             }
             try:
-                with use_injector(injector):
+                from .obs.recorder import use_recorder
+
+                with use_injector(injector), use_recorder(recorder):
                     outcome = runner.fit(
                         data, backend=backend, params=params, seed=args.seed
                     )
@@ -816,6 +829,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 if event.kind == "degrade"
             )
             ok = identical and along_ladder and fired > 0
+            if not ok and recorder is not None:
+                from .obs.postmortem import result_digest
+
+                # Chaos-contract violation: the run completed but broke
+                # the completes-identical-or-degrades-along-ladder
+                # contract; pin the fault-free reference digest so a
+                # replay can check the solo bits from the bundle alone.
+                recorder.set_reference_digest(result_digest(reference))
+                recorder.record_failure(
+                    "chaos-contract",
+                    events=outcome.events,
+                    detail=(
+                        f"{backend} x {fault_class}: identical={identical}, "
+                        f"along_ladder={along_ladder}, fired={fired}"
+                    ),
+                )
+                recorder.auto_dump("chaos-contract")
             row.update(
                 fired=fired,
                 attempts=outcome.attempts,
@@ -1046,12 +1076,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         fleet = default_fleet(args.devices)
+    policy = None
+    if args.no_degrade or args.max_retries is not None \
+            or args.max_reshards is not None:
+        from .resilience import RetryPolicy
+
+        policy = RetryPolicy(
+            max_retries=(
+                args.max_retries if args.max_retries is not None else 3
+            ),
+            allow_degraded=not args.no_degrade,
+            max_reshards=args.max_reshards,
+        )
+    injector = None
+    if args.fault:
+        from .resilience import FaultInjector
+
+        injector = FaultInjector(tuple(args.fault), seed=args.fault_seed)
+    recorder = None
+    if args.record_dir:
+        from .obs import FlightRecorder
+
+        recorder = FlightRecorder(
+            capacity=args.record_capacity, bundle_dir=args.record_dir
+        )
     service = ClusterService(
         workers=args.workers,
         gpu_spec=GPU_SPECS[args.gpu],
         fleet=fleet,
+        policy=policy,
         cache_entries=args.cache_entries,
         monitor_dir=args.monitor_dir,
+        recorder=recorder,
+        injector=injector,
     )
     where = (
         f"a {fleet.num_devices}-card modeled fleet"
@@ -1062,6 +1119,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.monitor_dir:
         print(f"monitoring output in {args.monitor_dir} "
               f"(watch with: repro monitor {args.monitor_dir})")
+    if injector is not None:
+        print(f"fault injection active: {', '.join(args.fault)} "
+              f"(seed {args.fault_seed})")
+    if recorder is not None:
+        print(f"flight recorder on: postmortem bundles land in "
+              f"{args.record_dir}")
 
     def _on_sigterm(signum, frame):
         # Unwind through the KeyboardInterrupt path so the finally
@@ -1070,6 +1133,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     previous = signal.signal(signal.SIGTERM, _on_sigterm)
     handled = 0
+    interrupted = False
     try:
         handled = serve_spool(
             args.spool, service,
@@ -1078,12 +1142,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batches=args.max_batches,
             progress=print,
         )
+    except KeyboardInterrupt:
+        interrupted = True
+        raise
     finally:
         signal.signal(signal.SIGTERM, previous)
+        if interrupted and recorder is not None:
+            recorder.record_failure(
+                "sigterm",
+                detail="service terminated by signal mid-stream",
+            )
+            bundle = recorder.auto_dump("sigterm")
+            if bundle is not None:
+                print(f"postmortem bundle written to {bundle}")
         health = service.shutdown()
         if health is not None:
             print()
             print(render_health(health))
+        if recorder is not None and recorder.dumped_paths:
+            print(f"\n{len(recorder.dumped_paths)} postmortem bundle(s): "
+                  + ", ".join(str(path) for path in recorder.dumped_paths))
     stats = service.stats()
     print(f"\n{handled} requests handled "
           f"(cache hits {stats['cache']['hits']}, "
@@ -1167,6 +1245,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         cache_entries=args.cache_entries,
         gpu_spec=GPU_SPECS[args.gpu],
         monitor_dir=args.monitor_dir,
+        postmortem_dir=args.postmortem_dir,
         progress=print,
     )
     totals = report["totals"]
@@ -1187,6 +1266,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
           f"{len(violations)} violations")
     for violation in violations[:10]:
         print(f"  VIOLATION: {violation}")
+    if report.get("postmortem_bundle"):
+        print(f"  postmortem bundle: {report['postmortem_bundle']} "
+              f"(inspect with: repro postmortem {report['postmortem_bundle']})")
     if args.timeline:
         print()
         print(render_serve_lanes(report["events"]))
@@ -1203,6 +1285,46 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             json.dump(report, handle, indent=2)
         print(f"\nreport written to {args.json}")
     return 0 if report["ok"] and not problems else 1
+
+
+def _cmd_postmortem(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.postmortem import analyze_bundle, load_bundle, replay_bundle
+    from .viz import render_postmortem
+
+    bundle = load_bundle(args.bundle)
+    analysis = analyze_bundle(bundle)
+    replay_report = None
+    if args.replay:
+        replay_report = replay_bundle(bundle)
+        analysis["replay"] = replay_report
+    print(render_postmortem(bundle, analysis))
+    if replay_report is not None:
+        print()
+        if replay_report["reproduced"]:
+            if replay_report["expected_error_type"]:
+                print(f"replay REPRODUCED the failure: "
+                      f"{replay_report['observed_error_type']} with a "
+                      f"bit-identical resilience event log")
+            else:
+                print(f"replay REPRODUCED the recorded solo bits: digest "
+                      f"{replay_report['observed_digest'][:12]} matches "
+                      f"the reference")
+        else:
+            print(f"replay DID NOT reproduce the recorded failure: "
+                  f"{replay_report['detail']}")
+    if args.json:
+        if args.json == "-":
+            json.dump(analysis, sys.stdout, indent=2)
+            print()
+        else:
+            with open(args.json, "w") as handle:
+                json.dump(analysis, handle, indent=2)
+            print(f"analysis written to {args.json}")
+    if replay_report is not None and not replay_report["reproduced"]:
+        return 1
+    return 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -1502,6 +1624,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH",
         help="write the structured event log as JSON ('-' = stdout)",
     )
+    chaos.add_argument(
+        "--record-dir", metavar="DIR",
+        help="run under a flight recorder; dump a postmortem bundle "
+             "there on any contract violation or terminal failure",
+    )
     chaos.set_defaults(func=_cmd_chaos, n=4000, d=12, clusters=5, k=6, l=4)
 
     claims = sub.add_parser(
@@ -1543,6 +1670,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write live monitoring output (event log, "
                             "Prometheus scrape, health.json) here; flushed "
                             "on exit and on SIGTERM")
+    serve.add_argument("--record-dir", metavar="DIR",
+                       help="run under a flight recorder; terminal failures "
+                            "and SIGTERM dump a postmortem bundle here "
+                            "(inspect with 'repro postmortem DIR')")
+    serve.add_argument("--record-capacity", type=int, default=256,
+                       help="flight-recorder ring capacity per stream "
+                            "(default 256)")
+    serve.add_argument("--fault", action="append", metavar="SPEC",
+                       help="inject faults into served jobs: "
+                            "'kind[@site][#at[+count|+*]][?prob]' "
+                            "(repeatable; e.g. device-down@dev1)")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="fault-injector seed (default 0)")
+    serve.add_argument("--no-degrade", action="store_true",
+                       help="forbid degradation: capacity errors and "
+                            "exhausted retries fail the job instead of "
+                            "stepping down the ladder")
+    serve.add_argument("--max-retries", type=int, default=None,
+                       help="transient-error retries per ladder rung")
+    serve.add_argument("--max-reshards", type=int, default=None,
+                       help="cap within-rung fleet re-shards after device "
+                            "loss (0 makes any loss terminal)")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -1605,7 +1754,32 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--monitor-dir", metavar="DIR",
                          help="also write live monitoring output here "
                               "(inspect with 'repro monitor DIR --once')")
+    loadgen.add_argument("--postmortem-dir", metavar="DIR",
+                         help="run under a flight recorder; a determinism "
+                              "violation dumps a replayable postmortem "
+                              "bundle here")
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    postmortem = sub.add_parser(
+        "postmortem",
+        help="analyze (and optionally replay) a postmortem bundle",
+    )
+    postmortem.add_argument(
+        "bundle",
+        help="bundle file, or a directory holding postmortem-*.json "
+             "(newest wins)",
+    )
+    postmortem.add_argument(
+        "--json", metavar="PATH",
+        help="write the forensic analysis as JSON ('-' = stdout)",
+    )
+    postmortem.add_argument(
+        "--replay", action="store_true",
+        help="deterministically re-execute the recorded job from the "
+             "bundle alone and check it reproduces the recorded failure "
+             "(exit 1 when it does not)",
+    )
+    postmortem.set_defaults(func=_cmd_postmortem)
 
     info = sub.add_parser("info", help="list backends, datasets, hardware")
     info.set_defaults(func=_cmd_info)
@@ -1620,8 +1794,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     message; ``--strict`` re-raises them instead.  An interrupted run
     exits 130 (the conventional SIGINT code).
     """
+    import os
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    record_dir = os.environ.get("REPRO_FLIGHT_RECORDER")
+    if record_dir:
+        # Always-on failure capture for any subcommand: install an
+        # ambient flight recorder whose bundles land in $REPRO_FLIGHT_RECORDER.
+        from .obs import FlightRecorder, set_current_recorder
+
+        set_current_recorder(FlightRecorder(bundle_dir=record_dir))
     try:
         return args.func(args)
     except KeyboardInterrupt:

@@ -27,6 +27,7 @@ __all__ = [
     "ResilienceExhaustedError",
     "ServeError",
     "AdmissionError",
+    "PostmortemError",
 ]
 
 
@@ -161,6 +162,15 @@ class AdmissionError(ServeError):
     def __init__(self, message: str, reason: str = "") -> None:
         super().__init__(message)
         self.reason = reason
+
+
+class PostmortemError(ReproError, RuntimeError):
+    """A postmortem bundle is missing, malformed, or not replayable.
+
+    Raised by :mod:`repro.obs.postmortem` when a bundle fails schema
+    validation, references data that was not embedded, or lacks the job
+    context needed for ``repro postmortem --replay``.
+    """
 
 
 class ResilienceExhaustedError(ReproError, RuntimeError):

@@ -21,6 +21,12 @@ Quickstart::
 
 Tracing is off by default (the ambient tracer is a disabled singleton
 with near-zero overhead), so uninstrumented users pay nothing.
+
+For failure forensics, :class:`FlightRecorder` keeps a bounded ring of
+recent spans, kernels, counters, faults, and resilience/serve events,
+and dumps a schema-versioned postmortem bundle on terminal failures;
+:mod:`repro.obs.postmortem` reloads, validates, analyzes, and
+deterministically replays those bundles (``repro postmortem``).
 """
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -67,7 +73,34 @@ from .monitor import (
     default_slos,
     load_health,
 )
-from .prometheus import parse_prometheus_text, prometheus_text
+from .prometheus import (
+    escape_label_value,
+    format_labels,
+    parse_labels,
+    parse_prometheus_text,
+    prometheus_text,
+    unescape_label_value,
+)
+from .recorder import (
+    POSTMORTEM_SCHEMA,
+    RECORDER_STREAMS,
+    FlightRecorder,
+    current_correlation,
+    current_recorder,
+    new_correlation,
+    set_current_recorder,
+    use_correlation,
+    use_recorder,
+)
+from .postmortem import (
+    POSTMORTEM_REPORT_SCHEMA,
+    analyze_bundle,
+    comparable_events,
+    load_bundle,
+    replay_bundle,
+    result_digest,
+    validate_postmortem,
+)
 
 __all__ = [
     "Counter",
@@ -111,4 +144,24 @@ __all__ = [
     "load_health",
     "prometheus_text",
     "parse_prometheus_text",
+    "escape_label_value",
+    "unescape_label_value",
+    "format_labels",
+    "parse_labels",
+    "POSTMORTEM_SCHEMA",
+    "RECORDER_STREAMS",
+    "FlightRecorder",
+    "current_recorder",
+    "set_current_recorder",
+    "use_recorder",
+    "current_correlation",
+    "new_correlation",
+    "use_correlation",
+    "POSTMORTEM_REPORT_SCHEMA",
+    "load_bundle",
+    "validate_postmortem",
+    "analyze_bundle",
+    "replay_bundle",
+    "result_digest",
+    "comparable_events",
 ]

@@ -20,9 +20,16 @@ The monitor directory layout::
 
     monitor/
       events.jsonl     one JSON record per service event
+      events.jsonl.1   rotated segment (1 = most recently rotated)
       snapshots.jsonl  periodic metric snapshots
+      snapshots.jsonl.1  ...
       metrics.prom     latest Prometheus text-format scrape
       health.json      latest SLO health report (repro.health/1)
+
+Both JSONL logs rotate under a total size cap (``max_log_bytes``
+across ``log_segments`` numbered segments, oldest deleted first), so a
+long-running service never grows the directory without bound;
+:func:`read_monitor_events` reads rotated segments transparently.
 """
 
 from __future__ import annotations
@@ -365,7 +372,19 @@ class ServiceMonitor:
     tests.  All writes are serialized by an internal lock; the scrape
     and health files are replaced atomically so a concurrent reader
     never sees a torn file.
+
+    ``max_log_bytes`` caps each JSONL log's total footprint: the log
+    is kept as ``log_segments`` size-capped segments (the active file
+    plus numbered rotations, ``.1`` newest), and rotating past the last
+    segment deletes the oldest — so a long loadgen run's directory
+    stays bounded.  ``on_unhealthy``, when set to a callable, is
+    invoked (outside the write lock) with every health report whose
+    ``ok`` is false — the service uses it to trigger postmortem dumps
+    on SLO breaches.
     """
+
+    #: Names of the rotating JSONL logs the monitor appends to.
+    _LOGS = ("events.jsonl", "snapshots.jsonl")
 
     def __init__(
         self,
@@ -374,20 +393,41 @@ class ServiceMonitor:
         objectives: Sequence[SloObjective] | None = None,
         snapshot_every: float = 1.0,
         error_budget: float = 0.01,
+        max_log_bytes: int = 4 << 20,
+        log_segments: int = 4,
     ) -> None:
+        if max_log_bytes < 1:
+            raise ValueError(
+                f"max_log_bytes must be >= 1, got {max_log_bytes}"
+            )
+        if log_segments < 1:
+            raise ValueError(
+                f"log_segments must be >= 1, got {log_segments}"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.slo = SloTracker(objectives, error_budget=error_budget)
         self.snapshot_every = snapshot_every
+        self.max_log_bytes = int(max_log_bytes)
+        self.log_segments = int(log_segments)
+        #: Per-segment byte budget (one segment of the total cap).
+        self._segment_bytes = max(1, self.max_log_bytes // self.log_segments)
+        #: Callback for unhealthy health reports (``None`` = disabled).
+        self.on_unhealthy = None
         #: Correlates every log record of this service lifetime.
         self.trace_id = uuid.uuid4().hex[:16]
         self._lock = threading.Lock()
         self._events = 0
         self._last_snapshot = -math.inf
-        # Truncate leftovers from a previous lifetime in the same dir.
-        for name in ("events.jsonl", "snapshots.jsonl"):
+        self._log_sizes = dict.fromkeys(self._LOGS, 0)
+        # Truncate leftovers (including rotated segments) from a
+        # previous lifetime in the same directory.
+        for name in self._LOGS:
             (self.directory / name).write_text("")
+            for segment in self.directory.glob(f"{name}.*"):
+                if segment.suffix.lstrip(".").isdigit():
+                    segment.unlink()
 
     # ------------------------------------------------------------------
     # Event intake
@@ -405,9 +445,34 @@ class ServiceMonitor:
         )
         with self._lock:
             self._events += 1
-            with open(self.directory / "events.jsonl", "a") as handle:
-                handle.write(line + "\n")
+            self._append("events.jsonl", line)
         self.maybe_snapshot(float(record["ts"]))
+
+    def _append(self, name: str, line: str) -> None:
+        """Append one record to a rotating log (caller holds the lock)."""
+        payload = line + "\n"
+        if (
+            self._log_sizes[name]
+            and self._log_sizes[name] + len(payload) > self._segment_bytes
+        ):
+            self._rotate(name)
+        with open(self.directory / name, "a") as handle:
+            handle.write(payload)
+        self._log_sizes[name] += len(payload)
+
+    def _rotate(self, name: str) -> None:
+        """Shift segments up one slot; the oldest falls off the end."""
+        oldest = self.directory / f"{name}.{self.log_segments - 1}"
+        if self.log_segments == 1:
+            oldest = self.directory / name
+        oldest.unlink(missing_ok=True)
+        for index in range(self.log_segments - 2, 0, -1):
+            segment = self.directory / f"{name}.{index}"
+            if segment.exists():
+                segment.rename(self.directory / f"{name}.{index + 1}")
+        if self.log_segments > 1:
+            (self.directory / name).rename(self.directory / f"{name}.1")
+        self._log_sizes[name] = 0
 
     def record_violations(self, count: int = 1) -> None:
         """Forward determinism violations to the tracker and metrics."""
@@ -447,12 +512,16 @@ class ServiceMonitor:
             self._atomic_write(
                 self.directory / "metrics.prom", prometheus_text(self.metrics)
             )
-            with open(self.directory / "snapshots.jsonl", "a") as handle:
-                handle.write(json.dumps(snapshot_record) + "\n")
+            self._append("snapshots.jsonl", json.dumps(snapshot_record))
             self._atomic_write(
                 self.directory / "health.json",
                 json.dumps(report, indent=2) + "\n",
             )
+        if not report["ok"] and self.on_unhealthy is not None:
+            try:
+                self.on_unhealthy(report)
+            except Exception:  # noqa: BLE001 - a hook must not kill serving
+                pass
         return report
 
     def health_report(
@@ -513,14 +582,29 @@ def load_health(directory: str | Path) -> dict:
 
 
 def read_monitor_events(directory: str | Path) -> list[dict]:
-    """Read the structured event log from a monitor directory."""
-    path = Path(directory) / "events.jsonl"
-    if not path.exists():
-        return []
+    """Read the structured event log from a monitor directory.
+
+    Transparently includes rotated segments (``events.jsonl.N``),
+    oldest first, so callers see one continuous stream regardless of
+    how many times the log rotated underneath them.
+    """
+    directory = Path(directory)
+    segments = sorted(
+        (
+            path
+            for path in directory.glob("events.jsonl.*")
+            if path.suffix.lstrip(".").isdigit()
+        ),
+        key=lambda path: int(path.suffix.lstrip(".")),
+        reverse=True,  # highest number = oldest segment
+    )
     records: list[dict] = []
-    with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+    for path in [*segments, directory / "events.jsonl"]:
+        if not path.exists():
+            continue
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
     return records

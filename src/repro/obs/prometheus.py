@@ -10,12 +10,18 @@ encoded as cumulative ``_bucket{le="..."}`` series plus ``_sum`` and
 inverse used by the round-trip tests and by ``repro monitor`` — it
 reads a scrape back into plain values and raises on malformed or
 non-cumulative input, so an exposition bug cannot round-trip silently.
+
+Label values are escaped per the exposition spec (backslash, double
+quote, and newline become ``\\\\``, ``\\"``, and ``\\n``), and
+:func:`parse_labels` is the exact inverse of :func:`format_labels` —
+the property tests round-trip adversarial values through both.
 """
 
 from __future__ import annotations
 
 import math
 import re
+from typing import Mapping
 
 from .metrics import MetricsRegistry
 
@@ -23,14 +29,101 @@ __all__ = [
     "prometheus_name",
     "prometheus_text",
     "parse_prometheus_text",
+    "escape_label_value",
+    "unescape_label_value",
+    "format_labels",
+    "parse_labels",
 ]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: One ``name="escaped value"`` pair (escaped values contain no raw
+#: ``"`` or ``\`` except as part of an escape sequence).
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 _LINE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
+    r'(?:\{(?P<labels>(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*)\})?'
     r"\s+(?P<value>\S+)$"
 )
+
+
+# ----------------------------------------------------------------------
+# Label-value escaping (exposition spec) and its exact inverse
+# ----------------------------------------------------------------------
+def escape_label_value(value: str) -> str:
+    """Escape a label value for exposition: ``\\``, ``"``, newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(text: str) -> str:
+    """Exact inverse of :func:`escape_label_value`.
+
+    Raises :class:`ValueError` on a dangling backslash or an escape
+    sequence the exposition format does not define.
+    """
+    out: list[str] = []
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if ch != "\\":
+            out.append(ch)
+            index += 1
+            continue
+        if index + 1 >= len(text):
+            raise ValueError(f"dangling backslash in label value {text!r}")
+        nxt = text[index + 1]
+        if nxt == "\\":
+            out.append("\\")
+        elif nxt == '"':
+            out.append('"')
+        elif nxt == "n":
+            out.append("\n")
+        else:
+            raise ValueError(
+                f"invalid escape sequence \\{nxt} in label value {text!r}"
+            )
+        index += 2
+    return "".join(out)
+
+
+def format_labels(labels: "Mapping[str, str]") -> str:
+    """Render a label set as ``{name="value",...}`` (empty -> ``""``)."""
+    if not labels:
+        return ""
+    parts = []
+    for name, value in labels.items():
+        if _LABEL_NAME_RE.match(name) is None:
+            raise ValueError(f"invalid label name {name!r}")
+        parts.append(f'{name}="{escape_label_value(value)}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def parse_labels(text: str) -> dict[str, str]:
+    """Parse a label *body* (no braces) back into a dict.
+
+    The exact inverse of :func:`format_labels` on its output:
+    ``parse_labels(format_labels(labels)[1:-1]) == labels`` for any
+    label set with valid names.  Raises :class:`ValueError` on
+    malformed bodies.
+    """
+    labels: dict[str, str] = {}
+    rest = text
+    while rest:
+        match = _LABEL_RE.match(rest)
+        if match is None:
+            raise ValueError(f"malformed label segment {rest!r}")
+        labels[match.group(1)] = unescape_label_value(match.group(2))
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            raise ValueError(f"malformed label separator at {rest!r}")
+    return labels
 
 
 def prometheus_name(name: str, prefix: str = "repro") -> str:
@@ -69,9 +162,8 @@ def prometheus_text(registry: MetricsRegistry, prefix: str = "repro") -> str:
         metric = prometheus_name(name, prefix)
         lines.append(f"# TYPE {metric} histogram")
         for bound, cumulative in histogram.bucket_pairs():
-            lines.append(
-                f'{metric}_bucket{{le="{_format_le(bound)}"}} {cumulative}'
-            )
+            labels = format_labels({"le": _format_le(bound)})
+            lines.append(f"{metric}_bucket{labels} {cumulative}")
         lines.append(f"{metric}_sum {_format_value(histogram.total)}")
         lines.append(f"{metric}_count {histogram.count}")
     return "\n".join(lines) + "\n"
@@ -151,10 +243,10 @@ def parse_prometheus_text(text: str) -> dict[str, dict]:
             base, {"buckets": [], "sum": 0.0, "count": 0}
         )
         if suffix == "_bucket":
-            le_match = re.search(r'le="([^"]+)"', labels or "")
-            if le_match is None:
+            label_map = parse_labels(labels or "")
+            if "le" not in label_map:
                 raise ValueError(f"bucket sample without le label: {line!r}")
-            bound = _parse_number(le_match.group(1), line)
+            bound = _parse_number(label_map["le"], line)
             entry["buckets"].append((bound, value))
         elif suffix == "_sum":
             entry["sum"] = value

@@ -23,6 +23,12 @@ this at well under 2 % of an engine run).
 Thread model: each thread builds its own span stack (spans record the
 opening thread), while the flat event lists are guarded by a lock, so
 one tracer can observe a multi-threaded study.
+
+When a :class:`~repro.obs.recorder.FlightRecorder` is ambient, the
+*enabled* paths additionally forward closed spans, kernel events, and
+counter samples into its bounded rings (``comm.*`` kernels land in the
+collectives ring); the disabled early-return paths are untouched, so
+the ≤2 % disabled-overhead bound holds with or without a recorder.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from .metrics import MetricsRegistry
+from .recorder import current_recorder
 
 __all__ = [
     "Span",
@@ -247,6 +254,12 @@ class Tracer:
             stack.pop()
         if stack:
             stack.pop()
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.record_span(
+                span.name, span.category, span.start, span.duration,
+                span.span_id, span.attrs,
+            )
 
     def current_span_id(self) -> int | None:
         """Id of the innermost open span on this thread (None outside)."""
@@ -283,6 +296,9 @@ class Tracer:
         )
         with self._lock:
             self.kernel_events.append(event)
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.record_kernel(event)
 
     def device_offset(self) -> float:
         """Largest modeled end time recorded so far.
@@ -310,6 +326,9 @@ class Tracer:
             self.counter_samples.append(
                 CounterSample(track=track, ts=ts, value=float(value))
             )
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.record_counter(track, ts, float(value))
 
     # ------------------------------------------------------------------
     # Inspection

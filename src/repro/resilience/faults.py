@@ -63,6 +63,7 @@ from ..exceptions import (
     TransferCorruptionError,
     TransientDeviceError,
 )
+from ..obs.recorder import current_recorder
 
 __all__ = [
     "FAULT_KINDS",
@@ -290,6 +291,11 @@ class FaultInjector:
         """Tags of the devices lost so far."""
         return frozenset(self._dead_devices)
 
+    @property
+    def seed(self) -> int:
+        """The probability-draw seed (recorded into postmortem bundles)."""
+        return self._seed
+
     # ------------------------------------------------------------------
     # Schedule evaluation
     # ------------------------------------------------------------------
@@ -316,15 +322,17 @@ class FaultInjector:
         return None
 
     def _record(self, spec: FaultSpec, operation: str, name: str, seen: int) -> None:
-        self.injected.append(
-            InjectionRecord(
-                kind=spec.kind,
-                operation=operation,
-                site=name,
-                sequence=seen,
-                spec=spec.describe(),
-            )
+        record = InjectionRecord(
+            kind=spec.kind,
+            operation=operation,
+            site=name,
+            sequence=seen,
+            spec=spec.describe(),
         )
+        self.injected.append(record)
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.record_fault(record)
 
     def _check_sticky(self) -> None:
         if self._sticky_error is not None:

@@ -218,12 +218,18 @@ class RetryPolicy:
     allow_degraded:
         When ``False``, capacity errors and exhausted retries raise
         instead of stepping down the ladder.
+    max_reshards:
+        Cap on within-rung fleet re-shards after device loss.  ``None``
+        (the default) keeps the elastic behaviour — up to one re-shard
+        per fleet member; ``0`` makes any device loss terminal for the
+        rung (useful for postmortem drills and strict capacity tests).
     """
 
     max_retries: int = 3
     backoff_base: float = 0.0
     ladder: tuple[LadderStep, ...] | None = None
     allow_degraded: bool = True
+    max_reshards: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -233,6 +239,10 @@ class RetryPolicy:
         if not self.backoff_base >= 0.0:
             raise ParameterError(
                 f"backoff_base must be finite and >= 0, got {self.backoff_base}"
+            )
+        if self.max_reshards is not None and self.max_reshards < 0:
+            raise ParameterError(
+                f"max_reshards must be >= 0 or None, got {self.max_reshards}"
             )
 
     def ladder_for(self, backend: str) -> tuple[LadderStep, ...]:

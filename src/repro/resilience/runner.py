@@ -29,6 +29,14 @@ Every recovery action is recorded as a :class:`ResilienceEvent`, and —
 when a tracer is installed — emitted as a ``resilience``-category span
 plus ``resilience.*`` metrics counters, so ``repro trace`` shows
 exactly where a run retried or degraded.
+
+When a :class:`~repro.obs.recorder.FlightRecorder` is ambient, the
+runner additionally captures the replayable job context (data, params,
+seed state, policy, fault schedule) at entry, forwards every
+resilience event into the recorder's rings, extends the ambient
+correlation id per attempt (``<parent>:r<rung>a<attempt>``), and — on
+:class:`~repro.exceptions.ResilienceExhaustedError` — auto-dumps a
+postmortem bundle before raising.
 """
 
 from __future__ import annotations
@@ -42,6 +50,11 @@ import numpy as np
 
 from ..core.state import SharedStudyState
 from ..exceptions import ParameterError, ReproError, ResilienceExhaustedError
+from ..obs.recorder import (
+    current_correlation,
+    current_recorder,
+    use_correlation,
+)
 from ..obs.tracer import current_tracer
 from ..result import ProclusResult
 from ..rng import RandomSource
@@ -93,6 +106,13 @@ class ResilientOutcome:
     def degraded(self) -> bool:
         """Whether the result came from a lower rung than requested."""
         return any(event.kind == "degrade" for event in self.events)
+
+
+def _forward_resilience(event: "ResilienceEvent") -> None:
+    """Mirror one recovery action into the ambient flight recorder."""
+    recorder = current_recorder()
+    if recorder is not None:
+        recorder.record_resilience(event.as_dict())
 
 
 def _snapshot_shared(shared: SharedStudyState | None) -> dict[str, Any] | None:
@@ -157,6 +177,20 @@ class ResilientRunner:
         rng_snapshot = seed.get_state() if isinstance(seed, RandomSource) else None
         shared_snapshot = _snapshot_shared(shared_state)
 
+        recorder = current_recorder()
+        base_corr = current_correlation() or "fit"
+        if recorder is not None:
+            recorder.set_job(
+                data=data, backend=backend, params=params, seed=seed,
+                policy=policy, engine_kwargs=engine_kwargs,
+            )
+            injector = current_injector()
+            if injector is not None and injector.schedule:
+                recorder.set_fault_schedule(
+                    [spec.describe() for spec in injector.schedule],
+                    injector.seed,
+                )
+
         events: list[ResilienceEvent] = []
         attempts = 0
         rung_index = 0
@@ -184,8 +218,9 @@ class ResilientRunner:
                     rung=step.describe(), backend=step.backend,
                     attempt=rung_attempt,
                 )
+                attempt_corr = f"{base_corr}:r{rung_index}a{rung_attempt}"
                 try:
-                    with attempt_span:
+                    with use_correlation(attempt_corr), attempt_span:
                         engine = BACKENDS[step.backend](
                             params=params,
                             seed=seed,
@@ -217,10 +252,14 @@ class ResilientRunner:
                     last_error = error
                     if error_class is ErrorClass.DEVICE_LOSS:
                         plan = self._reshard_plan(step, engine, error)
-                        if (
-                            plan is not None
-                            and reshards < plan.fleet.num_devices
-                        ):
+                        reshard_cap = (
+                            policy.max_reshards
+                            if policy.max_reshards is not None
+                            else plan.fleet.num_devices
+                            if plan is not None
+                            else 0
+                        )
+                        if plan is not None and reshards < reshard_cap:
                             reshards += 1
                             newly = [
                                 index for index in plan.dead
@@ -259,13 +298,17 @@ class ResilientRunner:
                 rung_index += 1
                 reshard_label = None
                 continue
-            raise ResilienceExhaustedError(
+            exhausted = ResilienceExhaustedError(
                 f"all recovery options exhausted after {attempts} attempts "
                 f"over {rung_index + 1} ladder rungs "
                 f"(last error: {type(last_error).__name__}: {last_error})",
                 last_error=last_error,
                 events=events,
             )
+            if recorder is not None:
+                recorder.record_failure("resilience-exhausted", exhausted)
+                recorder.auto_dump("resilience-exhausted", exhausted)
+            raise exhausted
         raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
@@ -361,6 +404,7 @@ class ResilientRunner:
             to_rung=to_rung,
         )
         events.append(event)
+        _forward_resilience(event)
         with obs.span(
             "reshard", category="resilience",
             rung=event.rung, to_rung=to_rung,
@@ -405,6 +449,7 @@ class ResilientRunner:
             backoff_s=backoff,
         )
         events.append(event)
+        _forward_resilience(event)
         with obs.span(
             "retry", category="resilience",
             rung=event.rung, attempt=attempt,
@@ -431,6 +476,7 @@ class ResilientRunner:
             to_rung=next_step.describe(),
         )
         events.append(event)
+        _forward_resilience(event)
         with obs.span(
             "degrade", category="resilience",
             rung=event.rung, to_rung=event.to_rung,

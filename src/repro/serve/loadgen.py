@@ -72,6 +72,7 @@ def run_loadgen(
     cache_entries: int = 64,
     gpu_spec: GpuSpec | None = None,
     monitor_dir: str | None = None,
+    postmortem_dir: str | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> dict:
     """Replay a seeded request mix; returns the serve-bench report.
@@ -82,6 +83,15 @@ def run_loadgen(
     flushed at shutdown, *after* the determinism oracle has reported
     its violations, so ``repro monitor --once`` on that directory sees
     every declared objective evaluated against this run.
+
+    With ``postmortem_dir`` the service runs under a
+    :class:`~repro.obs.FlightRecorder`; if the determinism oracle finds
+    a violation, the first violating request's context (data, params,
+    seed, the solo reference's result digest) is pinned and a
+    ``determinism-violation`` postmortem bundle is dumped there — the
+    report's ``postmortem_bundle`` field carries its path, and ``repro
+    postmortem <bundle> --replay`` re-runs the solo bits against the
+    recorded digest.
     """
     if num_requests < 1:
         raise ParameterError(
@@ -128,6 +138,7 @@ def run_loadgen(
         workers=workers, gpu_spec=spec, cache_entries=cache_entries,
         max_queue_depth=max(64, num_requests),
         monitor_dir=monitor_dir,
+        postmortem_dir=postmortem_dir,
     )
     # Not a `with` block: the determinism oracle below must report its
     # violations to the service *before* shutdown flushes the final
@@ -187,7 +198,45 @@ def run_loadgen(
                 }
             )
 
+    bundle_path = None
     if violations:
+        recorder = service.recorder
+        if recorder is not None:
+            # Pin the first violating request as the replay context: the
+            # solo reference's digest is the recorded truth the replay
+            # must reproduce from the bundle alone.
+            from ..obs.postmortem import result_digest
+
+            first = violations[0]
+            handle = handles[first["request"]]
+            request = handle.request
+            recorder.set_job(
+                data=service.registry.get(request.fingerprint),
+                backend=request.backend,
+                params=request.params,
+                seed=request.seed,
+                policy=service.runner.policy,
+                engine_kwargs=(
+                    {"gpu_spec": spec}
+                    if request.backend.startswith("gpu")
+                    else {}
+                ),
+                fingerprint=request.fingerprint,
+                pinned=True,
+            )
+            recorder.set_reference_digest(
+                result_digest(references[request.cache_key])
+            )
+            recorder.record_failure(
+                "determinism-violation",
+                detail=(
+                    f"{len(violations)} of {num_requests} served responses "
+                    f"diverged from their solo references; first: request "
+                    f"#{first['request']} ({first['backend']}, "
+                    f"seed={first['seed']}, k={first['k']}, l={first['l']})"
+                ),
+            )
+            bundle_path = recorder.auto_dump("determinism-violation")
         service.record_violations(len(violations))
     health = service.shutdown()
 
@@ -251,4 +300,6 @@ def run_loadgen(
     }
     if health is not None:
         report["health"] = health
+    if bundle_path is not None:
+        report["postmortem_bundle"] = str(bundle_path)
     return report

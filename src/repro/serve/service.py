@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import threading
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -41,7 +42,9 @@ from ..fleet.recovery import degraded_fleet
 from ..gpu.memory import MemoryBudget
 from ..hardware.specs import GTX_1660_TI, GpuSpec
 from ..obs.monitor import ServiceMonitor, SloObjective
+from ..obs.recorder import FlightRecorder, use_correlation, use_recorder
 from ..obs.tracer import Tracer, current_tracer, use_tracer
+from ..resilience.faults import FaultInjector, use_injector
 from ..params import ProclusParams
 from ..resilience.policy import RetryPolicy
 from ..resilience.runner import ResilientRunner
@@ -99,6 +102,21 @@ class ClusterService:
     slos, snapshot_every:
         Objectives and snapshot cadence for that monitor (ignored
         without ``monitor_dir``).
+    recorder, postmortem_dir:
+        Attach a :class:`~repro.obs.recorder.FlightRecorder`.  Every
+        serve event, span, kernel, fault, and resilience action flows
+        into its bounded rings (correlated per job), and terminal
+        failures — exhausted resilience, unexpected job errors, and
+        SLO breaches crossing ``postmortem_slos`` — auto-dump a
+        ``repro.postmortem/1`` bundle into ``postmortem_dir`` (which,
+        given alone, creates a default recorder).
+    postmortem_slos:
+        SLO names whose breach triggers a bundle dump (once per name,
+        and only when nothing else already captured a failure).
+    injector:
+        A :class:`~repro.resilience.faults.FaultInjector` installed
+        around every job the workers run — fault drills under real
+        serving load (``repro serve --fault``).
     """
 
     def __init__(
@@ -115,6 +133,10 @@ class ClusterService:
         monitor_dir: "str | None" = None,
         slos: "tuple[SloObjective, ...] | None" = None,
         snapshot_every: float = 1.0,
+        recorder: "FlightRecorder | None" = None,
+        postmortem_dir: "str | None" = None,
+        postmortem_slos: "tuple[str, ...]" = ("determinism-violations",),
+        injector: "FaultInjector | None" = None,
     ) -> None:
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
@@ -170,6 +192,19 @@ class ClusterService:
             self.monitor.slo.set_devices(
                 [f"dev{index}" for index in range(fleet.num_devices)]
             )
+        if recorder is None and postmortem_dir is not None:
+            recorder = FlightRecorder(bundle_dir=postmortem_dir)
+        elif recorder is not None and postmortem_dir is not None:
+            recorder.bundle_dir = Path(postmortem_dir)
+        #: Flight recorder fed by every layer of the service (None
+        #: disables recording entirely).
+        self.recorder = recorder
+        self.postmortem_slos = tuple(postmortem_slos)
+        self._slo_dumped: set[str] = set()
+        if self.monitor is not None and recorder is not None:
+            self.monitor.on_unhealthy = self._on_slo_breach
+        #: Fault injector installed around every job (fault drills).
+        self.injector = injector
         #: Fleet members currently quarantined by health-aware serving.
         self._quarantined: set[int] = set()
         self.runner = ResilientRunner(policy)
@@ -417,6 +452,8 @@ class ClusterService:
             self.monitor.on_event(
                 {**event.as_dict(), "detail": tag}
             )
+        if self.recorder is not None:
+            self.recorder.record_serve(event.as_dict())
 
     def record_violations(self, count: int = 1) -> None:
         """Report determinism violations found by an external oracle.
@@ -513,7 +550,19 @@ class ClusterService:
                 for handle in job.handles:
                     handle.status = "running"
                     handle.coalesced = len(group) > 1
-            with use_tracer(self.obs):
+            if self.recorder is not None:
+                # Pin the request-level replay context (the original
+                # integer seed; coalesced members run mid-stream RNG
+                # states that are useless for replay-from-bundle).
+                self.recorder.set_job(
+                    data=data, backend=leader.backend, params=leader.params,
+                    seed=leader.seed, policy=self.runner.policy,
+                    engine_kwargs=engine_kwargs,
+                    fingerprint=leader.fingerprint, pinned=True,
+                )
+            with use_tracer(self.obs), use_recorder(self.recorder), \
+                    use_injector(self.injector), \
+                    use_correlation(f"job-{group[0].job_id}"):
                 if len(group) == 1:
                     outcomes = [
                         self.runner.fit(
@@ -538,6 +587,14 @@ class ClusterService:
                 self.obs.metrics.counter("serve.failed").inc()
                 for handle in job.handles:
                     handle._fail(error, now)
+            if self.recorder is not None and not self.recorder.dumped_error(
+                error
+            ):
+                # Exhaustion bundles were already dumped by the runner
+                # (with the full job context); everything else — FATAL
+                # classifications, substrate bugs — is captured here.
+                self.recorder.record_failure("job-failure", error)
+                self.recorder.auto_dump("job-failure", error)
             return
         finally:
             for budget, amount in reservations:
@@ -727,6 +784,37 @@ class ClusterService:
         self.log.record(event)
         if self.monitor is not None:
             self.monitor.on_event(event)
+        if self.recorder is not None:
+            self.recorder.record_serve(
+                event.as_dict(),
+                corr=f"job-{job_id}" if job_id >= 0 else None,
+            )
+
+    def _on_slo_breach(self, report: dict) -> None:
+        """Monitor callback: last-resort bundle dump on an SLO breach.
+
+        Fires once per configured SLO name, and only when no other
+        trigger already captured a bundle — a breach caused by an
+        exhausted job should yield that job's forensics, not a second
+        bundle for the symptom.
+        """
+        if self.recorder is None or self.recorder.dump_count > 0:
+            return
+        failing = [
+            str(slo.get("name"))
+            for slo in report.get("slos", [])
+            if isinstance(slo, dict)
+            and not slo.get("ok", True)
+            and slo.get("name") in self.postmortem_slos
+            and slo.get("name") not in self._slo_dumped
+        ]
+        if not failing:
+            return
+        self._slo_dumped.update(failing)
+        self.recorder.record_failure(
+            "slo-breach", detail="failing: " + ", ".join(failing)
+        )
+        self.recorder.auto_dump("slo-breach", health=report)
 
     def _observe_latency(self, handle: JobHandle) -> None:
         self.obs.metrics.histogram("serve.latency_seconds").observe(

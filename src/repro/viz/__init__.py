@@ -15,6 +15,7 @@ from .explain import (
 from .timeline import (
     render_device_lanes,
     render_health,
+    render_postmortem,
     render_serve_lanes,
     render_span_tree,
     render_timeline,
@@ -34,4 +35,5 @@ __all__ = [
     "render_serve_lanes",
     "render_health",
     "render_timeline",
+    "render_postmortem",
 ]

@@ -20,6 +20,7 @@ __all__ = [
     "render_serve_lanes",
     "render_health",
     "render_timeline",
+    "render_postmortem",
 ]
 
 
@@ -241,6 +242,122 @@ def render_health(health: dict) -> str:
             f"p95={latency['p95'] * 1e3:.1f}ms  "
             f"over {int(latency['count'])} responses"
         )
+    return "\n".join(lines)
+
+
+def render_postmortem(
+    bundle: dict, analysis: dict, width: int = 60
+) -> str:
+    """Render a postmortem bundle + its forensic analysis as text.
+
+    The terminal face of ``repro postmortem``: failure echo, suspect
+    fault/kernel/device, the resilience trail the runner walked before
+    dying, counter triage, collective-straggler table, the serve lanes
+    of the flight recorder's last events, and the final health snapshot.
+    """
+    failure = analysis.get("failure", {})
+    lines = [
+        f"postmortem bundle: {analysis.get('bundle') or '(in memory)'}",
+        f"reason: {analysis.get('reason', '?')}",
+    ]
+    if failure.get("error_type"):
+        lines.append(
+            f"error:  {failure['error_type']}: {failure.get('message', '')}"
+        )
+    if failure.get("last_error_type"):
+        lines.append(f"last underlying error: {failure['last_error_type']}")
+    if failure.get("detail"):
+        lines.append(f"detail: {failure['detail']}")
+
+    suspects = analysis.get("suspects") or {}
+    if suspects:
+        lines.append("")
+        lines.append("suspects:")
+        fault = suspects.get("fault")
+        if fault:
+            lines.append(
+                f"  fault   {fault.get('spec', '?')} "
+                f"({fault.get('kind', '?')} at {fault.get('site', '?')} "
+                f"during {fault.get('operation', '?')})"
+            )
+        if suspects.get("device"):
+            lines.append(f"  device  {suspects['device']}")
+        kernel = suspects.get("kernel")
+        if kernel:
+            lines.append(
+                f"  kernel  {kernel.get('name', '?')} "
+                f"[{kernel.get('pipeline', '?')}/{kernel.get('phase', '?')}]"
+            )
+
+    trail = analysis.get("resilience_trail") or []
+    if trail:
+        lines.append("")
+        lines.append(f"resilience trail ({len(trail)} actions):")
+        for event in trail:
+            step = f"  {event.get('kind', '?'):<10} rung {event.get('rung')}"
+            if event.get("to_rung") is not None:
+                step += f" -> {event['to_rung']}"
+            if event.get("error_type"):
+                step += f"  after {event['error_type']}"
+            if event.get("detail"):
+                step += f"  ({event['detail']})"
+            lines.append(step)
+
+    triage = analysis.get("counter_triage") or []
+    if triage:
+        lines.append("")
+        lines.append("counter triage:")
+        lines.extend(f"  {line}" for line in triage)
+
+    stragglers = analysis.get("stragglers")
+    if stragglers:
+        lines.append("")
+        lines.append(
+            f"collective stragglers (straggler: {stragglers['straggler']}):"
+        )
+        for device, wait in stragglers["wait_seconds"].items():
+            steps = stragglers["steps"].get(device, 0)
+            marker = "  <- straggler" if device == stragglers["straggler"] else ""
+            lines.append(
+                f"  {device:<8} waited {_format_seconds(wait).strip():>10} "
+                f"over {steps} collectives{marker}"
+            )
+
+    failing = analysis.get("failing_slos") or []
+    if failing:
+        lines.append("")
+        lines.append("failing SLOs: " + ", ".join(failing))
+
+    serve_ring = (bundle.get("rings", {}).get("streams", {}) or {}).get(
+        "serve", []
+    )
+    if serve_ring:
+        lines.append("")
+        lines.append(render_serve_lanes(serve_ring, width=width))
+
+    health = bundle.get("health")
+    if isinstance(health, dict):
+        lines.append("")
+        lines.append(render_health(health))
+
+    dropped = {
+        stream: count
+        for stream, count in (analysis.get("dropped") or {}).items()
+        if count
+    }
+    if dropped:
+        lines.append("")
+        lines.append(
+            "ring overflow (older records dropped): "
+            + ", ".join(
+                f"{stream}={count}" for stream, count in sorted(dropped.items())
+            )
+        )
+    lines.append("")
+    lines.append(
+        "replayable from bundle alone: "
+        + ("yes" if analysis.get("replayable") else "no")
+    )
     return "\n".join(lines)
 
 

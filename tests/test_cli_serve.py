@@ -126,3 +126,106 @@ class TestLoadgenCli:
     def test_loadgen_rejects_unknown_backend(self, capsys):
         with pytest.raises(SystemExit):
             main(["loadgen", "--backends", "nope"])
+
+
+class TestPostmortemCli:
+    def _crash_a_served_job(self, capsys, tmp_path) -> str:
+        """Serve one fleet job with an injected terminal device loss."""
+        spool = str(tmp_path / "spool")
+        record = str(tmp_path / "pm")
+        code, _ = run(
+            capsys, "submit", spool, *SMALL, "--id", "job-x",
+            "--backend", "fleet-gpu-fast",
+        )
+        assert code == 0
+        code, out = run(
+            capsys, "serve", spool, "--once", "--devices", "2",
+            "--fault", "device-down@dev1", "--no-degrade",
+            "--max-reshards", "0", "--record-dir", record,
+        )
+        assert code == 0
+        assert "postmortem bundle" in out
+        return record
+
+    def test_injected_crash_dumps_a_bundle(self, capsys, tmp_path):
+        record = self._crash_a_served_job(capsys, tmp_path)
+        import glob
+
+        bundles = glob.glob(record + "/postmortem-*.json")
+        assert len(bundles) == 1
+        bundle = json.loads(open(bundles[0]).read())
+        assert bundle["schema"] == "repro.postmortem/1"
+        assert bundle["failure"]["reason"] == "resilience-exhausted"
+
+    def test_postmortem_analyze_and_replay(self, capsys, tmp_path):
+        record = self._crash_a_served_job(capsys, tmp_path)
+        analysis_path = str(tmp_path / "analysis.json")
+        code, out = run(
+            capsys, "postmortem", record, "--json", analysis_path,
+            "--replay",
+        )
+        assert code == 0
+        assert "replay REPRODUCED the failure" in out
+        assert "dev1" in out
+        analysis = json.loads(open(analysis_path).read())
+        assert analysis["schema"] == "repro.postmortem_report/1"
+        assert analysis["replay"]["reproduced"] is True
+        assert analysis["suspects"]["device"] == "dev1"
+
+    def test_postmortem_missing_bundle_exits_2(self, capsys, tmp_path):
+        code = main(["postmortem", str(tmp_path)])
+        assert code == 2
+
+    def test_loadgen_postmortem_dir_flag(self, capsys, tmp_path, monkeypatch):
+        import repro.serve.loadgen as loadgen_module
+
+        monkeypatch.setattr(
+            loadgen_module, "_identical", lambda served, reference: False
+        )
+        directory = str(tmp_path / "pm")
+        code, out = run(
+            capsys, "loadgen", "--requests", "4", "--workers", "1",
+            "--n", "300", "--d", "6", "--clusters", "3",
+            "--postmortem-dir", directory,
+        )
+        assert code == 1  # violations fail the loadgen gate
+        assert "postmortem bundle:" in out
+        code, out = run(capsys, "postmortem", directory, "--replay")
+        assert code == 0
+        assert "REPRODUCED the recorded solo bits" in out
+
+    def test_sigterm_dump_via_keyboard_interrupt(self, tmp_path, monkeypatch):
+        """The serve loop's interrupt path dumps a sigterm bundle."""
+        import repro.cli as cli_module
+
+        def fake_serve_spool(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        import repro.serve as serve_module
+
+        monkeypatch.setattr(serve_module, "serve_spool", fake_serve_spool)
+        record = str(tmp_path / "pm")
+        code = cli_module.main(
+            ["serve", str(tmp_path / "spool"), "--once",
+             "--record-dir", record]
+        )
+        assert code == 130  # conventional interrupt exit
+        import glob
+
+        bundles = glob.glob(record + "/postmortem-sigterm-*.json")
+        assert len(bundles) == 1
+        bundle = json.loads(open(bundles[0]).read())
+        assert bundle["failure"]["reason"] == "sigterm"
+
+    def test_env_var_installs_an_ambient_recorder(self, capsys, monkeypatch,
+                                                  tmp_path):
+        from repro.obs import current_recorder, set_current_recorder
+
+        record = str(tmp_path / "pm")
+        monkeypatch.setenv("REPRO_FLIGHT_RECORDER", record)
+        code = main(["info"])
+        assert code == 0
+        recorder = current_recorder()
+        assert recorder is not None
+        assert str(recorder.bundle_dir) == record
+        set_current_recorder(None)

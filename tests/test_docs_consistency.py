@@ -332,3 +332,58 @@ class TestExplainDoc:
         assert "cache.dist_rows" in text
         # The diff step must target a committed baseline.
         assert "benchmarks/baselines/gpu-fast-n8k.json" in text
+
+
+class TestPostmortemDoc:
+    """docs stay honest about the flight recorder & postmortem layer."""
+
+    def test_schemas_match_the_code(self):
+        from repro.obs import POSTMORTEM_REPORT_SCHEMA, POSTMORTEM_SCHEMA
+
+        text = read("docs/observability.md")
+        assert POSTMORTEM_SCHEMA in text
+        assert POSTMORTEM_REPORT_SCHEMA in text
+        assert POSTMORTEM_SCHEMA in read("README.md")
+
+    def test_every_recorder_stream_documented(self):
+        from repro.obs import RECORDER_STREAMS
+
+        text = read("docs/observability.md")
+        for stream in RECORDER_STREAMS:
+            assert f"`{stream}`" in text, stream
+
+    def test_cli_surfaces_documented(self):
+        text = read("docs/observability.md") + read("docs/usage.md")
+        for surface in ("repro postmortem", "--replay", "--record-dir",
+                        "--postmortem-dir", "--fault", "--no-degrade",
+                        "--max-reshards", "REPRO_FLIGHT_RECORDER"):
+            assert surface in text, surface
+
+    def test_replay_contract_documented(self):
+        from repro.obs.postmortem import WALL_CLOCK_EVENT_FIELDS
+
+        text = read("docs/observability.md")
+        assert "from the bundle alone" in text
+        for field in WALL_CLOCK_EVENT_FIELDS:
+            assert field in text, field
+
+    def test_readme_shows_the_postmortem_loop(self):
+        text = read("README.md")
+        assert "repro postmortem" in text
+        assert "--replay" in text
+        assert "REPRO_FLIGHT_RECORDER" in text
+
+    def test_rotation_and_escaping_documented(self):
+        text = read("docs/observability.md")
+        assert "max_log_bytes" in text
+        assert "log_segments" in text
+        assert "escape_label_value" in text
+        assert "parse_labels" in text
+
+    def test_ci_runs_the_postmortem_smoke(self):
+        text = read(".github/workflows/ci.yml")
+        assert "postmortem-smoke" in text
+        assert "repro postmortem" in text
+        assert "--replay" in text
+        assert "device-down@dev1" in text
+        assert "REPRO_FLIGHT_RECORDER" in text

@@ -291,3 +291,113 @@ class TestServiceIntegration:
         handle = service.submit(data, backend="gpu-fast", k=3, l=3, seed=0)
         handle.result(timeout=60)
         assert service.shutdown() is None
+
+
+class TestLogRotation:
+    def _flood(self, monitor: ServiceMonitor, count: int) -> None:
+        for index in range(count):
+            monitor.on_event(_event("submit", ts=float(index), job_id=index))
+
+    def test_long_run_keeps_directory_under_the_cap(self, tmp_path):
+        cap = 8192
+        monitor = ServiceMonitor(
+            tmp_path, max_log_bytes=cap, log_segments=4, snapshot_every=1e9
+        )
+        self._flood(monitor, 2000)
+        total = sum(
+            path.stat().st_size for path in tmp_path.glob("events.jsonl*")
+        )
+        # Each segment may overshoot its budget by at most one record.
+        longest = max(
+            len(line) + 1
+            for path in tmp_path.glob("events.jsonl*")
+            for line in path.read_text().splitlines()
+        )
+        assert total <= cap + 4 * longest
+        assert list(tmp_path.glob("events.jsonl.*"))  # rotation happened
+
+    def test_read_monitor_events_spans_rotated_segments(self, tmp_path):
+        monitor = ServiceMonitor(
+            tmp_path, max_log_bytes=4096, log_segments=4, snapshot_every=1e9
+        )
+        self._flood(monitor, 300)
+        assert list(tmp_path.glob("events.jsonl.*"))
+        ids = [record["job_id"] for record in read_monitor_events(tmp_path)]
+        # Oldest-first across segments, newest record present, and the
+        # kept window is a contiguous tail of the stream.
+        assert ids and ids[-1] == 299
+        assert ids == list(range(ids[0], 300))
+
+    def test_snapshots_rotate_too(self, tmp_path):
+        monitor = ServiceMonitor(
+            tmp_path, max_log_bytes=2048, log_segments=2, snapshot_every=0.0
+        )
+        for index in range(100):
+            monitor.snapshot(now=float(index))
+        total = sum(
+            path.stat().st_size for path in tmp_path.glob("snapshots.jsonl*")
+        )
+        longest = max(
+            len(line) + 1
+            for path in tmp_path.glob("snapshots.jsonl*")
+            for line in path.read_text().splitlines()
+        )
+        assert total <= 2048 + 2 * longest
+
+    def test_single_segment_rotation_truncates_in_place(self, tmp_path):
+        monitor = ServiceMonitor(
+            tmp_path, max_log_bytes=1024, log_segments=1, snapshot_every=1e9
+        )
+        self._flood(monitor, 200)
+        assert list(tmp_path.glob("events.jsonl.*")) == []
+        assert (tmp_path / "events.jsonl").stat().st_size <= 1024 + 256
+
+    def test_init_unlinks_rotated_segments_from_previous_lifetime(
+        self, tmp_path
+    ):
+        monitor = ServiceMonitor(
+            tmp_path, max_log_bytes=2048, log_segments=3, snapshot_every=1e9
+        )
+        self._flood(monitor, 200)
+        assert list(tmp_path.glob("events.jsonl.*"))
+        ServiceMonitor(tmp_path)
+        assert list(tmp_path.glob("events.jsonl.*")) == []
+        assert read_monitor_events(tmp_path) == []
+
+    def test_rejects_bad_rotation_config(self, tmp_path):
+        with pytest.raises(ValueError, match="max_log_bytes"):
+            ServiceMonitor(tmp_path, max_log_bytes=0)
+        with pytest.raises(ValueError, match="log_segments"):
+            ServiceMonitor(tmp_path, log_segments=0)
+
+
+class TestUnhealthyHook:
+    def test_hook_fires_on_failing_report_outside_the_lock(self, tmp_path):
+        monitor = ServiceMonitor(tmp_path, snapshot_every=0.0)
+        seen = []
+        monitor.on_unhealthy = seen.append
+        monitor.record_violations(1)
+        monitor.snapshot(now=1.0)
+        assert len(seen) == 1 and seen[0]["ok"] is False
+        # A hook that itself snapshots must not deadlock.
+        monitor.on_unhealthy = lambda report: monitor.snapshot(now=2.0)
+
+    def test_hook_not_called_while_healthy(self, tmp_path):
+        monitor = ServiceMonitor(tmp_path, snapshot_every=0.0)
+        monitor.on_unhealthy = lambda report: (_ for _ in ()).throw(
+            AssertionError("must not fire")
+        )
+        monitor.on_event(_event("submit", ts=0.1))
+        monitor.on_event(_event("start", ts=0.2))
+        monitor.snapshot(now=1.0)
+
+    def test_hook_exceptions_are_swallowed(self, tmp_path):
+        monitor = ServiceMonitor(tmp_path, snapshot_every=0.0)
+
+        def explode(report):
+            raise RuntimeError("hook bug")
+
+        monitor.on_unhealthy = explode
+        monitor.record_violations(1)
+        report = monitor.snapshot(now=1.0)
+        assert report["ok"] is False  # snapshot survived the hook bug

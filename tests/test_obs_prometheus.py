@@ -157,3 +157,106 @@ class TestParserStrictness:
             "repro_x_total 2.0\n"
         )
         assert parse_prometheus_text(text)["counters"] == {"repro_x": 2.0}
+
+
+class TestLabelEscaping:
+    """Satellite: exposition-spec label escaping and its exact inverse."""
+
+    def test_escapes_backslash_quote_newline(self):
+        from repro.obs import escape_label_value
+
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_unescape_is_exact_inverse(self):
+        from repro.obs import escape_label_value, unescape_label_value
+
+        nasty = 'slash\\ quote" newline\n mixed\\n"\\"\n\\'
+        assert unescape_label_value(escape_label_value(nasty)) == nasty
+
+    def test_unescape_rejects_bad_escapes(self):
+        from repro.obs import unescape_label_value
+
+        with pytest.raises(ValueError, match="dangling"):
+            unescape_label_value("oops\\")
+        with pytest.raises(ValueError, match="invalid escape"):
+            unescape_label_value("\\t")
+
+    def test_format_parse_round_trip(self):
+        from repro.obs import format_labels, parse_labels
+
+        labels = {"le": "+Inf", "path": 'C:\\x\n"y"'}
+        text = format_labels(labels)
+        assert text.startswith("{") and text.endswith("}")
+        assert parse_labels(text[1:-1]) == labels
+
+    def test_empty_labels_format_to_empty_string(self):
+        from repro.obs import format_labels, parse_labels
+
+        assert format_labels({}) == ""
+        assert parse_labels("") == {}
+
+    def test_format_rejects_bad_label_names(self):
+        from repro.obs import format_labels
+
+        with pytest.raises(ValueError, match="label name"):
+            format_labels({"bad name": "x"})
+
+    def test_parse_rejects_malformed_bodies(self):
+        from repro.obs import parse_labels
+
+        for bad in ('le="x', 'le=x"', 'le="a" le="b"', '="x"', 'le="a"extra'):
+            with pytest.raises(ValueError):
+                parse_labels(bad)
+
+    def test_exposition_uses_escaped_le_label(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(1.0)
+        text = prometheus_text(registry)
+        assert 'repro_lat_bucket{le="1.0"}' in text
+        parsed = parse_prometheus_text(text)
+        assert parsed["histograms"]["repro_lat"]["count"] == 1
+
+    def test_parser_rejects_unquoted_label_values(self):
+        bad = (
+            "# TYPE repro_lat histogram\n"
+            "repro_lat_bucket{le=+Inf} 1\n"
+            "repro_lat_sum 1.0\nrepro_lat_count 1\n"
+        )
+        with pytest.raises(ValueError, match="malformed sample line"):
+            parse_prometheus_text(bad)
+
+
+class TestLabelRoundTripProperties:
+    """Hypothesis: parse_labels is format_labels' exact inverse over
+    adversarial values (quotes, backslashes, newlines, unicode)."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    _names = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,10}", fullmatch=True)
+    _values = st.text(
+        alphabet=st.characters(
+            codec="utf-8", exclude_categories=("Cs",)
+        ),
+        max_size=40,
+    )
+
+    @settings(max_examples=200, deadline=None)
+    @given(labels=st.dictionaries(_names, _values, max_size=5))
+    def test_round_trip(self, labels):
+        from repro.obs import format_labels, parse_labels
+
+        text = format_labels(labels)
+        body = text[1:-1] if text else ""
+        assert parse_labels(body) == labels
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=_values)
+    def test_escape_unescape_inverse(self, value):
+        from repro.obs import escape_label_value, unescape_label_value
+
+        escaped = escape_label_value(value)
+        assert "\n" not in escaped
+        assert unescape_label_value(escaped) == value

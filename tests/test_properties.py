@@ -149,7 +149,14 @@ class TestFindDimensionsProperties:
         )
     )
     def test_scaling_a_row_uniformly_keeps_its_picks(self, x):
-        """Z is scale-free per medoid: scaling a row leaves Z unchanged."""
+        """Z is scale-free per medoid: scaling a row leaves Z unchanged.
+
+        Quantize to a coarse grid first: values differing only in the
+        last few ulps are near-ties whose Z ordering the *3 rounding
+        can legitimately flip — the property holds for separated
+        values and exact ties, not for ulp-level near-ties.
+        """
+        x = np.round(x, 2)
         dims = find_dimensions(x, 2)
         scaled = x.copy()
         scaled[0] *= 3.0
